@@ -1,0 +1,513 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine is *event-oriented*: a model implements [`Model`], defining an event
+//! payload type and a handler that receives each event in time order together with a
+//! [`Scheduler`] through which it can schedule (or cancel) future events. This mirrors
+//! the transaction-oriented style of SES/Workbench while remaining borrow-checker
+//! friendly (the model owns all mutable state; the engine owns the clock and the
+//! pending event set).
+//!
+//! ```
+//! use desim::prelude::*;
+//!
+//! /// A counter that re-schedules itself every 10 ns, five times.
+//! struct Ticker { fired: u32 }
+//!
+//! impl Model for Ticker {
+//!     type Event = ();
+//!     fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+//!         self.fired += 1;
+//!         if self.fired < 5 {
+//!             sched.schedule_in(SimDuration::from_ns(10), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Ticker { fired: 0 });
+//! sim.scheduler().schedule_at(SimTime::ZERO, ());
+//! let report = sim.run();
+//! assert_eq!(sim.model().fired, 5);
+//! assert_eq!(report.events_processed, 5);
+//! assert_eq!(sim.now(), SimTime::from_ns(40));
+//! ```
+
+use crate::event::{BinaryHeapQueue, EventId, EventQueue, ScheduledEvent};
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// A simulation model: the owner of all model state and the handler of all events.
+pub trait Model {
+    /// The event payload type dispatched through the engine.
+    type Event;
+
+    /// Handle one event occurring at `now`. New events may be scheduled through `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+
+    /// Called once when the run terminates (horizon reached, event budget exhausted,
+    /// or the pending set drained). Default: no-op.
+    fn finish(&mut self, _now: SimTime) {}
+}
+
+/// Interface handed to the model for scheduling and cancelling future events.
+pub struct Scheduler<E> {
+    now: SimTime,
+    next_id: u64,
+    next_seq: u64,
+    staged: Vec<ScheduledEvent<E>>,
+    cancels: Vec<EventId>,
+    stop_requested: bool,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            next_id: 0,
+            next_seq: 0,
+            staged: Vec::new(),
+            cancels: Vec::new(),
+            stop_requested: false,
+        }
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at` (which must not precede the current time)
+    /// with default priority 0. Returns an id usable with [`Scheduler::cancel`].
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        self.schedule_at_prio(at, 0, event)
+    }
+
+    /// Schedule `event` at absolute time `at` with an explicit tie-break priority
+    /// (lower priority value fires first among simultaneous events).
+    pub fn schedule_at_prio(&mut self, at: SimTime, priority: i32, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} requested={}",
+            self.now,
+            at
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.staged.push(ScheduledEvent {
+            time: at,
+            priority,
+            seq,
+            id,
+            payload: event,
+        });
+        id
+    }
+
+    /// Schedule `event` after a delay relative to the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Schedule `event` after a delay with an explicit tie-break priority.
+    pub fn schedule_in_prio(&mut self, delay: SimDuration, priority: i32, event: E) -> EventId {
+        self.schedule_at_prio(self.now + delay, priority, event)
+    }
+
+    /// Schedule `event` to fire at the current time, after all currently pending
+    /// same-time events (a "yield" in SES/Workbench terms).
+    pub fn schedule_now(&mut self, event: E) -> EventId {
+        self.schedule_at(self.now, event)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that already fired
+    /// (or was already cancelled) is a silent no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancels.push(id);
+    }
+
+    /// Request that the run stop after the current event completes.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+}
+
+/// Why a run returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The pending event set drained.
+    Exhausted,
+    /// The configured time horizon was reached.
+    HorizonReached,
+    /// The configured event budget was reached.
+    EventBudgetReached,
+    /// The model called [`Scheduler::stop`].
+    StoppedByModel,
+}
+
+/// Summary of a completed (or paused) run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Number of events dispatched to the model.
+    pub events_processed: u64,
+    /// Simulated time when the run returned.
+    pub end_time: SimTime,
+    /// Why the run returned.
+    pub reason: StopReason,
+}
+
+/// The simulation engine: owns the clock, the pending event set and the model.
+pub struct Simulation<M: Model, Q: EventQueue<M::Event> = BinaryHeapQueue<<M as Model>::Event>> {
+    model: M,
+    queue: Q,
+    scheduler: Scheduler<M::Event>,
+    pending: HashSet<EventId>,
+    now: SimTime,
+    horizon: Option<SimTime>,
+    event_budget: Option<u64>,
+    events_processed: u64,
+}
+
+impl<M: Model> Simulation<M, BinaryHeapQueue<M::Event>> {
+    /// Create a simulation over `model` using the default binary-heap event queue.
+    pub fn new(model: M) -> Self {
+        Self::with_queue(model, BinaryHeapQueue::new())
+    }
+}
+
+impl<M: Model, Q: EventQueue<M::Event>> Simulation<M, Q> {
+    /// Create a simulation with an explicit pending-event-set implementation
+    /// (e.g. [`crate::event::CalendarQueue`]).
+    pub fn with_queue(model: M, queue: Q) -> Self {
+        Simulation {
+            model,
+            queue,
+            scheduler: Scheduler::new(),
+            pending: HashSet::new(),
+            now: SimTime::ZERO,
+            horizon: None,
+            event_budget: None,
+            events_processed: 0,
+        }
+    }
+
+    /// Set a time horizon: the run stops before dispatching any event strictly after it.
+    pub fn set_horizon(&mut self, horizon: SimTime) -> &mut Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Set an upper bound on the number of events dispatched per `run` call.
+    pub fn set_event_budget(&mut self, budget: u64) -> &mut Self {
+        self.event_budget = Some(budget);
+        self
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to the model.
+    #[inline]
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for initialization between runs).
+    #[inline]
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Access the scheduler to seed initial events before calling [`Simulation::run`].
+    pub fn scheduler(&mut self) -> &mut Scheduler<M::Event> {
+        self.scheduler.now = self.now;
+        &mut self.scheduler
+    }
+
+    /// Run an initialization closure with simultaneous access to the model and the
+    /// scheduler, for models whose setup needs to schedule their own first events.
+    pub fn init<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut M, &mut Scheduler<M::Event>),
+    {
+        self.scheduler.now = self.now;
+        f(&mut self.model, &mut self.scheduler);
+    }
+
+    /// Number of events dispatched so far across all `run` calls.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len() + self.scheduler.staged.len()
+    }
+
+    fn flush_scheduler(&mut self) {
+        for ev in self.scheduler.staged.drain(..) {
+            self.pending.insert(ev.id);
+            self.queue.push(ev);
+        }
+        for id in self.scheduler.cancels.drain(..) {
+            if self.pending.remove(&id) {
+                self.queue.cancel(id);
+            }
+        }
+    }
+
+    /// Run until the pending set drains, the horizon/event budget is hit, or the model
+    /// requests a stop. May be called repeatedly; time never goes backwards.
+    pub fn run(&mut self) -> RunReport {
+        self.flush_scheduler();
+        let mut dispatched_this_run = 0u64;
+        let reason = loop {
+            if self.scheduler.stop_requested {
+                self.scheduler.stop_requested = false;
+                break StopReason::StoppedByModel;
+            }
+            if let Some(budget) = self.event_budget {
+                if dispatched_this_run >= budget {
+                    break StopReason::EventBudgetReached;
+                }
+            }
+            let Some(next_time) = self.queue.peek_time() else {
+                break StopReason::Exhausted;
+            };
+            if let Some(h) = self.horizon {
+                if next_time > h {
+                    self.now = h;
+                    break StopReason::HorizonReached;
+                }
+            }
+            let ev = self.queue.pop().expect("peeked event must pop");
+            self.pending.remove(&ev.id);
+            debug_assert!(ev.time >= self.now, "event queue returned an event in the past");
+            self.now = ev.time;
+            self.scheduler.now = self.now;
+            self.model.handle(self.now, ev.payload, &mut self.scheduler);
+            self.events_processed += 1;
+            dispatched_this_run += 1;
+            self.flush_scheduler();
+        };
+        self.model.finish(self.now);
+        RunReport {
+            events_processed: dispatched_this_run,
+            end_time: self.now,
+            reason,
+        }
+    }
+
+    /// Dispatch at most one event. Returns `false` when nothing was dispatched
+    /// (empty set or horizon reached).
+    pub fn step(&mut self) -> bool {
+        self.flush_scheduler();
+        let Some(next_time) = self.queue.peek_time() else {
+            return false;
+        };
+        if let Some(h) = self.horizon {
+            if next_time > h {
+                return false;
+            }
+        }
+        let ev = self.queue.pop().expect("peeked event must pop");
+        self.pending.remove(&ev.id);
+        self.now = ev.time;
+        self.scheduler.now = self.now;
+        self.model.handle(self.now, ev.payload, &mut self.scheduler);
+        self.events_processed += 1;
+        self.flush_scheduler();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CalendarQueue;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ev {
+        Ping(u32),
+        Stop,
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(u64, Ev)>,
+        finish_time: Option<SimTime>,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+            self.seen.push((now.ticks(), ev));
+            if ev == Ev::Stop {
+                sched.stop();
+            }
+        }
+        fn finish(&mut self, now: SimTime) {
+            self.finish_time = Some(now);
+        }
+    }
+
+    #[test]
+    fn dispatches_in_time_order() {
+        let mut sim = Simulation::new(Recorder::default());
+        let s = sim.scheduler();
+        s.schedule_at(SimTime::from_ticks(30), Ev::Ping(3));
+        s.schedule_at(SimTime::from_ticks(10), Ev::Ping(1));
+        s.schedule_at(SimTime::from_ticks(20), Ev::Ping(2));
+        let report = sim.run();
+        assert_eq!(report.reason, StopReason::Exhausted);
+        assert_eq!(report.events_processed, 3);
+        let times: Vec<u64> = sim.model().seen.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert!(sim.model().finish_time.is_some());
+    }
+
+    #[test]
+    fn horizon_stops_run_and_clamps_clock() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.set_horizon(SimTime::from_ticks(15));
+        let s = sim.scheduler();
+        s.schedule_at(SimTime::from_ticks(10), Ev::Ping(1));
+        s.schedule_at(SimTime::from_ticks(20), Ev::Ping(2));
+        let report = sim.run();
+        assert_eq!(report.reason, StopReason::HorizonReached);
+        assert_eq!(report.events_processed, 1);
+        assert_eq!(sim.now(), SimTime::from_ticks(15));
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn event_budget_pauses_run() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.set_event_budget(2);
+        let s = sim.scheduler();
+        for i in 0..5 {
+            s.schedule_at(SimTime::from_ticks(i * 10), Ev::Ping(i as u32));
+        }
+        let r1 = sim.run();
+        assert_eq!(r1.reason, StopReason::EventBudgetReached);
+        assert_eq!(r1.events_processed, 2);
+        let r2 = sim.run();
+        assert_eq!(r2.events_processed, 2);
+        let r3 = sim.run();
+        assert_eq!(r3.events_processed, 1);
+        assert_eq!(r3.reason, StopReason::Exhausted);
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn model_stop_request() {
+        let mut sim = Simulation::new(Recorder::default());
+        let s = sim.scheduler();
+        s.schedule_at(SimTime::from_ticks(5), Ev::Stop);
+        s.schedule_at(SimTime::from_ticks(10), Ev::Ping(1));
+        let report = sim.run();
+        assert_eq!(report.reason, StopReason::StoppedByModel);
+        assert_eq!(sim.model().seen.len(), 1);
+        // The second event is still pending; a new run dispatches it.
+        let report2 = sim.run();
+        assert_eq!(report2.events_processed, 1);
+    }
+
+    #[test]
+    fn cancellation_prevents_dispatch() {
+        struct Canceller {
+            victim: Option<EventId>,
+            fired: Vec<u32>,
+        }
+        impl Model for Canceller {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.fired.push(ev);
+                if ev == 1 {
+                    if let Some(id) = self.victim.take() {
+                        sched.cancel(id);
+                    }
+                }
+            }
+        }
+        let mut sim = Simulation::new(Canceller { victim: None, fired: vec![] });
+        let s = sim.scheduler();
+        s.schedule_at(SimTime::from_ticks(1), 1);
+        let victim = s.schedule_at(SimTime::from_ticks(10), 99);
+        s.schedule_at(SimTime::from_ticks(20), 2);
+        sim.model_mut().victim = Some(victim);
+        sim.run();
+        assert_eq!(sim.model().fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_simultaneous_events() {
+        struct Chainer {
+            order: Vec<u32>,
+        }
+        impl Model for Chainer {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.order.push(ev);
+                if ev == 1 {
+                    sched.schedule_now(3);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Chainer { order: vec![] });
+        let s = sim.scheduler();
+        s.schedule_at(SimTime::from_ticks(10), 1);
+        s.schedule_at(SimTime::from_ticks(10), 2);
+        sim.run();
+        assert_eq!(sim.model().order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+                sched.schedule_at(now - SimDuration::from_ticks(1), ());
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.scheduler().schedule_at(SimTime::from_ticks(5), ());
+        sim.run();
+    }
+
+    #[test]
+    fn works_with_calendar_queue() {
+        let mut sim = Simulation::with_queue(Recorder::default(), CalendarQueue::new(4, 8));
+        let s = sim.scheduler();
+        for i in (0..50).rev() {
+            s.schedule_at(SimTime::from_ticks(i * 3), Ev::Ping(i as u32));
+        }
+        let report = sim.run();
+        assert_eq!(report.events_processed, 50);
+        let times: Vec<u64> = sim.model().seen.iter().map(|(t, _)| *t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn step_dispatches_single_event() {
+        let mut sim = Simulation::new(Recorder::default());
+        let s = sim.scheduler();
+        s.schedule_at(SimTime::from_ticks(1), Ev::Ping(1));
+        s.schedule_at(SimTime::from_ticks(2), Ev::Ping(2));
+        assert!(sim.step());
+        assert_eq!(sim.model().seen.len(), 1);
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+}

@@ -1,0 +1,509 @@
+//! Event records and pending-event-set implementations.
+//!
+//! The engine keeps a *pending event set*: a priority queue ordered by
+//! `(time, priority, sequence)`. Two interchangeable implementations are provided:
+//!
+//! * [`BinaryHeapQueue`] — a classic binary-heap future event list; the default.
+//! * [`CalendarQueue`] — a bucketed calendar queue in the style of Brown (1988),
+//!   which gives near-O(1) enqueue/dequeue when event times are roughly uniform
+//!   over a known horizon. The benchmark crate compares the two (ablation E-X in
+//!   DESIGN.md).
+//!
+//! Ties on time are broken first by an explicit scheduling priority (lower value is
+//! served first) and then by insertion order, so models get deterministic FIFO
+//! semantics for simultaneous events — the same guarantee SES/Workbench provides.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier handed back by `schedule`, usable to cancel a pending event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u64);
+
+/// A scheduled occurrence of a model event `E`.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Secondary ordering key for simultaneous events; lower fires first.
+    pub priority: i32,
+    /// Unique, monotonically increasing sequence number (insertion order).
+    pub seq: u64,
+    /// Identifier for cancellation.
+    pub id: EventId,
+    /// The model-defined payload.
+    pub payload: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    fn key(&self) -> (SimTime, i32, u64) {
+        (self.time, self.priority, self.seq)
+    }
+}
+
+/// Abstraction over pending-event-set implementations.
+pub trait EventQueue<E> {
+    /// Insert a scheduled event.
+    fn push(&mut self, ev: ScheduledEvent<E>);
+    /// Remove and return the event with the smallest `(time, priority, seq)` key,
+    /// skipping cancelled events.
+    fn pop(&mut self) -> Option<ScheduledEvent<E>>;
+    /// Peek at the time of the next (non-cancelled) event without removing it.
+    fn peek_time(&mut self) -> Option<SimTime>;
+    /// Mark an event as cancelled. Returns `true` if the id was pending.
+    fn cancel(&mut self, id: EventId) -> bool;
+    /// Number of pending (non-cancelled) events.
+    fn len(&self) -> usize;
+    /// True when no pending events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary heap implementation
+// ---------------------------------------------------------------------------
+
+struct HeapEntry<E>(ScheduledEvent<E>);
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that BinaryHeap (a max-heap) yields the smallest key first.
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+/// Binary-heap future event list with lazy cancellation.
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    cancelled: std::collections::HashSet<EventId>,
+    live: usize,
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BinaryHeapQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        BinaryHeapQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    fn drop_cancelled_head(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.0.id) {
+                let popped = self.heap.pop().expect("peeked entry must pop");
+                self.cancelled.remove(&popped.0.id);
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+impl<E> EventQueue<E> for BinaryHeapQueue<E> {
+    fn push(&mut self, ev: ScheduledEvent<E>) {
+        self.live += 1;
+        self.heap.push(HeapEntry(ev));
+    }
+
+    fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.drop_cancelled_head();
+        let ev = self.heap.pop().map(|e| e.0)?;
+        self.live -= 1;
+        Some(ev)
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.drop_cancelled_head();
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    fn cancel(&mut self, id: EventId) -> bool {
+        // We cannot cheaply test membership in the heap, so record the id and rely on
+        // lazy removal; guard `live` by only counting ids not already cancelled.
+        if self.cancelled.insert(id) {
+            if self.live == 0 {
+                // Nothing pending: the id cannot be live, undo.
+                self.cancelled.remove(&id);
+                return false;
+            }
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue implementation
+// ---------------------------------------------------------------------------
+
+/// A bucketed calendar queue (Brown, CACM 1988) with lazy cancellation.
+///
+/// Events are hashed into `num_buckets` buckets of `bucket_width` ticks by their
+/// timestamp; dequeue scans forward from the bucket containing the current
+/// minimum "year". The structure resizes (doubling/halving bucket count) when the
+/// population crosses thresholds, keeping amortized O(1) behaviour for workloads
+/// whose inter-event gaps are not pathologically skewed.
+pub struct CalendarQueue<E> {
+    buckets: Vec<Vec<ScheduledEvent<E>>>,
+    bucket_width: u64,
+    /// Index of the bucket the next dequeue should start scanning from.
+    cursor: usize,
+    /// Start time of the "year" the cursor is in.
+    year_start: u64,
+    len: usize,
+    cancelled: std::collections::HashSet<EventId>,
+    last_dequeued: SimTime,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Create a calendar queue with the given bucket width (in ticks) and bucket count.
+    ///
+    /// `bucket_width` should be on the order of the typical inter-event gap.
+    pub fn new(bucket_width: u64, num_buckets: usize) -> Self {
+        let num_buckets = num_buckets.max(2);
+        CalendarQueue {
+            buckets: (0..num_buckets).map(|_| Vec::new()).collect(),
+            bucket_width: bucket_width.max(1),
+            cursor: 0,
+            year_start: 0,
+            len: 0,
+            cancelled: std::collections::HashSet::new(),
+            last_dequeued: SimTime::ZERO,
+        }
+    }
+
+    fn bucket_index(&self, t: SimTime) -> usize {
+        ((t.ticks() / self.bucket_width) as usize) % self.buckets.len()
+    }
+
+    fn year_len(&self) -> u64 {
+        self.bucket_width * self.buckets.len() as u64
+    }
+
+    fn maybe_resize(&mut self) {
+        let n = self.buckets.len();
+        let target = if self.len > 2 * n {
+            n * 2
+        } else if self.len < n / 2 && n > 2 {
+            n / 2
+        } else {
+            return;
+        };
+        let mut all: Vec<ScheduledEvent<E>> = Vec::with_capacity(self.len);
+        for b in self.buckets.iter_mut() {
+            all.append(b);
+        }
+        self.buckets = (0..target).map(|_| Vec::new()).collect();
+        for ev in all {
+            let idx = self.bucket_index(ev.time);
+            self.buckets[idx].push(ev);
+        }
+        // Reposition the cursor at the bucket holding the previous dequeue point.
+        self.cursor = self.bucket_index(self.last_dequeued);
+        self.year_start = self.last_dequeued.ticks() - self.last_dequeued.ticks() % self.year_len();
+    }
+
+    /// Find, remove and return the globally minimal event (direct search).
+    /// Used as a fallback when the calendar scan wraps a full year without a hit.
+    fn pop_direct(&mut self) -> Option<ScheduledEvent<E>> {
+        let mut best: Option<(usize, usize)> = None;
+        let mut best_key = (SimTime::MAX, i32::MAX, u64::MAX);
+        for (bi, bucket) in self.buckets.iter().enumerate() {
+            for (ei, ev) in bucket.iter().enumerate() {
+                if self.cancelled.contains(&ev.id) {
+                    continue;
+                }
+                let key = ev.key();
+                if key < best_key {
+                    best_key = key;
+                    best = Some((bi, ei));
+                }
+            }
+        }
+        let (bi, ei) = best?;
+        let ev = self.buckets[bi].swap_remove(ei);
+        Some(ev)
+    }
+
+    fn purge_cancelled(&mut self) {
+        if self.cancelled.is_empty() {
+            return;
+        }
+        let cancelled = std::mem::take(&mut self.cancelled);
+        for bucket in self.buckets.iter_mut() {
+            bucket.retain(|ev| !cancelled.contains(&ev.id));
+        }
+    }
+}
+
+impl<E> EventQueue<E> for CalendarQueue<E> {
+    fn push(&mut self, ev: ScheduledEvent<E>) {
+        let idx = self.bucket_index(ev.time);
+        self.buckets[idx].push(ev);
+        self.len += 1;
+        self.maybe_resize();
+    }
+
+    fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        // Scan at most one full year of buckets starting at the cursor. A bucket visited
+        // at wrap `w` and index `bi` covers the slot
+        // [year_start + w*year_len + bi*width, year_start + w*year_len + (bi+1)*width);
+        // the first event found inside its own slot is the year's minimum. If a full
+        // year is scanned without a hit (sparse far-future events), fall back to a
+        // direct minimum search.
+        let n = self.buckets.len();
+        for step in 0..n {
+            let bi = (self.cursor + step) % n;
+            let wrap = ((self.cursor + step) / n) as u64;
+            let year = self.year_start + wrap * self.year_len();
+            let slot_lo = year + bi as u64 * self.bucket_width;
+            let slot_hi = slot_lo + self.bucket_width;
+            let mut best: Option<usize> = None;
+            let mut best_key = (SimTime::MAX, i32::MAX, u64::MAX);
+            for (ei, ev) in self.buckets[bi].iter().enumerate() {
+                if self.cancelled.contains(&ev.id) {
+                    continue;
+                }
+                let t = ev.time.ticks();
+                if t >= slot_lo && t < slot_hi && ev.key() < best_key {
+                    best_key = ev.key();
+                    best = Some(ei);
+                }
+            }
+            if let Some(ei) = best {
+                let ev = self.buckets[bi].swap_remove(ei);
+                self.cancelled.remove(&ev.id);
+                self.len -= 1;
+                self.cursor = bi;
+                self.year_start = ev.time.ticks() - ev.time.ticks() % self.year_len();
+                self.last_dequeued = ev.time;
+                return Some(ev);
+            }
+        }
+        // Fallback: direct minimum search across all buckets.
+        self.purge_cancelled();
+        let ev = self.pop_direct()?;
+        self.len -= 1;
+        self.cursor = self.bucket_index(ev.time);
+        self.year_start = ev.time.ticks() - ev.time.ticks() % self.year_len();
+        self.last_dequeued = ev.time;
+        Some(ev)
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        // Calendar queues do not support cheap peek; do a direct scan. The engine only
+        // calls this for horizon checks, which is infrequent relative to push/pop.
+        let mut best: Option<SimTime> = None;
+        for bucket in &self.buckets {
+            for ev in bucket {
+                if self.cancelled.contains(&ev.id) {
+                    continue;
+                }
+                if best.is_none_or(|b| ev.time < b) {
+                    best = Some(ev.time);
+                }
+            }
+        }
+        best
+    }
+
+    fn cancel(&mut self, id: EventId) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        if self.cancelled.insert(id) {
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, seq: u64) -> ScheduledEvent<u32> {
+        ScheduledEvent {
+            time: SimTime::from_ticks(time),
+            priority: 0,
+            seq,
+            id: EventId(seq),
+            payload: seq as u32,
+        }
+    }
+
+    fn drain<Q: EventQueue<u32>>(q: &mut Q) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e.time.ticks());
+        }
+        out
+    }
+
+    #[test]
+    fn heap_orders_by_time() {
+        let mut q = BinaryHeapQueue::new();
+        for (i, t) in [50u64, 10, 30, 20, 40].iter().enumerate() {
+            q.push(ev(*t, i as u64));
+        }
+        assert_eq!(drain(&mut q), vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn heap_fifo_tie_break() {
+        let mut q = BinaryHeapQueue::new();
+        q.push(ev(10, 0));
+        q.push(ev(10, 1));
+        q.push(ev(10, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn heap_priority_before_seq() {
+        let mut q = BinaryHeapQueue::new();
+        let mut high = ev(10, 0);
+        high.priority = 5;
+        let mut low = ev(10, 1);
+        low.priority = -1;
+        q.push(high);
+        q.push(low);
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn heap_cancellation() {
+        let mut q = BinaryHeapQueue::new();
+        q.push(ev(10, 0));
+        q.push(ev(20, 1));
+        q.push(ev(30, 2));
+        assert!(q.cancel(EventId(1)));
+        assert!(!q.cancel(EventId(1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(drain(&mut q), vec![10, 30]);
+    }
+
+    #[test]
+    fn heap_cancel_unknown_id_on_empty() {
+        let mut q: BinaryHeapQueue<u32> = BinaryHeapQueue::new();
+        assert!(!q.cancel(EventId(77)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heap_peek_skips_cancelled() {
+        let mut q = BinaryHeapQueue::new();
+        q.push(ev(10, 0));
+        q.push(ev(20, 1));
+        q.cancel(EventId(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(20)));
+    }
+
+    #[test]
+    fn calendar_orders_by_time() {
+        let mut q = CalendarQueue::new(8, 4);
+        for (i, t) in [50u64, 10, 30, 20, 40, 15, 200, 3].iter().enumerate() {
+            q.push(ev(*t, i as u64));
+        }
+        assert_eq!(drain(&mut q), vec![3, 10, 15, 20, 30, 40, 50, 200]);
+    }
+
+    #[test]
+    fn calendar_handles_clustered_and_sparse_times() {
+        let mut q = CalendarQueue::new(2, 4);
+        let times: Vec<u64> = (0..64).map(|i| if i % 7 == 0 { i * 1000 } else { i }).collect();
+        for (i, t) in times.iter().enumerate() {
+            q.push(ev(*t, i as u64));
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(drain(&mut q), sorted);
+    }
+
+    #[test]
+    fn calendar_cancellation() {
+        let mut q = CalendarQueue::new(4, 4);
+        q.push(ev(10, 0));
+        q.push(ev(20, 1));
+        q.push(ev(30, 2));
+        assert!(q.cancel(EventId(1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(drain(&mut q), vec![10, 30]);
+    }
+
+    #[test]
+    fn calendar_fifo_tie_break() {
+        let mut q = CalendarQueue::new(4, 4);
+        q.push(ev(10, 0));
+        q.push(ev(10, 1));
+        q.push(ev(10, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn calendar_resizes_under_load() {
+        let mut q = CalendarQueue::new(1, 2);
+        let n = 500u64;
+        for i in 0..n {
+            q.push(ev((i * 37) % 1000, i));
+        }
+        assert_eq!(q.len(), n as usize);
+        let out = drain(&mut q);
+        assert_eq!(out.len(), n as usize);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]), "must drain in time order");
+    }
+
+    #[test]
+    fn both_queues_agree_on_random_workload() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut heap = BinaryHeapQueue::new();
+        let mut cal = CalendarQueue::new(16, 8);
+        for seq in 0..2000u64 {
+            let t = rng.gen_range(0..100_000u64);
+            heap.push(ev(t, seq));
+            cal.push(ev(t, seq));
+        }
+        let a = drain(&mut heap);
+        let b = drain(&mut cal);
+        assert_eq!(a, b);
+    }
+}

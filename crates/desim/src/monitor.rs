@@ -1,0 +1,152 @@
+//! Time-series monitors.
+//!
+//! A [`Monitor`] samples a named quantity at irregular times during a run and can then
+//! be queried for the series, for bucketed resampling (to keep report files small), and
+//! for summary statistics. The benchmark binaries use monitors to emit the
+//! "value versus swept parameter" series behind each figure.
+
+use crate::stats::Tally;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A recorded time series of `(time, value)` samples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Monitor {
+    name: String,
+    samples: Vec<(SimTime, f64)>,
+    tally: Tally,
+}
+
+impl Monitor {
+    /// Create a monitor with a report-facing name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Monitor { name: name.into(), samples: Vec::new(), tally: Tally::new() }
+    }
+
+    /// Monitor name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record a sample. Samples must be recorded in non-decreasing time order.
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            debug_assert!(time >= last, "monitor samples must be recorded in time order");
+        }
+        self.samples.push((time, value));
+        self.tally.record(value);
+    }
+
+    /// All samples, oldest first.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Observation statistics over the sample values.
+    pub fn tally(&self) -> &Tally {
+        &self.tally
+    }
+
+    /// Value of the most recent sample at or before `time`, if any.
+    pub fn value_at(&self, time: SimTime) -> Option<f64> {
+        match self.samples.binary_search_by_key(&time, |&(t, _)| t) {
+            Ok(mut i) => {
+                // Several samples may share a timestamp; take the last.
+                while i + 1 < self.samples.len() && self.samples[i + 1].0 == time {
+                    i += 1;
+                }
+                Some(self.samples[i].1)
+            }
+            Err(0) => None,
+            Err(i) => Some(self.samples[i - 1].1),
+        }
+    }
+
+    /// Resample into `buckets` equal-width time buckets over `[start, end]`, averaging
+    /// the samples that fall in each bucket. Empty buckets yield `None`.
+    pub fn bucketed(&self, start: SimTime, end: SimTime, buckets: usize) -> Vec<Option<f64>> {
+        assert!(buckets > 0, "bucket count must be positive");
+        assert!(end > start, "bucketed range must be non-empty");
+        let span = (end - start).ticks() as f64;
+        let mut sums = vec![0.0; buckets];
+        let mut counts = vec![0u64; buckets];
+        for &(t, v) in &self.samples {
+            if t < start || t > end {
+                continue;
+            }
+            let frac = (t - start).ticks() as f64 / span;
+            let idx = ((frac * buckets as f64) as usize).min(buckets - 1);
+            sums[idx] += v;
+            counts[idx] += 1;
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c == 0 { None } else { Some(s / c as f64) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut m = Monitor::new("queue_len");
+        m.record(SimTime::from_ns(1), 2.0);
+        m.record(SimTime::from_ns(2), 4.0);
+        m.record(SimTime::from_ns(3), 6.0);
+        assert_eq!(m.name(), "queue_len");
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert!((m.tally().mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_at_returns_latest_not_after() {
+        let mut m = Monitor::new("v");
+        m.record(SimTime::from_ns(10), 1.0);
+        m.record(SimTime::from_ns(20), 2.0);
+        m.record(SimTime::from_ns(20), 3.0);
+        assert_eq!(m.value_at(SimTime::from_ns(5)), None);
+        assert_eq!(m.value_at(SimTime::from_ns(10)), Some(1.0));
+        assert_eq!(m.value_at(SimTime::from_ns(15)), Some(1.0));
+        assert_eq!(m.value_at(SimTime::from_ns(20)), Some(3.0));
+        assert_eq!(m.value_at(SimTime::from_ns(99)), Some(3.0));
+    }
+
+    #[test]
+    fn bucketed_resampling_averages_within_buckets() {
+        let mut m = Monitor::new("v");
+        for i in 0..100u64 {
+            m.record(SimTime::from_ns(i), i as f64);
+        }
+        let b = m.bucketed(SimTime::ZERO, SimTime::from_ns(99), 4);
+        assert_eq!(b.len(), 4);
+        assert!(b.iter().all(|x| x.is_some()));
+        // Bucket means increase monotonically for a ramp.
+        let vals: Vec<f64> = b.into_iter().map(|x| x.unwrap()).collect();
+        assert!(vals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn bucketed_marks_empty_buckets() {
+        let mut m = Monitor::new("v");
+        m.record(SimTime::from_ns(0), 1.0);
+        m.record(SimTime::from_ns(90), 2.0);
+        let b = m.bucketed(SimTime::ZERO, SimTime::from_ns(100), 10);
+        assert!(b[0].is_some());
+        assert!(b[5].is_none());
+        assert!(b[9].is_some());
+    }
+}

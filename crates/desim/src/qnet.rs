@@ -1,0 +1,578 @@
+//! A transaction-oriented queuing-network layer on top of the event engine.
+//!
+//! SES/Workbench models are drawn as graphs of sources, service centers, delays and
+//! sinks through which *transactions* flow. This module provides the same abstraction:
+//! build a [`QNetwork`] from nodes and routes, then [`QNetwork::run`] it for a given
+//! horizon. Per-node and end-to-end statistics (throughput, utilization, queue length,
+//! response time) are collected automatically, which is exactly the set of dependent
+//! variables the paper's two studies report.
+
+use crate::engine::{Model, Scheduler, Simulation};
+use crate::random::{Dist, RandomStream};
+use crate::resource::{Acquire, Resource};
+use crate::stats::{Tally, TimeWeighted};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Transaction class (routing can discriminate on it).
+pub type Class = u32;
+
+/// A unit of work flowing through the network.
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    /// Unique id, assigned at creation.
+    pub id: u64,
+    /// Class used by class-based routing.
+    pub class: Class,
+    /// Creation time (at its source).
+    pub created: SimTime,
+    /// Time the transaction arrived at the node it currently occupies.
+    pub arrived_at_node: SimTime,
+}
+
+/// How a node forwards transactions that finish service there.
+#[derive(Debug, Clone)]
+pub enum Routing {
+    /// Always forward to one node.
+    To(NodeId),
+    /// Forward probabilistically; weights need not be normalized.
+    Probabilistic(Vec<(f64, NodeId)>),
+    /// Forward by transaction class; falls back to the first entry when unmatched.
+    ByClass(Vec<(Class, NodeId)>),
+    /// Absorb the transaction (equivalent to routing to an implicit sink).
+    Absorb,
+}
+
+/// Node behaviours.
+#[derive(Debug)]
+enum NodeKind {
+    /// Generates transactions with an inter-arrival distribution (ns).
+    Source {
+        interarrival: Dist,
+        class: Class,
+        /// Maximum number of transactions to generate (`None` = unbounded).
+        limit: Option<u64>,
+        generated: u64,
+    },
+    /// `servers` identical servers with FIFO queue; service time distribution in ns.
+    Service {
+        service: Dist,
+        resource: Resource<Transaction>,
+    },
+    /// Infinite-server delay (pure latency, no contention); delay distribution in ns.
+    Delay { delay: Dist },
+    /// Absorbs transactions and records end-to-end statistics.
+    Sink,
+}
+
+struct Node {
+    name: String,
+    kind: NodeKind,
+    route: Routing,
+    arrivals: u64,
+    departures: u64,
+    response: Tally,
+    population: TimeWeighted,
+}
+
+/// Events driving the queuing network.
+#[derive(Debug)]
+pub enum QEvent {
+    /// A source should emit its next transaction.
+    SourceFire(NodeId),
+    /// A transaction arrives at a node.
+    Arrive(NodeId, Transaction),
+    /// Service (or delay) of a transaction at a node completes.
+    Complete(NodeId, Transaction),
+}
+
+/// Builder + runtime state for a queuing network model.
+pub struct QNetwork {
+    nodes: Vec<Node>,
+    stream: RandomStream,
+    next_txn: u64,
+    completed: Tally,
+    completed_count: u64,
+}
+
+impl QNetwork {
+    /// Create an empty network whose random draws come from `seed`.
+    pub fn new(seed: u64) -> Self {
+        QNetwork {
+            nodes: Vec::new(),
+            stream: RandomStream::new(seed, 0x514E), // stream id: "QN"
+            next_txn: 0,
+            completed: Tally::new(),
+            completed_count: 0,
+        }
+    }
+
+    fn push_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            kind,
+            route: Routing::Absorb,
+            arrivals: 0,
+            departures: 0,
+            response: Tally::new(),
+            population: TimeWeighted::new(SimTime::ZERO, 0.0),
+        });
+        id
+    }
+
+    /// Add a source emitting `class`-transactions with the given inter-arrival time (ns).
+    pub fn add_source(
+        &mut self,
+        name: impl Into<String>,
+        interarrival: Dist,
+        class: Class,
+        limit: Option<u64>,
+    ) -> NodeId {
+        self.push_node(
+            name,
+            NodeKind::Source { interarrival, class, limit, generated: 0 },
+        )
+    }
+
+    /// Add a service center with `servers` servers and the given service time (ns).
+    pub fn add_service(&mut self, name: impl Into<String>, servers: usize, service: Dist) -> NodeId {
+        let resource = Resource::new("servers", servers, SimTime::ZERO);
+        self.push_node(name, NodeKind::Service { service, resource })
+    }
+
+    /// Add an infinite-server delay node with the given delay (ns).
+    pub fn add_delay(&mut self, name: impl Into<String>, delay: Dist) -> NodeId {
+        self.push_node(name, NodeKind::Delay { delay })
+    }
+
+    /// Add a sink that absorbs transactions and records end-to-end response time.
+    pub fn add_sink(&mut self, name: impl Into<String>) -> NodeId {
+        self.push_node(name, NodeKind::Sink)
+    }
+
+    /// Set the routing applied when a transaction leaves `node`.
+    pub fn set_route(&mut self, node: NodeId, route: Routing) {
+        self.nodes[node.0].route = route;
+    }
+
+    fn route_target(&mut self, from: NodeId, txn: &Transaction) -> Option<NodeId> {
+        match &self.nodes[from.0].route {
+            Routing::To(n) => Some(*n),
+            Routing::Absorb => None,
+            Routing::ByClass(map) => map
+                .iter()
+                .find(|(c, _)| *c == txn.class)
+                .or_else(|| map.first())
+                .map(|(_, n)| *n),
+            Routing::Probabilistic(ws) => {
+                let total: f64 = ws.iter().map(|(w, _)| *w).sum();
+                if total <= 0.0 {
+                    return None;
+                }
+                let mut u = self.stream.uniform01() * total;
+                for (w, n) in ws {
+                    if u < *w {
+                        return Some(*n);
+                    }
+                    u -= *w;
+                }
+                ws.last().map(|(_, n)| *n)
+            }
+        }
+    }
+
+    /// Build a simulation over this network, scheduling the first firing of every source.
+    pub fn into_simulation(self) -> Simulation<QNetModel> {
+        let mut sim = Simulation::new(QNetModel { net: self });
+        let source_ids: Vec<NodeId> = sim
+            .model()
+            .net
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Source { .. }))
+            .map(|(i, _)| NodeId(i))
+            .collect();
+        let sched = sim.scheduler();
+        for id in source_ids {
+            sched.schedule_at(SimTime::ZERO, QEvent::SourceFire(id));
+        }
+        sim
+    }
+
+    /// Run the network until `horizon` and return the report.
+    pub fn run(self, horizon: SimTime) -> QNetReport {
+        let mut sim = self.into_simulation();
+        sim.set_horizon(horizon);
+        sim.run();
+        let end = sim.now();
+        sim.into_model().net.report(end)
+    }
+
+    fn report(&self, now: SimTime) -> QNetReport {
+        QNetReport {
+            end_time: now,
+            completed: self.completed_count,
+            mean_system_time_ns: self.completed.mean(),
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| {
+                    let (utilization, mean_queue, mean_wait_ns) = match &n.kind {
+                        NodeKind::Service { resource, .. } => (
+                            resource.utilization(now),
+                            resource.mean_queue_len(now),
+                            resource.wait_time().mean(),
+                        ),
+                        _ => (0.0, 0.0, 0.0),
+                    };
+                    NodeReport {
+                        name: n.name.clone(),
+                        arrivals: n.arrivals,
+                        departures: n.departures,
+                        utilization,
+                        mean_queue_len: mean_queue,
+                        mean_wait_ns,
+                        mean_response_ns: n.response.mean(),
+                        mean_population: n.population.time_average(now),
+                        throughput_per_ns: if now.ticks() == 0 {
+                            0.0
+                        } else {
+                            n.departures as f64 / now.as_ns_f64()
+                        },
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The [`Model`] implementation wrapping a [`QNetwork`].
+pub struct QNetModel {
+    net: QNetwork,
+}
+
+impl QNetModel {
+    /// Produce a report at time `now` (usually `sim.now()` after a run).
+    pub fn report(&self, now: SimTime) -> QNetReport {
+        self.net.report(now)
+    }
+}
+
+impl Model for QNetModel {
+    type Event = QEvent;
+
+    fn handle(&mut self, now: SimTime, event: QEvent, sched: &mut Scheduler<QEvent>) {
+        match event {
+            QEvent::SourceFire(id) => self.fire_source(now, id, sched),
+            QEvent::Arrive(id, txn) => self.arrive(now, id, txn, sched),
+            QEvent::Complete(id, txn) => self.complete(now, id, txn, sched),
+        }
+    }
+}
+
+impl QNetModel {
+    fn fire_source(&mut self, now: SimTime, id: NodeId, sched: &mut Scheduler<QEvent>) {
+        let txn_id = self.net.next_txn;
+        let (emit, next_fire, class) = {
+            let node = &mut self.net.nodes[id.0];
+            let NodeKind::Source { interarrival, class, limit, generated } = &mut node.kind else {
+                return;
+            };
+            if limit.is_some_and(|l| *generated >= l) {
+                return;
+            }
+            *generated += 1;
+            let more = limit.is_none_or(|l| *generated < l);
+            let gap = SimDuration::from_ns_f64(self.net.stream.sample_nonneg(interarrival));
+            (true, more.then_some(gap), *class)
+        };
+        if emit {
+            self.net.next_txn += 1;
+            let txn = Transaction { id: txn_id, class, created: now, arrived_at_node: now };
+            // Emit to the source's route target immediately.
+            if let Some(target) = self.net.route_target(id, &txn) {
+                self.net.nodes[id.0].departures += 1;
+                sched.schedule_now(QEvent::Arrive(target, txn));
+            }
+        }
+        if let Some(gap) = next_fire {
+            sched.schedule_in(gap, QEvent::SourceFire(id));
+        }
+    }
+
+    fn arrive(&mut self, now: SimTime, id: NodeId, mut txn: Transaction, sched: &mut Scheduler<QEvent>) {
+        txn.arrived_at_node = now;
+        let node = &mut self.net.nodes[id.0];
+        node.arrivals += 1;
+        node.population.add(now, 1.0);
+        match &mut node.kind {
+            NodeKind::Service { service, resource } => {
+                let svc = SimDuration::from_ns_f64(self.net.stream.sample_nonneg(service));
+                match resource.acquire(now, txn.clone()) {
+                    Acquire::Granted => {
+                        sched.schedule_in(svc, QEvent::Complete(id, txn));
+                    }
+                    Acquire::Queued => {
+                        // Service time is drawn again when the transaction is dequeued,
+                        // in `complete`, to keep draw order independent of queue state.
+                    }
+                }
+            }
+            NodeKind::Delay { delay } => {
+                let d = SimDuration::from_ns_f64(self.net.stream.sample_nonneg(delay));
+                sched.schedule_in(d, QEvent::Complete(id, txn));
+            }
+            NodeKind::Sink => {
+                node.response.record(0.0);
+                node.departures += 1;
+                node.population.add(now, -1.0);
+                self.net.completed_count += 1;
+                self.net
+                    .completed
+                    .record(now.saturating_since(txn.created).as_ns_f64());
+            }
+            NodeKind::Source { .. } => {
+                // Transactions routed into a source are treated as absorbed.
+                node.departures += 1;
+                node.population.add(now, -1.0);
+            }
+        }
+    }
+
+    fn complete(&mut self, now: SimTime, id: NodeId, txn: Transaction, sched: &mut Scheduler<QEvent>) {
+        // Record node statistics and free the server (possibly starting a waiter).
+        let next_start: Option<(Transaction, SimDuration)> = {
+            let node = &mut self.net.nodes[id.0];
+            node.departures += 1;
+            node.population.add(now, -1.0);
+            node.response
+                .record(now.saturating_since(txn.arrived_at_node).as_ns_f64());
+            match &mut node.kind {
+                NodeKind::Service { service, resource } => {
+                    let dist = service.clone();
+                    resource.release(now).map(|waiter| {
+                        let svc = SimDuration::from_ns_f64(self.net.stream.sample_nonneg(&dist));
+                        (waiter, svc)
+                    })
+                }
+                _ => None,
+            }
+        };
+        if let Some((waiter, svc)) = next_start {
+            sched.schedule_in(svc, QEvent::Complete(id, waiter));
+        }
+        // Route the finished transaction onward.
+        if let Some(target) = self.net.route_target(id, &txn) {
+            sched.schedule_now(QEvent::Arrive(target, txn));
+        } else {
+            self.net.completed_count += 1;
+            self.net
+                .completed
+                .record(now.saturating_since(txn.created).as_ns_f64());
+        }
+    }
+}
+
+/// Per-node results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Node name.
+    pub name: String,
+    /// Transactions that arrived at this node.
+    pub arrivals: u64,
+    /// Transactions that left (or were absorbed at) this node.
+    pub departures: u64,
+    /// Server utilization (service nodes only).
+    pub utilization: f64,
+    /// Time-averaged number waiting (service nodes only).
+    pub mean_queue_len: f64,
+    /// Mean waiting time in ns (service nodes only).
+    pub mean_wait_ns: f64,
+    /// Mean response time (wait + service) in ns.
+    pub mean_response_ns: f64,
+    /// Time-averaged population at the node.
+    pub mean_population: f64,
+    /// Departures per simulated nanosecond.
+    pub throughput_per_ns: f64,
+}
+
+/// Whole-network results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QNetReport {
+    /// Simulated time when the run ended.
+    pub end_time: SimTime,
+    /// Transactions absorbed by sinks (or absorbing routes).
+    pub completed: u64,
+    /// Mean end-to-end time in the network (ns).
+    pub mean_system_time_ns: f64,
+    /// Per-node detail, indexed by [`NodeId`].
+    pub nodes: Vec<NodeReport>,
+}
+
+impl QNetReport {
+    /// Look up a node's report by name.
+    pub fn node(&self, name: &str) -> Option<&NodeReport> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build source -> queue -> sink with the given distributions and run.
+    fn single_queue(interarrival: Dist, service: Dist, servers: usize, horizon_ns: u64) -> QNetReport {
+        let mut net = QNetwork::new(7);
+        let src = net.add_source("src", interarrival, 0, None);
+        let q = net.add_service("queue", servers, service);
+        let sink = net.add_sink("sink");
+        net.set_route(src, Routing::To(q));
+        net.set_route(q, Routing::To(sink));
+        net.run(SimTime::from_ns(horizon_ns))
+    }
+
+    #[test]
+    fn dd1_deterministic_queue_never_waits() {
+        // Arrivals every 10 ns, service 5 ns: utilization 0.5, zero waiting.
+        let r = single_queue(Dist::Constant(10.0), Dist::Constant(5.0), 1, 100_000);
+        let q = r.node("queue").unwrap();
+        assert!((q.utilization - 0.5).abs() < 0.01, "utilization {}", q.utilization);
+        assert!(q.mean_wait_ns < 1e-9, "D/D/1 with rho=0.5 must not queue");
+        assert!((q.mean_response_ns - 5.0).abs() < 0.1);
+        assert!(r.completed > 9_000);
+    }
+
+    #[test]
+    fn mm1_matches_theory() {
+        // lambda = 1/20 ns^-1, mu = 1/10 ns^-1 => rho = 0.5, W = 1/(mu-lambda) = 20 ns.
+        let r = single_queue(
+            Dist::Exponential { mean: 20.0 },
+            Dist::Exponential { mean: 10.0 },
+            1,
+            4_000_000,
+        );
+        let q = r.node("queue").unwrap();
+        assert!((q.utilization - 0.5).abs() < 0.03, "rho {}", q.utilization);
+        assert!(
+            (q.mean_response_ns - 20.0).abs() / 20.0 < 0.10,
+            "W {} expected 20",
+            q.mean_response_ns
+        );
+        // Little's law at the queue: L = lambda * W.
+        let l = q.mean_population;
+        let lambda = q.throughput_per_ns;
+        assert!(
+            (l - lambda * q.mean_response_ns).abs() / l.max(1e-9) < 0.05,
+            "Little's law violated: L={l} lambda*W={}",
+            lambda * q.mean_response_ns
+        );
+    }
+
+    #[test]
+    fn mm2_has_lower_wait_than_mm1_at_same_load() {
+        let busy = |servers: usize| {
+            let r = single_queue(
+                Dist::Exponential { mean: 10.0 },
+                Dist::Exponential { mean: 10.0 * servers as f64 * 0.8 },
+                servers,
+                2_000_000,
+            );
+            r.node("queue").unwrap().mean_wait_ns
+        };
+        let w1 = busy(1);
+        let w2 = busy(2);
+        assert!(w2 < w1, "M/M/2 wait {w2} should beat M/M/1 wait {w1} at equal per-server load");
+    }
+
+    #[test]
+    fn tandem_queues_conserve_transactions() {
+        let mut net = QNetwork::new(3);
+        let src = net.add_source("src", Dist::Exponential { mean: 50.0 }, 0, Some(500));
+        let a = net.add_service("a", 1, Dist::Exponential { mean: 10.0 });
+        let b = net.add_service("b", 1, Dist::Exponential { mean: 20.0 });
+        let sink = net.add_sink("sink");
+        net.set_route(src, Routing::To(a));
+        net.set_route(a, Routing::To(b));
+        net.set_route(b, Routing::To(sink));
+        let r = net.run(SimTime::from_ns(100_000_000));
+        assert_eq!(r.completed, 500);
+        assert_eq!(r.node("a").unwrap().arrivals, 500);
+        assert_eq!(r.node("b").unwrap().arrivals, 500);
+        assert_eq!(r.node("sink").unwrap().arrivals, 500);
+        // End-to-end time is at least the sum of the two mean services.
+        assert!(r.mean_system_time_ns > 25.0);
+    }
+
+    #[test]
+    fn probabilistic_routing_splits_flow() {
+        let mut net = QNetwork::new(11);
+        let src = net.add_source("src", Dist::Constant(10.0), 0, Some(10_000));
+        let a = net.add_service("a", 4, Dist::Constant(1.0));
+        let b = net.add_service("b", 4, Dist::Constant(1.0));
+        let sink = net.add_sink("sink");
+        net.set_route(src, Routing::Probabilistic(vec![(0.75, a), (0.25, b)]));
+        net.set_route(a, Routing::To(sink));
+        net.set_route(b, Routing::To(sink));
+        let r = net.run(SimTime::from_ns(200_000));
+        let fa = r.node("a").unwrap().arrivals as f64;
+        let fb = r.node("b").unwrap().arrivals as f64;
+        let frac = fa / (fa + fb);
+        assert!((frac - 0.75).abs() < 0.03, "split fraction {frac}");
+    }
+
+    #[test]
+    fn class_based_routing() {
+        let mut net = QNetwork::new(5);
+        let src0 = net.add_source("src0", Dist::Constant(10.0), 0, Some(100));
+        let src1 = net.add_source("src1", Dist::Constant(10.0), 1, Some(100));
+        let hwp = net.add_service("hwp", 1, Dist::Constant(1.0));
+        let lwp = net.add_service("lwp", 1, Dist::Constant(1.0));
+        let sink = net.add_sink("sink");
+        let route = Routing::ByClass(vec![(0, hwp), (1, lwp)]);
+        net.set_route(src0, route.clone());
+        net.set_route(src1, route);
+        net.set_route(hwp, Routing::To(sink));
+        net.set_route(lwp, Routing::To(sink));
+        let r = net.run(SimTime::from_ns(10_000));
+        assert_eq!(r.node("hwp").unwrap().arrivals, 100);
+        assert_eq!(r.node("lwp").unwrap().arrivals, 100);
+    }
+
+    #[test]
+    fn source_limit_is_respected() {
+        let r = {
+            let mut net = QNetwork::new(9);
+            let src = net.add_source("src", Dist::Constant(5.0), 0, Some(42));
+            let sink = net.add_sink("sink");
+            net.set_route(src, Routing::To(sink));
+            net.run(SimTime::from_ns(1_000_000))
+        };
+        assert_eq!(r.completed, 42);
+    }
+
+    #[test]
+    fn delay_node_adds_pure_latency() {
+        let mut net = QNetwork::new(21);
+        let src = net.add_source("src", Dist::Constant(100.0), 0, Some(50));
+        let d = net.add_delay("wire", Dist::Constant(30.0));
+        let sink = net.add_sink("sink");
+        net.set_route(src, Routing::To(d));
+        net.set_route(d, Routing::To(sink));
+        let r = net.run(SimTime::from_ns(100_000));
+        assert_eq!(r.completed, 50);
+        assert!((r.mean_system_time_ns - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn report_lookup_by_name() {
+        let r = single_queue(Dist::Constant(10.0), Dist::Constant(1.0), 1, 1_000);
+        assert!(r.node("queue").is_some());
+        assert!(r.node("nonexistent").is_none());
+    }
+}

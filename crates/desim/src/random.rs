@@ -1,0 +1,422 @@
+//! Random variate generation for statistical simulation models.
+//!
+//! SES/Workbench models draw service times, branch decisions and workload attributes
+//! from named distributions attached to independent random streams. This module
+//! provides the same facility: a [`RandomStream`] is a seeded generator (so every
+//! experiment is reproducible), and a [`Dist`] is a serializable description of a
+//! distribution that can be sampled against any stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A seeded, reproducible random stream.
+///
+/// Streams created with different identifiers from the same experiment seed are
+/// statistically independent (the identifier is mixed into the seed with
+/// SplitMix64), which lets a model dedicate one stream to service times, another
+/// to routing, etc., without cross-coupling — the standard variance-reduction
+/// discipline for queuing studies.
+#[derive(Debug, Clone)]
+pub struct RandomStream {
+    rng: StdRng,
+    seed: u64,
+    stream_id: u64,
+    draws: u64,
+}
+
+/// Mix a (seed, stream) pair into a single 64-bit seed using SplitMix64 steps.
+fn mix_seed(seed: u64, stream_id: u64) -> u64 {
+    let mut z = seed ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RandomStream {
+    /// Create stream `stream_id` of the experiment identified by `seed`.
+    pub fn new(seed: u64, stream_id: u64) -> Self {
+        RandomStream {
+            rng: StdRng::seed_from_u64(mix_seed(seed, stream_id)),
+            seed,
+            stream_id,
+            draws: 0,
+        }
+    }
+
+    /// The experiment seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The stream identifier.
+    pub fn stream_id(&self) -> u64 {
+        self.stream_id
+    }
+
+    /// Number of primitive draws made so far (diagnostic).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn uniform01(&mut self) -> f64 {
+        self.draws += 1;
+        self.rng.gen::<f64>()
+    }
+
+    /// A uniform draw in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(hi >= lo, "uniform bounds reversed: [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is undefined");
+        self.draws += 1;
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.uniform01() < p
+    }
+
+    /// Exponential variate with the given mean (inverse-transform method).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u = loop {
+            let u = self.uniform01();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Standard-normal variate (Marsaglia polar method).
+    pub fn standard_normal(&mut self) -> f64 {
+        loop {
+            let x = 2.0 * self.uniform01() - 1.0;
+            let y = 2.0 * self.uniform01() - 1.0;
+            let s = x * x + y * y;
+            if s > 0.0 && s < 1.0 {
+                return x * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Geometric variate: number of Bernoulli(p) failures before the first success.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric parameter out of range: {p}");
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = loop {
+            let u = self.uniform01();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with exponent `s` (rejection-free inverse CDF
+    /// over a precomputed table is provided by [`ZipfTable`]; this method is the slow
+    /// path that recomputes the normalizer each call).
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        ZipfTable::new(n, s).sample(self)
+    }
+
+    /// Sample a described distribution.
+    pub fn sample(&mut self, dist: &Dist) -> f64 {
+        match *dist {
+            Dist::Constant(c) => c,
+            Dist::Uniform { lo, hi } => self.uniform(lo, hi),
+            Dist::Exponential { mean } => self.exponential(mean),
+            Dist::Normal { mean, std_dev } => self.normal(mean, std_dev),
+            Dist::Erlang { k, mean } => {
+                let k = k.max(1);
+                let stage_mean = mean / k as f64;
+                (0..k).map(|_| self.exponential(stage_mean)).sum()
+            }
+            Dist::Empirical { ref points } => {
+                let u = self.uniform01();
+                let mut acc = 0.0;
+                for &(value, weight) in points {
+                    acc += weight;
+                    if u < acc {
+                        return value;
+                    }
+                }
+                points.last().map(|&(v, _)| v).unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Sample a described distribution, clamped to be non-negative (service times).
+    pub fn sample_nonneg(&mut self, dist: &Dist) -> f64 {
+        self.sample(dist).max(0.0)
+    }
+}
+
+/// A serializable distribution description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always the same value (deterministic service).
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Normal with mean and standard deviation.
+    Normal {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Erlang-k with the given overall mean (sum of k exponential stages).
+    Erlang {
+        /// Number of exponential stages.
+        k: u32,
+        /// Overall mean (the sum across stages).
+        mean: f64,
+    },
+    /// Discrete empirical distribution: `(value, probability)` pairs.
+    /// Probabilities should sum to 1; the last value absorbs any remainder.
+    Empirical {
+        /// `(value, probability)` pairs.
+        points: Vec<(f64, f64)>,
+    },
+}
+
+impl Dist {
+    /// The theoretical mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant(c) => c,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::Exponential { mean } => mean,
+            Dist::Normal { mean, .. } => mean,
+            Dist::Erlang { mean, .. } => mean,
+            Dist::Empirical { ref points } => points.iter().map(|&(v, w)| v * w).sum(),
+        }
+    }
+}
+
+/// Precomputed inverse-CDF table for Zipf(n, s) sampling.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build the table for ranks `0..n` with exponent `s` (s = 0 is uniform).
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in weights.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+        ZipfTable { cdf: weights }
+    }
+
+    /// Sample a rank in `[0, n)`.
+    pub fn sample(&self, stream: &mut RandomStream) -> u64 {
+        let u = stream.uniform01();
+        match self.cdf.binary_search_by(|probe| probe.partial_cmp(&u).unwrap()) {
+            Ok(i) => i as u64 + 1,
+            Err(i) => i as u64,
+        }
+        .min(self.cdf.len() as u64 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> RandomStream {
+        RandomStream::new(0xC0FFEE, 1)
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = RandomStream::new(7, 3);
+        let mut b = RandomStream::new(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.uniform01().to_bits(), b.uniform01().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_stream_ids_decorrelate() {
+        let mut a = RandomStream::new(7, 1);
+        let mut b = RandomStream::new(7, 2);
+        let same = (0..64).filter(|_| a.uniform01() == b.uniform01()).count();
+        assert!(same < 4, "streams with different ids should not track each other");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut s = stream();
+        for _ in 0..10_000 {
+            let x = s.uniform(3.0, 9.0);
+            assert!((3.0..9.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut s = stream();
+        for _ in 0..10_000 {
+            assert!(s.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes_and_mean() {
+        let mut s = stream();
+        assert!(!s.bernoulli(0.0));
+        assert!(s.bernoulli(1.0));
+        let hits = (0..20_000).filter(|_| s.bernoulli(0.3)).count() as f64 / 20_000.0;
+        assert!((hits - 0.3).abs() < 0.02, "empirical {hits} too far from 0.3");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut s = stream();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| s.exponential(42.0)).sum::<f64>() / n as f64;
+        assert!((mean - 42.0).abs() / 42.0 < 0.03, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut s = stream();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((var - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn geometric_mean_converges() {
+        let mut s = stream();
+        let p = 0.25;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| s.geometric(p) as f64).sum::<f64>() / n as f64;
+        let expect = (1.0 - p) / p;
+        assert!((mean - expect).abs() / expect < 0.05, "empirical mean {mean} expect {expect}");
+        assert_eq!(s.geometric(1.0), 0);
+    }
+
+    #[test]
+    fn erlang_mean_and_lower_variance_than_exponential() {
+        let mut s = stream();
+        let n = 30_000;
+        let erl: Vec<f64> = (0..n).map(|_| s.sample(&Dist::Erlang { k: 4, mean: 8.0 })).collect();
+        let exp: Vec<f64> = (0..n).map(|_| s.exponential(8.0)).collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let var = |v: &[f64]| {
+            let m = mean(v);
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!((mean(&erl) - 8.0).abs() < 0.2);
+        assert!(var(&erl) < var(&exp), "Erlang-4 must have lower variance than exponential");
+    }
+
+    #[test]
+    fn empirical_distribution_respects_weights() {
+        let mut s = stream();
+        let d = Dist::Empirical { points: vec![(1.0, 0.2), (2.0, 0.5), (3.0, 0.3)] };
+        let n = 30_000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            let v = s.sample(&d);
+            counts[v as usize - 1] += 1;
+        }
+        let f = |c: u32| c as f64 / n as f64;
+        assert!((f(counts[0]) - 0.2).abs() < 0.02);
+        assert!((f(counts[1]) - 0.5).abs() < 0.02);
+        assert!((f(counts[2]) - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn dist_means() {
+        assert_eq!(Dist::Constant(4.0).mean(), 4.0);
+        assert_eq!(Dist::Uniform { lo: 2.0, hi: 6.0 }.mean(), 4.0);
+        assert_eq!(Dist::Exponential { mean: 5.0 }.mean(), 5.0);
+        assert_eq!(Dist::Erlang { k: 3, mean: 9.0 }.mean(), 9.0);
+        let emp = Dist::Empirical { points: vec![(1.0, 0.5), (3.0, 0.5)] };
+        assert!((emp.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut s = stream();
+        let table = ZipfTable::new(100, 1.2);
+        let n = 40_000;
+        let mut low = 0u32;
+        for _ in 0..n {
+            let r = table.sample(&mut s);
+            assert!(r < 100);
+            if r < 10 {
+                low += 1;
+            }
+        }
+        assert!(low as f64 / n as f64 > 0.5, "Zipf(1.2) should concentrate mass on low ranks");
+    }
+
+    #[test]
+    fn zipf_with_zero_exponent_is_roughly_uniform() {
+        let mut s = stream();
+        let table = ZipfTable::new(10, 0.0);
+        let n = 50_000;
+        let mut counts = vec![0u32; 10];
+        for _ in 0..n {
+            counts[table.sample(&mut s) as usize] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.1).abs() < 0.02, "bucket frequency {f} deviates from uniform");
+        }
+    }
+
+    #[test]
+    fn sample_nonneg_clamps() {
+        let mut s = stream();
+        for _ in 0..1000 {
+            assert!(s.sample_nonneg(&Dist::Normal { mean: 0.0, std_dev: 5.0 }) >= 0.0);
+        }
+    }
+}

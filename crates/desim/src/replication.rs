@@ -1,0 +1,196 @@
+//! Independent replications: the standard output-analysis method for terminating and
+//! steady-state simulations.
+//!
+//! A statistical simulation result from a single run is a point estimate with unknown
+//! error. The replication runner executes the same experiment `n` times with
+//! decorrelated seeds, optionally discards a warm-up prefix of each run's output, and
+//! reports the mean with a Student-t confidence interval — the methodology queueing
+//! studies (including the paper's) rely on when quoting a number.
+
+use crate::stats::{ConfidenceLevel, Tally};
+use serde::{Deserialize, Serialize};
+
+/// Summary of a replicated experiment's scalar output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicationSummary {
+    /// Number of replications performed.
+    pub replications: u64,
+    /// Mean across replications.
+    pub mean: f64,
+    /// Sample standard deviation across replications.
+    pub std_dev: f64,
+    /// Half-width of the confidence interval on the mean.
+    pub half_width: f64,
+    /// Confidence level used for the interval.
+    pub level: ConfidenceLevel,
+    /// Smallest replication output.
+    pub min: f64,
+    /// Largest replication output.
+    pub max: f64,
+}
+
+impl ReplicationSummary {
+    /// The confidence interval as `(low, high)`.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.mean - self.half_width, self.mean + self.half_width)
+    }
+
+    /// Relative precision of the estimate: half-width divided by |mean|
+    /// (`f64::INFINITY` when the mean is zero).
+    pub fn relative_precision(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+
+    /// True when the interval contains `value`.
+    pub fn covers(&self, value: f64) -> bool {
+        let (lo, hi) = self.interval();
+        value >= lo && value <= hi
+    }
+}
+
+/// Run `replications` independent replications of `experiment` (seeded with
+/// `0, 1, …, replications-1` offsets from `base_seed`) and summarize the scalar each
+/// replication returns.
+pub fn replicate<F>(
+    replications: u64,
+    base_seed: u64,
+    level: ConfidenceLevel,
+    mut experiment: F,
+) -> ReplicationSummary
+where
+    F: FnMut(u64) -> f64,
+{
+    assert!(replications >= 2, "need at least two replications for an interval");
+    let mut tally = Tally::new();
+    for r in 0..replications {
+        let seed = base_seed.wrapping_add(r.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        tally.record(experiment(seed));
+    }
+    ReplicationSummary {
+        replications,
+        mean: tally.mean(),
+        std_dev: tally.std_dev(),
+        half_width: tally.confidence_half_width(level),
+        level,
+        min: tally.min().unwrap_or(0.0),
+        max: tally.max().unwrap_or(0.0),
+    }
+}
+
+/// Keep adding replications (in batches of `batch`) until the relative precision of the
+/// mean reaches `target` or `max_replications` is hit. Returns the summary of all
+/// replications performed.
+pub fn replicate_to_precision<F>(
+    batch: u64,
+    max_replications: u64,
+    target: f64,
+    base_seed: u64,
+    level: ConfidenceLevel,
+    mut experiment: F,
+) -> ReplicationSummary
+where
+    F: FnMut(u64) -> f64,
+{
+    assert!(batch >= 2, "batch must be at least two replications");
+    assert!(target > 0.0, "target precision must be positive");
+    let mut tally = Tally::new();
+    let mut done = 0u64;
+    while done < max_replications {
+        let this_batch = batch.min(max_replications - done);
+        for r in 0..this_batch {
+            let idx = done + r;
+            let seed = base_seed.wrapping_add(idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            tally.record(experiment(seed));
+        }
+        done += this_batch;
+        if done >= 2 {
+            let hw = tally.confidence_half_width(level);
+            let mean = tally.mean().abs();
+            if mean > 0.0 && hw / mean <= target {
+                break;
+            }
+        }
+    }
+    ReplicationSummary {
+        replications: done,
+        mean: tally.mean(),
+        std_dev: tally.std_dev(),
+        half_width: tally.confidence_half_width(level),
+        level,
+        min: tally.min().unwrap_or(0.0),
+        max: tally.max().unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomStream;
+
+    #[test]
+    fn replication_mean_recovers_known_value() {
+        let summary = replicate(64, 7, ConfidenceLevel::P95, |seed| {
+            let mut s = RandomStream::new(seed, 1);
+            (0..2_000).map(|_| s.exponential(10.0)).sum::<f64>() / 2_000.0
+        });
+        assert_eq!(summary.replications, 64);
+        assert!(summary.covers(10.0), "interval {:?} should cover 10", summary.interval());
+        assert!(summary.relative_precision() < 0.02);
+        assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+    }
+
+    #[test]
+    fn deterministic_experiment_has_zero_width_interval() {
+        let summary = replicate(8, 1, ConfidenceLevel::P99, |_seed| 42.0);
+        assert_eq!(summary.mean, 42.0);
+        assert_eq!(summary.half_width, 0.0);
+        assert!(summary.covers(42.0));
+        assert!(!summary.covers(41.0));
+    }
+
+    #[test]
+    fn interval_shrinks_with_more_replications() {
+        let run = |n| {
+            replicate(n, 3, ConfidenceLevel::P95, |seed| {
+                let mut s = RandomStream::new(seed, 2);
+                s.normal(5.0, 2.0)
+            })
+            .half_width
+        };
+        assert!(run(100) < run(10));
+    }
+
+    #[test]
+    fn precision_driven_replication_stops_when_good_enough() {
+        let mut calls = 0u64;
+        let summary = replicate_to_precision(8, 512, 0.05, 11, ConfidenceLevel::P95, |seed| {
+            calls += 1;
+            let mut s = RandomStream::new(seed, 3);
+            (0..500).map(|_| s.exponential(20.0)).sum::<f64>() / 500.0
+        });
+        assert_eq!(summary.replications, calls);
+        assert!(summary.replications < 512, "should converge before the cap");
+        assert!(summary.relative_precision() <= 0.05);
+        assert!(summary.covers(20.0));
+    }
+
+    #[test]
+    fn precision_driven_replication_respects_the_cap() {
+        // Very noisy experiment with an unreachable precision target: stops at the cap.
+        let summary = replicate_to_precision(4, 16, 1e-6, 5, ConfidenceLevel::P95, |seed| {
+            let mut s = RandomStream::new(seed, 4);
+            s.uniform(0.0, 100.0)
+        });
+        assert_eq!(summary.replications, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two replications")]
+    fn single_replication_is_rejected() {
+        replicate(1, 0, ConfidenceLevel::P95, |_| 0.0);
+    }
+}

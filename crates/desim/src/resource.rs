@@ -1,0 +1,267 @@
+//! Passive resources (servers) with queuing, in the SES/Workbench sense.
+//!
+//! A [`Resource`] models `capacity` identical servers with a FIFO (or priority) wait
+//! queue. It is *passive*: it never schedules events itself. The owning [`crate::Model`]
+//! asks to acquire a unit; if none is free the request's token is parked, and a later
+//! `release` hands the token back so the model can schedule the waiter's continuation.
+//! Utilization, queue length and waiting time statistics are collected automatically.
+
+use crate::stats::{Tally, TimeWeighted};
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Result of an acquire attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// A server was free; the caller holds one unit and should proceed immediately.
+    Granted,
+    /// All servers are busy; the token was queued and will be returned by a future
+    /// [`Resource::release`].
+    Queued,
+}
+
+/// A queued waiter.
+#[derive(Debug, Clone)]
+struct Waiter<T> {
+    token: T,
+    priority: i32,
+    enqueued_at: SimTime,
+    seq: u64,
+}
+
+/// A multi-server resource with FIFO-within-priority queuing and built-in statistics.
+#[derive(Debug)]
+pub struct Resource<T> {
+    name: String,
+    capacity: usize,
+    busy: usize,
+    waiters: VecDeque<Waiter<T>>,
+    seq: u64,
+    utilization: TimeWeighted,
+    queue_len: TimeWeighted,
+    wait_time: Tally,
+    total_grants: u64,
+}
+
+impl<T> Resource<T> {
+    /// Create a resource with `capacity` identical servers.
+    pub fn new(name: impl Into<String>, capacity: usize, start: SimTime) -> Self {
+        assert!(capacity > 0, "resource capacity must be positive");
+        Resource {
+            name: name.into(),
+            capacity,
+            busy: 0,
+            waiters: VecDeque::new(),
+            seq: 0,
+            utilization: TimeWeighted::new(start, 0.0),
+            queue_len: TimeWeighted::new(start, 0.0),
+            wait_time: Tally::new(),
+            total_grants: 0,
+        }
+    }
+
+    /// Resource name (reporting).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of servers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of servers currently held.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Number of queued waiters.
+    pub fn queue_len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Total number of grants issued (immediate + dequeued).
+    pub fn total_grants(&self) -> u64 {
+        self.total_grants
+    }
+
+    /// Attempt to acquire a unit at time `now`; if all servers are busy, park `token`
+    /// with default priority 0.
+    pub fn acquire(&mut self, now: SimTime, token: T) -> Acquire {
+        self.acquire_prio(now, token, 0)
+    }
+
+    /// Attempt to acquire with an explicit priority (lower value is served first).
+    pub fn acquire_prio(&mut self, now: SimTime, token: T, priority: i32) -> Acquire {
+        if self.busy < self.capacity {
+            self.busy += 1;
+            self.utilization.set(now, self.busy as f64 / self.capacity as f64);
+            self.wait_time.record(0.0);
+            self.total_grants += 1;
+            Acquire::Granted
+        } else {
+            let w = Waiter {
+                token,
+                priority,
+                enqueued_at: now,
+                seq: self.seq,
+            };
+            self.seq += 1;
+            // Insert keeping (priority, seq) order: stable FIFO within equal priority.
+            let pos = self
+                .waiters
+                .iter()
+                .position(|x| (x.priority, x.seq) > (w.priority, w.seq))
+                .unwrap_or(self.waiters.len());
+            self.waiters.insert(pos, w);
+            self.queue_len.set(now, self.waiters.len() as f64);
+            Acquire::Queued
+        }
+    }
+
+    /// Try to acquire without queueing. Returns `true` on success.
+    pub fn try_acquire(&mut self, now: SimTime) -> bool {
+        if self.busy < self.capacity {
+            self.busy += 1;
+            self.utilization.set(now, self.busy as f64 / self.capacity as f64);
+            self.wait_time.record(0.0);
+            self.total_grants += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release one unit at time `now`. If a waiter is queued, the unit is handed to it
+    /// directly and its token is returned; the caller must then schedule that waiter's
+    /// continuation. Otherwise the server simply becomes idle.
+    pub fn release(&mut self, now: SimTime) -> Option<T> {
+        assert!(self.busy > 0, "release on an idle resource '{}'", self.name);
+        if let Some(w) = self.waiters.pop_front() {
+            // Server stays busy, ownership transfers to the waiter.
+            self.queue_len.set(now, self.waiters.len() as f64);
+            self.wait_time.record(now.saturating_since(w.enqueued_at).as_ns_f64());
+            self.total_grants += 1;
+            Some(w.token)
+        } else {
+            self.busy -= 1;
+            self.utilization.set(now, self.busy as f64 / self.capacity as f64);
+            None
+        }
+    }
+
+    /// Time-averaged utilization (busy servers / capacity) over `[start, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.utilization.time_average(now)
+    }
+
+    /// Time-averaged queue length over `[start, now]`.
+    pub fn mean_queue_len(&self, now: SimTime) -> f64 {
+        self.queue_len.time_average(now)
+    }
+
+    /// Waiting-time statistics (nanoseconds), one observation per grant.
+    pub fn wait_time(&self) -> &Tally {
+        &self.wait_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn grants_up_to_capacity_then_queues() {
+        let mut r: Resource<u32> = Resource::new("cpu", 2, SimTime::ZERO);
+        assert_eq!(r.acquire(SimTime::ZERO, 1), Acquire::Granted);
+        assert_eq!(r.acquire(SimTime::ZERO, 2), Acquire::Granted);
+        assert_eq!(r.acquire(SimTime::ZERO, 3), Acquire::Queued);
+        assert_eq!(r.busy(), 2);
+        assert_eq!(r.queue_len(), 1);
+    }
+
+    #[test]
+    fn release_hands_unit_to_waiter_fifo() {
+        let mut r: Resource<u32> = Resource::new("cpu", 1, SimTime::ZERO);
+        assert_eq!(r.acquire(SimTime::ZERO, 10), Acquire::Granted);
+        r.acquire(SimTime::from_ns(1), 20);
+        r.acquire(SimTime::from_ns(2), 30);
+        assert_eq!(r.release(SimTime::from_ns(5)), Some(20));
+        assert_eq!(r.release(SimTime::from_ns(9)), Some(30));
+        assert_eq!(r.release(SimTime::from_ns(12)), None);
+        assert_eq!(r.busy(), 0);
+    }
+
+    #[test]
+    fn priority_served_before_fifo() {
+        let mut r: Resource<&'static str> = Resource::new("cpu", 1, SimTime::ZERO);
+        r.acquire(SimTime::ZERO, "holder");
+        r.acquire_prio(SimTime::from_ns(1), "low", 10);
+        r.acquire_prio(SimTime::from_ns(2), "high", -5);
+        r.acquire_prio(SimTime::from_ns(3), "mid", 0);
+        assert_eq!(r.release(SimTime::from_ns(4)), Some("high"));
+        assert_eq!(r.release(SimTime::from_ns(5)), Some("mid"));
+        assert_eq!(r.release(SimTime::from_ns(6)), Some("low"));
+    }
+
+    #[test]
+    fn equal_priority_is_fifo() {
+        let mut r: Resource<u32> = Resource::new("cpu", 1, SimTime::ZERO);
+        r.acquire(SimTime::ZERO, 0);
+        for i in 1..=5 {
+            r.acquire_prio(SimTime::from_ns(i), i as u32, 3);
+        }
+        for i in 1..=5 {
+            assert_eq!(r.release(SimTime::from_ns(10 + i)), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn wait_time_statistics() {
+        let mut r: Resource<u32> = Resource::new("cpu", 1, SimTime::ZERO);
+        r.acquire(SimTime::ZERO, 1);
+        r.acquire(SimTime::ZERO, 2);
+        r.release(SimTime::from_ns(10));
+        // Immediate grant waited 0 ns; queued grant waited 10 ns.
+        assert_eq!(r.wait_time().count(), 2);
+        assert!((r.wait_time().mean() - 5.0).abs() < 1e-12);
+        assert_eq!(r.total_grants(), 2);
+    }
+
+    #[test]
+    fn utilization_time_average() {
+        let mut r: Resource<u32> = Resource::new("cpu", 1, SimTime::ZERO);
+        r.acquire(SimTime::ZERO, 1);
+        r.release(SimTime::from_ns(40));
+        // Busy for 40 of 100 ns.
+        let u = r.utilization(SimTime::from_ns(100));
+        assert!((u - 0.4).abs() < 1e-12, "utilization {u}");
+    }
+
+    #[test]
+    fn try_acquire_does_not_queue() {
+        let mut r: Resource<u32> = Resource::new("cpu", 1, SimTime::ZERO);
+        assert!(r.try_acquire(SimTime::ZERO));
+        assert!(!r.try_acquire(SimTime::ZERO));
+        assert_eq!(r.queue_len(), 0);
+        assert_eq!(r.release(SimTime::from_ns(1) + SimDuration::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "release on an idle resource")]
+    fn release_without_acquire_panics() {
+        let mut r: Resource<u32> = Resource::new("cpu", 1, SimTime::ZERO);
+        r.release(SimTime::ZERO);
+    }
+
+    #[test]
+    fn mean_queue_length() {
+        let mut r: Resource<u32> = Resource::new("cpu", 1, SimTime::ZERO);
+        r.acquire(SimTime::ZERO, 1);
+        r.acquire(SimTime::ZERO, 2); // queue length 1 from t=0
+        r.release(SimTime::from_ns(50)); // queue drains at t=50
+        let mql = r.mean_queue_len(SimTime::from_ns(100));
+        assert!((mql - 0.5).abs() < 1e-12, "mean queue length {mql}");
+    }
+}

@@ -1,0 +1,621 @@
+//! Statistics collection for simulation outputs.
+//!
+//! The paper's dependent variables — performance gain, response time, throughput,
+//! utilization and idle time — are all either *observation* statistics (one sample per
+//! completed transaction) or *time-weighted* statistics (a state variable integrated
+//! over simulated time). [`Tally`] covers the former, [`TimeWeighted`] the latter;
+//! [`Histogram`] and [`BatchMeans`] provide distribution shape and confidence
+//! intervals for steady-state estimates.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Observation-based statistic: count, mean, variance (Welford), min, max, sum.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Tally {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Tally {
+    /// New empty tally.
+    pub fn new() -> Self {
+        Tally {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Record a [`SimDuration`] observation in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_ns_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another tally into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean = (n1 * self.mean + n2 * other.mean) / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Half-width of the `level` confidence interval on the mean, using a Student-t
+    /// critical value. Returns 0 for fewer than two observations.
+    pub fn confidence_half_width(&self, level: ConfidenceLevel) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let t = student_t_critical(self.count - 1, level);
+        t * self.std_dev() / (self.count as f64).sqrt()
+    }
+}
+
+/// Supported confidence levels for interval estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfidenceLevel {
+    /// 90% two-sided.
+    P90,
+    /// 95% two-sided.
+    P95,
+    /// 99% two-sided.
+    P99,
+}
+
+/// Two-sided Student-t critical values for common confidence levels.
+///
+/// Exact for the tabulated degrees of freedom; interpolates linearly between table
+/// rows and converges to the normal quantile for large samples.
+pub fn student_t_critical(dof: u64, level: ConfidenceLevel) -> f64 {
+    // (dof, t_90, t_95, t_99)
+    const TABLE: &[(u64, f64, f64, f64)] = &[
+        (1, 6.314, 12.706, 63.657),
+        (2, 2.920, 4.303, 9.925),
+        (3, 2.353, 3.182, 5.841),
+        (4, 2.132, 2.776, 4.604),
+        (5, 2.015, 2.571, 4.032),
+        (6, 1.943, 2.447, 3.707),
+        (7, 1.895, 2.365, 3.499),
+        (8, 1.860, 2.306, 3.355),
+        (9, 1.833, 2.262, 3.250),
+        (10, 1.812, 2.228, 3.169),
+        (12, 1.782, 2.179, 3.055),
+        (15, 1.753, 2.131, 2.947),
+        (20, 1.725, 2.086, 2.845),
+        (25, 1.708, 2.060, 2.787),
+        (30, 1.697, 2.042, 2.750),
+        (40, 1.684, 2.021, 2.704),
+        (60, 1.671, 2.000, 2.660),
+        (120, 1.658, 1.980, 2.617),
+    ];
+    const INF: (f64, f64, f64) = (1.645, 1.960, 2.576);
+    let pick = |row: (f64, f64, f64)| match level {
+        ConfidenceLevel::P90 => row.0,
+        ConfidenceLevel::P95 => row.1,
+        ConfidenceLevel::P99 => row.2,
+    };
+    let dof = dof.max(1);
+    if dof >= 200 {
+        return pick(INF);
+    }
+    let mut prev = TABLE[0];
+    for &row in TABLE {
+        if dof == row.0 {
+            return pick((row.1, row.2, row.3));
+        }
+        if dof < row.0 {
+            // Linear interpolation in 1/dof, which is how t-tables behave asymptotically.
+            let x0 = 1.0 / prev.0 as f64;
+            let x1 = 1.0 / row.0 as f64;
+            let x = 1.0 / dof as f64;
+            let w = if (x1 - x0).abs() < 1e-12 { 0.0 } else { (x - x0) / (x1 - x0) };
+            let a = pick((prev.1, prev.2, prev.3));
+            let b = pick((row.1, row.2, row.3));
+            return a + w * (b - a);
+        }
+        prev = row;
+    }
+    let a = pick((prev.1, prev.2, prev.3));
+    let b = pick(INF);
+    // Interpolate between the last table row (dof 120) and infinity in 1/dof.
+    let x0 = 1.0 / prev.0 as f64;
+    let x = 1.0 / dof as f64;
+    a + (b - a) * (1.0 - x / x0)
+}
+
+/// Time-weighted statistic: integrates a piecewise-constant state variable over time.
+///
+/// Used for utilization (server busy fraction), queue length, and idle-time accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_change: SimTime,
+    current: f64,
+    area: f64,
+    min: f64,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `start` with initial value `initial`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_change: start,
+            current: initial,
+            area: 0.0,
+            min: initial,
+            max: initial,
+        }
+    }
+
+    /// Update the state variable to `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_change, "time-weighted updates must be in time order");
+        let dt = now.saturating_since(self.last_change).ticks() as f64;
+        self.area += self.current * dt;
+        self.current = value;
+        self.last_change = now;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Add `delta` to the state variable at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.current + delta;
+        self.set(now, v);
+    }
+
+    /// Current value of the state variable.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Time-weighted mean of the variable over `[start, now]`.
+    pub fn time_average(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.last_change).ticks() as f64;
+        let total = now.saturating_since(self.start).ticks() as f64;
+        if total <= 0.0 {
+            return self.current;
+        }
+        (self.area + self.current * dt) / total
+    }
+
+    /// Total area under the curve up to `now` (in value·ticks).
+    pub fn area(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.last_change).ticks() as f64;
+        self.area + self.current * dt
+    }
+
+    /// Minimum value seen.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum value seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)` with overflow/underflow counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram must have at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record an observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Counts per bin.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate quantile `q` in `[0,1]` using bin midpoints.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut acc = self.underflow;
+        if acc >= target && self.underflow > 0 {
+            return Some(self.lo);
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(self.lo + (i as f64 + 0.5) * w);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+/// Batch-means estimator for steady-state simulation output analysis.
+///
+/// Observations are grouped into consecutive batches of `batch_size`; the batch means
+/// are treated as (approximately independent) samples, which gives a defensible
+/// confidence interval even though raw per-transaction observations are autocorrelated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batches: Tally,
+}
+
+impl BatchMeans {
+    /// Create an estimator with the given batch size (observations per batch).
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batches: Tally::new(),
+        }
+    }
+
+    /// Record one raw observation.
+    pub fn record(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batches.record(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn completed_batches(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Mean of completed batch means.
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// Confidence half-width over the batch means.
+    pub fn confidence_half_width(&self, level: ConfidenceLevel) -> f64 {
+        self.batches.confidence_half_width(level)
+    }
+}
+
+/// Convenience bundle describing a statistic for report output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatSummary {
+    /// Statistic name as it should appear in reports.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Minimum observation, if any.
+    pub min: Option<f64>,
+    /// Maximum observation, if any.
+    pub max: Option<f64>,
+}
+
+impl StatSummary {
+    /// Build a summary from a tally.
+    pub fn from_tally(name: impl Into<String>, t: &Tally) -> Self {
+        StatSummary {
+            name: name.into(),
+            count: t.count(),
+            mean: t.mean(),
+            std_dev: t.std_dev(),
+            min: t.min(),
+            max: t.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_moments() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-9);
+        assert_eq!(t.min(), Some(2.0));
+        assert_eq!(t.max(), Some(9.0));
+        assert!((t.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_empty_is_sane() {
+        let t = Tally::new();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+        assert_eq!(t.confidence_half_width(ConfidenceLevel::P95), 0.0);
+    }
+
+    #[test]
+    fn tally_merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 3 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Tally::new();
+        a.record(1.0);
+        a.record(3.0);
+        let before = a.clone();
+        a.merge(&Tally::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+        let mut empty = Tally::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn student_t_table_values() {
+        assert!((student_t_critical(1, ConfidenceLevel::P95) - 12.706).abs() < 1e-9);
+        assert!((student_t_critical(10, ConfidenceLevel::P90) - 1.812).abs() < 1e-9);
+        assert!((student_t_critical(1_000_000, ConfidenceLevel::P99) - 2.576).abs() < 1e-9);
+        // Interpolated value lies between its neighbours.
+        let t11 = student_t_critical(11, ConfidenceLevel::P95);
+        assert!(t11 < student_t_critical(10, ConfidenceLevel::P95));
+        assert!(t11 > student_t_critical(12, ConfidenceLevel::P95));
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_samples() {
+        let mut small = Tally::new();
+        let mut large = Tally::new();
+        for i in 0..10 {
+            small.record((i % 5) as f64);
+        }
+        for i in 0..1000 {
+            large.record((i % 5) as f64);
+        }
+        assert!(
+            large.confidence_half_width(ConfidenceLevel::P95)
+                < small.confidence_half_width(ConfidenceLevel::P95)
+        );
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_ticks(10), 1.0); // value 0 for 10 ticks
+        tw.set(SimTime::from_ticks(30), 3.0); // value 1 for 20 ticks
+        // value 3 for 10 ticks up to t=40
+        let avg = tw.time_average(SimTime::from_ticks(40));
+        let expect = (0.0 * 10.0 + 1.0 * 20.0 + 3.0 * 10.0) / 40.0;
+        assert!((avg - expect).abs() < 1e-12);
+        assert_eq!(tw.min(), 0.0);
+        assert_eq!(tw.max(), 3.0);
+        assert_eq!(tw.current(), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_add_and_area() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 2.0);
+        tw.add(SimTime::from_ticks(5), 1.0);
+        tw.add(SimTime::from_ticks(10), -3.0);
+        assert_eq!(tw.current(), 0.0);
+        let area = tw.area(SimTime::from_ticks(20));
+        assert!((area - (2.0 * 5.0 + 3.0 * 5.0 + 0.0 * 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let tw = TimeWeighted::new(SimTime::from_ticks(5), 7.0);
+        assert_eq!(tw.time_average(SimTime::from_ticks(5)), 7.0);
+    }
+
+    #[test]
+    fn histogram_binning_and_quantiles() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        h.record(-5.0);
+        h.record(42.0);
+        assert_eq!(h.count(), 102);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bins().iter().sum::<u64>(), 100);
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 5.0).abs() <= 1.0, "median estimate {median}");
+        assert!(h.quantile(0.0).is_some());
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn batch_means_reduces_to_overall_mean() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..100 {
+            bm.record((i % 10) as f64);
+        }
+        assert_eq!(bm.completed_batches(), 10);
+        assert!((bm.mean() - 4.5).abs() < 1e-12);
+        assert!(bm.confidence_half_width(ConfidenceLevel::P95) < 1e-9);
+    }
+
+    #[test]
+    fn stat_summary_reflects_tally() {
+        let mut t = Tally::new();
+        t.record(1.0);
+        t.record(2.0);
+        let s = StatSummary::from_tally("rt", &t);
+        assert_eq!(s.name, "rt");
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(2.0));
+    }
+}

@@ -1,0 +1,165 @@
+//! Lightweight event tracing.
+//!
+//! A [`Tracer`] records `(time, category, message)` entries into a bounded ring buffer.
+//! Models use it for debugging and for the animation-style "what happened when" dumps
+//! that SES/Workbench provided; benchmark binaries leave it disabled so tracing never
+//! perturbs measured results.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Verbosity levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Tracing disabled.
+    Off,
+    /// Major model transitions only.
+    Coarse,
+    /// Every event.
+    Fine,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the record.
+    pub time: SimTime,
+    /// Category label, e.g. "hwp", "lwp", "parcel".
+    pub category: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Bounded in-memory trace sink.
+#[derive(Debug)]
+pub struct Tracer {
+    level: TraceLevel,
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Create a tracer retaining at most `capacity` records.
+    pub fn new(level: TraceLevel, capacity: usize) -> Self {
+        Tracer {
+            level,
+            capacity: capacity.max(1),
+            records: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// A disabled tracer (records nothing, negligible overhead).
+    pub fn disabled() -> Self {
+        Tracer::new(TraceLevel::Off, 1)
+    }
+
+    /// Current level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Change the level.
+    pub fn set_level(&mut self, level: TraceLevel) {
+        self.level = level;
+    }
+
+    /// True if records at `level` would be retained.
+    #[inline]
+    pub fn enabled(&self, level: TraceLevel) -> bool {
+        level != TraceLevel::Off && level <= self.level
+    }
+
+    /// Record a coarse-level message.
+    pub fn coarse(&mut self, time: SimTime, category: &'static str, message: impl Into<String>) {
+        self.record(TraceLevel::Coarse, time, category, message);
+    }
+
+    /// Record a fine-level message.
+    pub fn fine(&mut self, time: SimTime, category: &'static str, message: impl Into<String>) {
+        self.record(TraceLevel::Fine, time, category, message);
+    }
+
+    fn record(
+        &mut self,
+        level: TraceLevel,
+        time: SimTime,
+        category: &'static str,
+        message: impl Into<String>,
+    ) {
+        if !self.enabled(level) {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { time, category, message: message.into() });
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the retained records as one line per record.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!("[{}] {}: {}\n", r.time, r.category, r.message));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.coarse(SimTime::ZERO, "x", "hello");
+        t.fine(SimTime::ZERO, "x", "world");
+        assert_eq!(t.records().count(), 0);
+    }
+
+    #[test]
+    fn coarse_level_drops_fine_records() {
+        let mut t = Tracer::new(TraceLevel::Coarse, 16);
+        t.coarse(SimTime::from_ns(1), "a", "kept");
+        t.fine(SimTime::from_ns(2), "a", "dropped");
+        assert_eq!(t.records().count(), 1);
+        assert!(t.enabled(TraceLevel::Coarse));
+        assert!(!t.enabled(TraceLevel::Fine));
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Tracer::new(TraceLevel::Fine, 3);
+        for i in 0..5u64 {
+            t.fine(SimTime::from_ns(i), "a", format!("m{i}"));
+        }
+        assert_eq!(t.records().count(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.records().next().unwrap();
+        assert_eq!(first.message, "m2");
+    }
+
+    #[test]
+    fn dump_contains_messages_in_order() {
+        let mut t = Tracer::new(TraceLevel::Fine, 8);
+        t.fine(SimTime::from_ns(1), "hwp", "start");
+        t.fine(SimTime::from_ns(2), "lwp", "stop");
+        let d = t.dump();
+        let start = d.find("start").unwrap();
+        let stop = d.find("stop").unwrap();
+        assert!(start < stop);
+    }
+}

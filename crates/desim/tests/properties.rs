@@ -1,0 +1,156 @@
+//! Property-based tests of the simulation engine's core data structures.
+
+use desim::event::{BinaryHeapQueue, CalendarQueue, EventId, EventQueue, ScheduledEvent};
+use desim::prelude::*;
+use proptest::prelude::*;
+
+fn drain<Q: EventQueue<u64>>(q: &mut Q) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    while let Some(e) = q.pop() {
+        out.push((e.time.ticks(), e.seq));
+    }
+    out
+}
+
+fn events(times: &[u64]) -> Vec<ScheduledEvent<u64>> {
+    times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| ScheduledEvent {
+            time: SimTime::from_ticks(t),
+            priority: 0,
+            seq: i as u64,
+            id: EventId(i as u64),
+            payload: i as u64,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Both pending-event-set implementations dequeue in exactly the same total order
+    /// (time, then insertion order) for any input.
+    #[test]
+    fn event_queues_agree(times in proptest::collection::vec(0u64..10_000, 1..300)) {
+        let mut heap = BinaryHeapQueue::new();
+        let mut cal = CalendarQueue::new(16, 8);
+        for ev in events(&times) {
+            heap.push(ev.clone());
+            cal.push(ev);
+        }
+        let a = drain(&mut heap);
+        let b = drain(&mut cal);
+        prop_assert_eq!(&a, &b);
+        // And the order is sorted by (time, seq).
+        let mut sorted = a.clone();
+        sorted.sort();
+        prop_assert_eq!(a, sorted);
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events and no others.
+    #[test]
+    fn cancellation_is_exact(
+        times in proptest::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let evs = events(&times);
+        let mut q = BinaryHeapQueue::new();
+        for ev in evs.iter().cloned() {
+            q.push(ev);
+        }
+        let mut expected: Vec<u64> = Vec::new();
+        for (i, ev) in evs.iter().enumerate() {
+            if cancel_mask[i % cancel_mask.len()] {
+                q.cancel(ev.id);
+            } else {
+                expected.push(ev.seq);
+            }
+        }
+        let mut drained: Vec<u64> = drain(&mut q).into_iter().map(|(_, s)| s).collect();
+        drained.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Tally::merge gives the same moments as recording everything into one tally.
+    #[test]
+    fn tally_merge_is_associative(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for &x in &xs[..split] {
+            a.record(x);
+        }
+        for &x in &xs[split..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!((a.variance() - whole.variance()).abs() <= 1e-4 * whole.variance().abs().max(1.0));
+    }
+
+    /// The time-weighted average always lies between the minimum and maximum recorded values.
+    #[test]
+    fn time_weighted_average_is_bounded(
+        steps in proptest::collection::vec((1u64..1_000, -100.0f64..100.0), 1..100),
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut t = 0u64;
+        for &(dt, v) in &steps {
+            t += dt;
+            tw.set(SimTime::from_ticks(t), v);
+        }
+        let end = SimTime::from_ticks(t + 10);
+        let avg = tw.time_average(end);
+        prop_assert!(avg >= tw.min() - 1e-9 && avg <= tw.max() + 1e-9);
+    }
+
+    /// The engine dispatches every scheduled event exactly once and in time order,
+    /// regardless of insertion order.
+    #[test]
+    fn engine_dispatches_all_events_in_order(times in proptest::collection::vec(0u64..100_000, 1..200)) {
+        struct Collect {
+            seen: Vec<u64>,
+        }
+        impl Model for Collect {
+            type Event = u64;
+            fn handle(&mut self, now: SimTime, _ev: u64, _s: &mut Scheduler<u64>) {
+                self.seen.push(now.ticks());
+            }
+        }
+        let mut sim = Simulation::new(Collect { seen: vec![] });
+        for (i, &t) in times.iter().enumerate() {
+            sim.scheduler().schedule_at(SimTime::from_ticks(t), i as u64);
+        }
+        let report = sim.run();
+        prop_assert_eq!(report.events_processed as usize, times.len());
+        let seen = &sim.model().seen;
+        prop_assert!(seen.windows(2).all(|w| w[0] <= w[1]));
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(seen.clone(), sorted);
+    }
+
+    /// Exponential samples are non-negative and their mean converges to the parameter.
+    #[test]
+    fn exponential_samples_have_the_right_mean(seed in any::<u64>(), mean in 0.5f64..100.0) {
+        let mut s = RandomStream::new(seed, 1);
+        let n = 20_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let x = s.exponential(mean);
+            prop_assert!(x >= 0.0);
+            total += x;
+        }
+        let sample_mean = total / n as f64;
+        prop_assert!((sample_mean - mean).abs() / mean < 0.1,
+            "sample mean {} vs {}", sample_mean, mean);
+    }
+}

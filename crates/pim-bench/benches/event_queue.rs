@@ -1,0 +1,119 @@
+//! Engine ablation bench: binary-heap versus calendar-queue pending event sets, and raw
+//! queuing-network throughput of the `desim` engine (events per second), which bounds
+//! how large a parameter sweep the harness can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::event::{BinaryHeapQueue, CalendarQueue, EventId, EventQueue, ScheduledEvent};
+use desim::prelude::*;
+use std::hint::black_box;
+
+fn hold_model(queue_kind: &str, events: u64) -> u64 {
+    // A classic "hold" workload: pop the minimum, push a replacement at a random offset.
+    struct Hold {
+        remaining: u64,
+        stream: RandomStream,
+    }
+    impl Model for Hold {
+        type Event = u32;
+        fn handle(&mut self, _now: SimTime, _ev: u32, sched: &mut Scheduler<u32>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                let dt = SimDuration::from_ns(self.stream.below(1000) + 1);
+                sched.schedule_in(dt, 0);
+            }
+        }
+    }
+    let model = Hold { remaining: events, stream: RandomStream::new(9, 9) };
+    let processed = match queue_kind {
+        "heap" => {
+            let mut sim = Simulation::with_queue(model, BinaryHeapQueue::new());
+            for i in 0..64 {
+                sim.scheduler().schedule_at(SimTime::from_ns(i), 0);
+            }
+            sim.run().events_processed
+        }
+        _ => {
+            let mut sim = Simulation::with_queue(model, CalendarQueue::new(128, 256));
+            for i in 0..64 {
+                sim.scheduler().schedule_at(SimTime::from_ns(i), 0);
+            }
+            sim.run().events_processed
+        }
+    };
+    processed
+}
+
+fn bench_event_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_hold");
+    group.sample_size(20);
+    for kind in ["heap", "calendar"] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &k| {
+            b.iter(|| black_box(hold_model(k, 20_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_raw_queue_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_push_pop");
+    group.sample_size(20);
+    group.bench_function("heap_10k", |b| {
+        b.iter(|| {
+            let mut q = BinaryHeapQueue::new();
+            for i in 0..10_000u64 {
+                q.push(ScheduledEvent {
+                    time: SimTime::from_ticks((i * 2654435761) % 1_000_000),
+                    priority: 0,
+                    seq: i,
+                    id: EventId(i),
+                    payload: i,
+                });
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.time.ticks());
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("calendar_10k", |b| {
+        b.iter(|| {
+            let mut q = CalendarQueue::new(64, 512);
+            for i in 0..10_000u64 {
+                q.push(ScheduledEvent {
+                    time: SimTime::from_ticks((i * 2654435761) % 1_000_000),
+                    priority: 0,
+                    seq: i,
+                    id: EventId(i),
+                    payload: i,
+                });
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.time.ticks());
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_qnet_mm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qnet_mm1_throughput");
+    group.sample_size(10);
+    group.bench_function("mm1_500us", |b| {
+        b.iter(|| {
+            let mut net = QNetwork::new(1);
+            let src = net.add_source("src", Dist::Exponential { mean: 20.0 }, 0, None);
+            let cpu = net.add_service("cpu", 1, Dist::Exponential { mean: 10.0 });
+            let sink = net.add_sink("sink");
+            net.set_route(src, Routing::To(cpu));
+            net.set_route(cpu, Routing::To(sink));
+            black_box(net.run(SimTime::from_us(500)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queues, bench_raw_queue_ops, bench_qnet_mm1);
+criterion_main!(benches);

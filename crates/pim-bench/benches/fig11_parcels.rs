@@ -1,0 +1,47 @@
+//! Criterion bench behind E-F11/E-F12: cost of one parcel-study design point (both
+//! systems) as the degree of parallelism and the node count grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_parcels::prelude::*;
+use std::hint::black_box;
+
+fn bench_point_by_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study2_point_parallelism");
+    group.sample_size(10);
+    for parallelism in [1usize, 8, 32] {
+        let config = ParcelConfig {
+            nodes: 4,
+            parallelism,
+            latency_cycles: 1_000.0,
+            remote_fraction: 0.4,
+            horizon_cycles: 300_000.0,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(parallelism), &config, |b, &cfg| {
+            b.iter(|| black_box(evaluate_point(black_box(cfg), 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_point_by_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study2_point_nodes");
+    group.sample_size(10);
+    for nodes in [4usize, 32, 128] {
+        let config = ParcelConfig {
+            nodes,
+            parallelism: 8,
+            latency_cycles: 1_000.0,
+            remote_fraction: 0.4,
+            horizon_cycles: 150_000.0,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &config, |b, &cfg| {
+            b.iter(|| black_box(evaluate_point(black_box(cfg), 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_by_parallelism, bench_point_by_nodes);
+criterion_main!(benches);

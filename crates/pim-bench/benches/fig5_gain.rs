@@ -1,0 +1,44 @@
+//! Criterion bench behind E-F5/E-F6: cost of evaluating HWP/LWP design points, both in
+//! closed form and through the queuing simulation, and of the full Figure 5 sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_single_point(c: &mut Criterion) {
+    let study = PartitionStudy::table1();
+    let mut group = c.benchmark_group("study1_point");
+    group.sample_size(20);
+    group.bench_function("expected", |b| {
+        b.iter(|| black_box(study.evaluate(black_box(32), black_box(0.7), EvalMode::Expected)))
+    });
+    for sim_ops in [50_000u64, 200_000] {
+        group.bench_with_input(BenchmarkId::new("simulated", sim_ops), &sim_ops, |b, &ops| {
+            b.iter(|| {
+                black_box(study.evaluate(
+                    black_box(32),
+                    black_box(0.7),
+                    EvalMode::Simulated { sim_ops: Some(ops), ops_per_event: 64, seed: 1 },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure5_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study1_sweep");
+    group.sample_size(10);
+    let spec = SweepSpec::figure5_6();
+    group.bench_function("figure5_expected_grid", |b| {
+        b.iter(|| black_box(run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 4)))
+    });
+    group.bench_function("figure5_simulated_grid_small", |b| {
+        let mode = EvalMode::Simulated { sim_ops: Some(20_000), ops_per_event: 64, seed: 1 };
+        b.iter(|| black_box(run_sweep(SystemConfig::table1(), &spec, mode, 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_point, bench_figure5_sweep);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E-X5: sensitivity of the parcel study to the per-parcel handling overhead.
+//!
+//! Section 5.2 concludes that "efficient parcel handling mechanisms are required to
+//! realize performance gains". This ablation sweeps the overhead charged for creating
+//! and assimilating each parcel and shows where the split-transaction advantage erodes
+//! and where it reverses.
+
+use pim_bench::{emit, REPORT_SEED};
+use pim_parcels::prelude::*;
+
+fn main() {
+    let mut csv = String::from("parallelism,latency_cycles,overhead_cycles,ops_ratio\n");
+    for &parallelism in &[1usize, 4, 16] {
+        for &latency in &[50.0, 500.0, 5_000.0] {
+            for &overhead in &[0.0, 2.0, 8.0, 32.0, 128.0] {
+                let config = ParcelConfig {
+                    nodes: 4,
+                    parallelism,
+                    latency_cycles: latency,
+                    remote_fraction: 0.4,
+                    parcel_overhead_cycles: overhead,
+                    horizon_cycles: 600_000.0,
+                    ..Default::default()
+                };
+                let point = evaluate_point(config, REPORT_SEED);
+                csv.push_str(&format!(
+                    "{parallelism},{latency:.0},{overhead:.0},{:.4}\n",
+                    point.ops_ratio
+                ));
+            }
+        }
+    }
+    emit(
+        "ablation_overhead",
+        "work ratio vs per-parcel handling overhead (efficient parcel handling is required)",
+        &csv,
+    );
+}

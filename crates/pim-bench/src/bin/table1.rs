@@ -1,0 +1,22 @@
+//! E-T1: regenerate Table 1 (parametric assumptions and metrics) plus the derived
+//! per-operation expectations and the break-even parameter NB.
+
+use pim_core::prelude::*;
+
+fn main() {
+    let config = SystemConfig::table1();
+    let mut csv = String::from("parameter,description,value\n");
+    for (p, d, v) in config.table1_rows() {
+        csv.push_str(&format!("{p},{d},{v}\n"));
+    }
+    csv.push_str(&format!(
+        "t_op_HWP,expected HWP time per operation,{} ns\n",
+        config.hwp_op_time_ns()
+    ));
+    csv.push_str(&format!(
+        "t_op_LWP,expected LWP time per operation,{} ns\n",
+        config.lwp_op_time_ns()
+    ));
+    csv.push_str(&format!("NB,break-even PIM node count,{}\n", config.nb()));
+    pim_bench::emit("table1", "Table 1 parametric assumptions (plus derived constants)", &csv);
+}

@@ -1,0 +1,231 @@
+//! Parameter sweeps for the partitioning study (Figures 5, 6 and 7).
+//!
+//! A [`SweepSpec`] names the node counts and lightweight-work fractions to evaluate;
+//! [`run_sweep`] evaluates every `(N, %WL)` point, spreading the work across OS threads
+//! (each point is an independent simulation, so the sweep is embarrassingly parallel —
+//! this is where the workspace gets its multi-core speedup, not inside a single
+//! discrete-event run).
+
+use crate::config::SystemConfig;
+use crate::system::{EvalMode, PartitionStudy, TradeoffPoint};
+use serde::{Deserialize, Serialize};
+
+/// The grid of design points to evaluate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Node counts for the test system.
+    pub node_counts: Vec<usize>,
+    /// Lightweight-work fractions (`%WL`) in `[0, 1]`.
+    pub lwp_fractions: Vec<f64>,
+}
+
+impl SweepSpec {
+    /// The grid used for Figures 5 and 6: N ∈ {1, 2, 4, 8, 16, 32, 64},
+    /// %WL ∈ {0%, 10%, …, 100%}.
+    pub fn figure5_6() -> Self {
+        SweepSpec {
+            node_counts: vec![1, 2, 4, 8, 16, 32, 64],
+            lwp_fractions: (0..=10).map(|i| i as f64 / 10.0).collect(),
+        }
+    }
+
+    /// An extended grid reaching 256 nodes, where the text's "factor of 100X" extreme
+    /// configurations live.
+    pub fn extended() -> Self {
+        SweepSpec {
+            node_counts: vec![1, 2, 4, 8, 16, 32, 64, 128, 256],
+            lwp_fractions: (0..=10).map(|i| i as f64 / 10.0).collect(),
+        }
+    }
+
+    /// Total number of design points in the grid.
+    pub fn len(&self) -> usize {
+        self.node_counts.len() * self.lwp_fractions.len()
+    }
+
+    /// True when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerate the `(nodes, wl)` points in row-major order (by node count, then %WL).
+    pub fn points(&self) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(self.len());
+        for &n in &self.node_counts {
+            for &wl in &self.lwp_fractions {
+                out.push((n, wl));
+            }
+        }
+        out
+    }
+}
+
+/// Results of a sweep, in the same order as [`SweepSpec::points`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// The grid that was evaluated.
+    pub spec: SweepSpec,
+    /// One point per grid entry.
+    pub points: Vec<TradeoffPoint>,
+}
+
+impl SweepResult {
+    /// The points for one node count, ordered by `%WL`.
+    pub fn series_for_nodes(&self, nodes: usize) -> Vec<&TradeoffPoint> {
+        self.points.iter().filter(|p| p.nodes == nodes).collect()
+    }
+
+    /// The points for one `%WL`, ordered by node count.
+    pub fn series_for_fraction(&self, wl: f64) -> Vec<&TradeoffPoint> {
+        self.points
+            .iter()
+            .filter(|p| (p.lwp_fraction - wl).abs() < 1e-9)
+            .collect()
+    }
+
+    /// The largest gain anywhere in the sweep.
+    pub fn max_gain(&self) -> f64 {
+        self.points.iter().map(|p| p.gain).fold(0.0, f64::max)
+    }
+
+    /// Look up the point for exactly `(nodes, wl)`.
+    pub fn point(&self, nodes: usize, wl: f64) -> Option<&TradeoffPoint> {
+        self.points
+            .iter()
+            .find(|p| p.nodes == nodes && (p.lwp_fraction - wl).abs() < 1e-9)
+    }
+}
+
+/// Evaluate every point of `spec` under `mode`, using up to `threads` worker threads.
+pub fn run_sweep(config: SystemConfig, spec: &SweepSpec, mode: EvalMode, threads: usize) -> SweepResult {
+    let study = PartitionStudy::new(config);
+    let points = spec.points();
+    let threads = threads.max(1).min(points.len().max(1));
+    let mut results: Vec<Option<TradeoffPoint>> = vec![None; points.len()];
+
+    if threads <= 1 || points.len() <= 1 {
+        for (i, &(n, wl)) in points.iter().enumerate() {
+            results[i] = Some(study.evaluate(n, wl, point_mode(mode, i)));
+        }
+    } else {
+        // Static block partition of the point list over `threads` workers; each worker
+        // writes into its own disjoint slice of the result vector.
+        let chunk = points.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (worker, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+                let points = &points;
+                let study = &study;
+                scope.spawn(move || {
+                    let base = worker * chunk;
+                    for (offset, slot) in slot_chunk.iter_mut().enumerate() {
+                        let idx = base + offset;
+                        let (n, wl) = points[idx];
+                        *slot = Some(study.evaluate(n, wl, point_mode(mode, idx)));
+                    }
+                });
+            }
+        });
+    }
+
+    SweepResult {
+        spec: spec.clone(),
+        points: results.into_iter().map(|p| p.expect("every point evaluated")).collect(),
+    }
+}
+
+/// Derive a per-point evaluation mode so that simulated points get decorrelated seeds.
+fn point_mode(mode: EvalMode, index: usize) -> EvalMode {
+    match mode {
+        EvalMode::Expected => EvalMode::Expected,
+        EvalMode::Simulated { sim_ops, ops_per_event, seed } => EvalMode::Simulated {
+            sim_ops,
+            ops_per_event,
+            seed: seed.wrapping_add(1 + index as u64 * 7919),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_grid_shape() {
+        let spec = SweepSpec::figure5_6();
+        assert_eq!(spec.node_counts.len(), 7);
+        assert_eq!(spec.lwp_fractions.len(), 11);
+        assert_eq!(spec.len(), 77);
+        assert!(!spec.is_empty());
+        assert_eq!(spec.points().len(), 77);
+    }
+
+    #[test]
+    fn expected_sweep_reproduces_figure5_shape() {
+        let spec = SweepSpec::figure5_6();
+        let r = run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 4);
+        assert_eq!(r.points.len(), 77);
+
+        // Gain grows with %WL for a fixed (large) node count...
+        let series = r.series_for_nodes(64);
+        let gains: Vec<f64> = series.iter().map(|p| p.gain).collect();
+        assert!(gains.windows(2).all(|w| w[1] >= w[0]), "{gains:?}");
+
+        // ...reaches ~2x even for moderate PIM work on large arrays...
+        assert!(r.point(64, 0.5).unwrap().gain > 1.9);
+
+        // ...exceeds an order of magnitude for data-intensive work...
+        assert!(r.point(64, 1.0).unwrap().gain > 10.0);
+
+        // ...and is below 1 when a single slow PIM node takes all the work.
+        assert!(r.point(1, 1.0).unwrap().gain < 1.0);
+    }
+
+    #[test]
+    fn extended_sweep_approaches_the_100x_claim() {
+        let spec = SweepSpec::extended();
+        let r = run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 4);
+        // 256 nodes, 100% LWP work: gain = 256 / 3.125 = 81.9x — the same order of
+        // magnitude as the text's "factor of 100X" extreme case.
+        let g = r.point(256, 1.0).unwrap().gain;
+        assert!(g > 50.0 && g < 110.0, "gain {g}");
+        assert!((r.max_gain() - g).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_selectors_filter_correctly() {
+        let spec = SweepSpec::figure5_6();
+        let r = run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 2);
+        assert_eq!(r.series_for_nodes(8).len(), 11);
+        assert_eq!(r.series_for_fraction(0.5).len(), 7);
+        assert!(r.point(8, 0.5).is_some());
+        assert!(r.point(3, 0.5).is_none());
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree() {
+        let spec = SweepSpec { node_counts: vec![1, 4, 16], lwp_fractions: vec![0.0, 0.5, 1.0] };
+        let serial = run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 1);
+        let parallel = run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 8);
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a.nodes, b.nodes);
+            assert!((a.gain - b.gain).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn simulated_sweep_is_close_to_expected_sweep() {
+        let spec = SweepSpec { node_counts: vec![2, 16, 64], lwp_fractions: vec![0.2, 0.8] };
+        let expected = run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 4);
+        let simulated = run_sweep(SystemConfig::table1(), &spec, EvalMode::sampled(17), 4);
+        for (e, s) in expected.points.iter().zip(&simulated.points) {
+            assert!(
+                (e.gain - s.gain).abs() / e.gain < 0.08,
+                "N={} wl={}: expected {} simulated {}",
+                e.nodes,
+                e.lwp_fraction,
+                e.gain,
+                s.gain
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The heavyweight processor (HWP) model of Figure 2.
+//!
+//! The HWP is a cache-based, high-clock-rate host. Every operation costs one issue
+//! cycle; load/store operations additionally access the cache (`TCH` cycles) and, on a
+//! miss (probability `Pmiss`), main memory (`TMH` cycles). Two evaluation modes are
+//! provided:
+//!
+//! * [`HwpExecution::expected_op_time_ns`] — the closed-form expectation used by the
+//!   analytical model;
+//! * [`HwpExecution::sample_op_time_ns`] — a stochastic per-operation draw used by the
+//!   queuing simulation, which reproduces the same mean with sampling noise.
+
+use crate::config::SystemConfig;
+use desim::random::RandomStream;
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what an HWP executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HwpStats {
+    /// Operations executed.
+    pub ops: u64,
+    /// Operations that were loads or stores.
+    pub memory_ops: u64,
+    /// Memory operations that missed in the cache.
+    pub cache_misses: u64,
+    /// Busy time in nanoseconds.
+    pub busy_ns: f64,
+}
+
+impl HwpStats {
+    /// Observed cache miss rate over memory operations.
+    pub fn miss_rate(&self) -> f64 {
+        if self.memory_ops == 0 {
+            0.0
+        } else {
+            self.cache_misses as f64 / self.memory_ops as f64
+        }
+    }
+
+    /// Mean time per operation in nanoseconds.
+    pub fn mean_op_time_ns(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.busy_ns / self.ops as f64
+        }
+    }
+
+    /// Merge another stats record into this one.
+    pub fn merge(&mut self, other: &HwpStats) {
+        self.ops += other.ops;
+        self.memory_ops += other.memory_ops;
+        self.cache_misses += other.cache_misses;
+        self.busy_ns += other.busy_ns;
+    }
+}
+
+/// Sampled / expected execution of operations on the HWP.
+#[derive(Debug)]
+pub struct HwpExecution {
+    config: SystemConfig,
+    stream: RandomStream,
+    stats: HwpStats,
+}
+
+impl HwpExecution {
+    /// Create an execution context drawing stochastic decisions from `stream`.
+    pub fn new(config: SystemConfig, stream: RandomStream) -> Self {
+        HwpExecution { config, stream, stats: HwpStats::default() }
+    }
+
+    /// Closed-form expected time per operation (ns): `1 + mix·(TCH − 1 + Pmiss·TMH)`.
+    pub fn expected_op_time_ns(config: &SystemConfig) -> f64 {
+        config.hwp_op_time_ns()
+    }
+
+    /// Draw the service time of one operation (ns) and update the counters.
+    pub fn sample_op_time_ns(&mut self) -> f64 {
+        self.stats.ops += 1;
+        let mut t = self.config.hwp_cycle_ns; // one issue cycle
+        if self.stream.bernoulli(self.config.mix.memory_fraction()) {
+            self.stats.memory_ops += 1;
+            // The issue cycle overlaps with the first cache cycle: total cache cost is
+            // (TCH - 1) additional cycles, matching the analytical expression.
+            t += (self.config.hwp_cache_cycles - 1.0) * self.config.hwp_cycle_ns;
+            if self.stream.bernoulli(self.config.p_miss) {
+                self.stats.cache_misses += 1;
+                t += self.config.hwp_memory_cycles * self.config.hwp_cycle_ns;
+            }
+        }
+        self.stats.busy_ns += t;
+        t
+    }
+
+    /// Execute `ops` operations back-to-back and return the total busy time (ns).
+    pub fn run_ops(&mut self, ops: u64) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..ops {
+            total += self.sample_op_time_ns();
+        }
+        total
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> HwpStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_op_time_matches_config() {
+        let c = SystemConfig::table1();
+        assert!((HwpExecution::expected_op_time_ns(&c) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_mean_converges_to_expectation() {
+        let c = SystemConfig::table1();
+        let mut h = HwpExecution::new(c, RandomStream::new(11, 1));
+        let n = 200_000;
+        let total = h.run_ops(n);
+        let mean = total / n as f64;
+        assert!(
+            (mean - 4.0).abs() / 4.0 < 0.02,
+            "sampled mean {mean} should be within 2% of the 4 ns expectation"
+        );
+        let s = h.stats();
+        assert_eq!(s.ops, n);
+        assert!((s.mean_op_time_ns() - mean).abs() < 1e-9);
+        assert!((s.miss_rate() - 0.1).abs() < 0.01);
+        assert!(((s.memory_ops as f64 / s.ops as f64) - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn compute_only_mix_costs_one_cycle() {
+        let mut c = SystemConfig::table1();
+        c.mix = pim_workload::InstructionMix::with_memory_fraction(0.0);
+        let mut h = HwpExecution::new(c, RandomStream::new(11, 2));
+        for _ in 0..1000 {
+            assert!((h.sample_op_time_ns() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perfect_cache_never_pays_memory_latency() {
+        let mut c = SystemConfig::table1();
+        c.p_miss = 0.0;
+        let mut h = HwpExecution::new(c, RandomStream::new(11, 3));
+        let worst = (0..10_000).map(|_| h.sample_op_time_ns()).fold(0.0f64, f64::max);
+        assert!(worst <= c.hwp_cache_cycles * c.hwp_cycle_ns + 1e-12);
+        assert_eq!(h.stats().cache_misses, 0);
+    }
+
+    #[test]
+    fn all_miss_cache_always_pays_memory_latency() {
+        let mut c = SystemConfig::table1();
+        c.p_miss = 1.0;
+        c.mix = pim_workload::InstructionMix::with_memory_fraction(1.0);
+        let mut h = HwpExecution::new(c, RandomStream::new(11, 4));
+        let t = h.sample_op_time_ns();
+        assert!((t - (1.0 + 1.0 + 90.0)).abs() < 1e-12, "1 issue + (2-1) cache + 90 memory");
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let c = SystemConfig::table1();
+        let mut a = HwpExecution::new(c, RandomStream::new(11, 5));
+        let mut b = HwpExecution::new(c, RandomStream::new(11, 6));
+        a.run_ops(500);
+        b.run_ops(700);
+        let mut merged = a.stats();
+        merged.merge(&b.stats());
+        assert_eq!(merged.ops, 1200);
+        assert!((merged.busy_ns - (a.stats().busy_ns + b.stats().busy_ns)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = HwpStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.mean_op_time_ns(), 0.0);
+    }
+}

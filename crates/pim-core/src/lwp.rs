@@ -1,0 +1,155 @@
+//! The lightweight PIM processor (LWP) model of Figure 3.
+//!
+//! An LWP has no cache but sits next to its memory bank's row buffer, so its memory
+//! access time (`TML` = 30 HWP cycles) is far shorter than the host's miss penalty
+//! (`TMH` = 90 cycles), at the price of a slower clock (`TLcycle` = 5 ns). Every
+//! operation costs one LWP cycle; load/store operations cost a local memory access
+//! instead.
+
+use crate::config::SystemConfig;
+use desim::random::RandomStream;
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what one LWP node executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LwpStats {
+    /// Operations executed.
+    pub ops: u64,
+    /// Operations that were loads or stores.
+    pub memory_ops: u64,
+    /// Busy time in nanoseconds.
+    pub busy_ns: f64,
+}
+
+impl LwpStats {
+    /// Mean time per operation in nanoseconds.
+    pub fn mean_op_time_ns(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.busy_ns / self.ops as f64
+        }
+    }
+
+    /// Merge another stats record into this one.
+    pub fn merge(&mut self, other: &LwpStats) {
+        self.ops += other.ops;
+        self.memory_ops += other.memory_ops;
+        self.busy_ns += other.busy_ns;
+    }
+}
+
+/// Sampled / expected execution of operations on one LWP node.
+#[derive(Debug)]
+pub struct LwpExecution {
+    config: SystemConfig,
+    stream: RandomStream,
+    stats: LwpStats,
+}
+
+impl LwpExecution {
+    /// Create an execution context drawing stochastic decisions from `stream`.
+    pub fn new(config: SystemConfig, stream: RandomStream) -> Self {
+        LwpExecution { config, stream, stats: LwpStats::default() }
+    }
+
+    /// Closed-form expected time per operation (ns): `TLcycle + mix·(TML − TLcycle)`.
+    pub fn expected_op_time_ns(config: &SystemConfig) -> f64 {
+        config.lwp_op_time_ns()
+    }
+
+    /// Draw the service time of one operation (ns) and update the counters.
+    pub fn sample_op_time_ns(&mut self) -> f64 {
+        self.stats.ops += 1;
+        let t = if self.stream.bernoulli(self.config.mix.memory_fraction()) {
+            self.stats.memory_ops += 1;
+            self.config.lwp_memory_cycles * self.config.hwp_cycle_ns
+        } else {
+            self.config.lwp_cycle_ns
+        };
+        self.stats.busy_ns += t;
+        t
+    }
+
+    /// Execute `ops` operations back-to-back and return the total busy time (ns).
+    pub fn run_ops(&mut self, ops: u64) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..ops {
+            total += self.sample_op_time_ns();
+        }
+        total
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> LwpStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_op_time_matches_config() {
+        let c = SystemConfig::table1();
+        assert!((LwpExecution::expected_op_time_ns(&c) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_mean_converges_to_expectation() {
+        let c = SystemConfig::table1();
+        let mut l = LwpExecution::new(c, RandomStream::new(13, 1));
+        let n = 200_000;
+        let total = l.run_ops(n);
+        let mean = total / n as f64;
+        assert!(
+            (mean - 12.5).abs() / 12.5 < 0.02,
+            "sampled mean {mean} should be within 2% of the 12.5 ns expectation"
+        );
+        assert_eq!(l.stats().ops, n);
+        assert!(((l.stats().memory_ops as f64 / n as f64) - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn lwp_is_slower_per_op_but_cheaper_per_memory_access() {
+        let c = SystemConfig::table1();
+        // Per generic operation the LWP is slower than the HWP (12.5 vs 4 ns)...
+        assert!(LwpExecution::expected_op_time_ns(&c) > c.hwp_op_time_ns());
+        // ...but its memory access (30 cycles) is far cheaper than a host miss (90 cycles).
+        assert!(c.lwp_memory_cycles < c.hwp_memory_cycles);
+    }
+
+    #[test]
+    fn compute_only_mix_costs_one_lwp_cycle() {
+        let mut c = SystemConfig::table1();
+        c.mix = pim_workload::InstructionMix::with_memory_fraction(0.0);
+        let mut l = LwpExecution::new(c, RandomStream::new(13, 2));
+        for _ in 0..1000 {
+            assert!((l.sample_op_time_ns() - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn memory_only_mix_costs_tml() {
+        let mut c = SystemConfig::table1();
+        c.mix = pim_workload::InstructionMix::with_memory_fraction(1.0);
+        let mut l = LwpExecution::new(c, RandomStream::new(13, 3));
+        for _ in 0..1000 {
+            assert!((l.sample_op_time_ns() - 30.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let c = SystemConfig::table1();
+        let mut a = LwpExecution::new(c, RandomStream::new(13, 4));
+        let mut b = LwpExecution::new(c, RandomStream::new(13, 5));
+        a.run_ops(100);
+        b.run_ops(300);
+        let mut merged = a.stats();
+        merged.merge(&b.stats());
+        assert_eq!(merged.ops, 400);
+        assert!(merged.mean_op_time_ns() > 0.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Discrete-event queuing model of the HWP + LWP-array system (Figures 2–4).
+//!
+//! The model reproduces the structure of the paper's SES/Workbench model:
+//!
+//! * a single heavyweight processor executes the high-locality work `WH` sequentially
+//!   (Figure 2);
+//! * the low-locality work `WL` is split into one uniform thread per LWP node, and the
+//!   array executes those threads concurrently (Figure 3);
+//! * at any one time either the HWP or the LWP array is executing, never both, and the
+//!   run ends when the last LWP thread completes (the Figure 4 timeline);
+//! * bank conflicts are not modeled — each LWP owns its memory bank — exactly as the
+//!   paper states.
+//!
+//! Operation service times are drawn stochastically (cache miss and instruction-mix
+//! Bernoulli draws per operation), so the parallel phase ends at the *maximum* of the
+//! per-node completion times rather than at their mean; this is the behaviour the
+//! queuing simulation captures and the closed-form model of `pim-analytic` does not.
+//!
+//! Events are batched (`ops_per_event` operations per event) purely to keep the event
+//! count tractable when the full 10^8-operation workload is simulated; batching does
+//! not change any result because operations within a batch are executed back-to-back
+//! on the same processor.
+
+use crate::config::SystemConfig;
+use crate::hwp::{HwpExecution, HwpStats};
+use crate::lwp::{LwpExecution, LwpStats};
+use desim::prelude::*;
+use pim_workload::{ThreadBalance, ThreadPartition, WorkPartition};
+use serde::{Deserialize, Serialize};
+
+/// Whether the run is the control configuration (host only) or the PIM-augmented test
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// All work on the heavyweight processor.
+    Control,
+    /// High-locality work on the HWP, low-locality work on the LWP array.
+    Test {
+        /// Number of lightweight PIM nodes.
+        nodes: usize,
+    },
+}
+
+/// Events of the queuing model.
+#[derive(Debug, Clone, Copy)]
+pub enum PhaseEvent {
+    /// The HWP finished a batch of operations.
+    HwpBatchDone,
+    /// LWP node `i` finished a batch of operations.
+    LwpBatchDone(usize),
+}
+
+/// Result of one queuing-model run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueingResult {
+    /// Total time to solution in nanoseconds (the paper's response time).
+    pub makespan_ns: f64,
+    /// Duration of the sequential HWP phase (ns).
+    pub hwp_phase_ns: f64,
+    /// Duration of the parallel LWP phase (ns).
+    pub lwp_phase_ns: f64,
+    /// HWP execution counters.
+    pub hwp: HwpStats,
+    /// Merged LWP execution counters across nodes.
+    pub lwp: LwpStats,
+    /// Busy time of each LWP node (ns).
+    pub lwp_busy_ns: Vec<f64>,
+    /// Idle time of each LWP node while the parallel phase was still running (ns).
+    pub lwp_idle_ns: Vec<f64>,
+    /// Number of events dispatched by the engine.
+    pub events: u64,
+}
+
+impl QueueingResult {
+    /// Fraction of the parallel phase the average LWP node spent idle.
+    pub fn mean_lwp_idle_fraction(&self) -> f64 {
+        if self.lwp_idle_ns.is_empty() || self.lwp_phase_ns <= 0.0 {
+            return 0.0;
+        }
+        let mean_idle = self.lwp_idle_ns.iter().sum::<f64>() / self.lwp_idle_ns.len() as f64;
+        mean_idle / self.lwp_phase_ns
+    }
+}
+
+/// The queuing model itself (a [`desim::engine::Model`]).
+pub struct QueueingModel {
+    config: SystemConfig,
+    hwp: HwpExecution,
+    lwps: Vec<LwpExecution>,
+    hwp_ops_remaining: u64,
+    lwp_ops_remaining: Vec<u64>,
+    ops_per_event: u64,
+    active_lwps: usize,
+    hwp_phase_end: Option<SimTime>,
+    lwp_node_end: Vec<Option<SimTime>>,
+    finish: Option<SimTime>,
+}
+
+impl QueueingModel {
+    /// Build a model for `partition` of the configured work under `mode`.
+    ///
+    /// `ops_per_event` batches operations per engine event (1 = one event per
+    /// operation); `seed` drives all stochastic draws.
+    pub fn new(
+        config: SystemConfig,
+        partition: WorkPartition,
+        mode: RunMode,
+        ops_per_event: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(ops_per_event > 0, "ops_per_event must be positive");
+        config.validate().expect("invalid system configuration");
+        let (hwp_ops, lwp_threads) = match mode {
+            RunMode::Control => (partition.total_ops, Vec::new()),
+            RunMode::Test { nodes } => {
+                assert!(nodes > 0, "test mode needs at least one LWP node");
+                let split =
+                    ThreadPartition::new(partition.lwp_ops(), nodes, ThreadBalance::Uniform);
+                (partition.hwp_ops(), split.ops_per_node().to_vec())
+            }
+        };
+        let lwps: Vec<LwpExecution> = (0..lwp_threads.len())
+            .map(|i| LwpExecution::new(config, RandomStream::new(seed, 100 + i as u64)))
+            .collect();
+        QueueingModel {
+            config,
+            hwp: HwpExecution::new(config, RandomStream::new(seed, 1)),
+            active_lwps: lwp_threads.iter().filter(|&&o| o > 0).count(),
+            lwp_node_end: vec![None; lwp_threads.len()],
+            lwps,
+            hwp_ops_remaining: hwp_ops,
+            lwp_ops_remaining: lwp_threads,
+            ops_per_event,
+            hwp_phase_end: None,
+            finish: None,
+        }
+    }
+
+    /// System configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn schedule_hwp_batch(&mut self, sched: &mut Scheduler<PhaseEvent>) {
+        let batch = self.hwp_ops_remaining.min(self.ops_per_event);
+        let dur = self.hwp.run_ops(batch);
+        self.hwp_ops_remaining -= batch;
+        sched.schedule_in(SimDuration::from_ns_f64(dur), PhaseEvent::HwpBatchDone);
+    }
+
+    fn schedule_lwp_batch(&mut self, node: usize, sched: &mut Scheduler<PhaseEvent>) {
+        let batch = self.lwp_ops_remaining[node].min(self.ops_per_event);
+        let dur = self.lwps[node].run_ops(batch);
+        self.lwp_ops_remaining[node] -= batch;
+        sched.schedule_in(SimDuration::from_ns_f64(dur), PhaseEvent::LwpBatchDone(node));
+    }
+
+    fn start_lwp_phase(&mut self, now: SimTime, sched: &mut Scheduler<PhaseEvent>) {
+        self.hwp_phase_end = Some(now);
+        if self.active_lwps == 0 {
+            self.finish = Some(now);
+            return;
+        }
+        for node in 0..self.lwp_ops_remaining.len() {
+            if self.lwp_ops_remaining[node] > 0 {
+                self.schedule_lwp_batch(node, sched);
+            }
+        }
+    }
+
+    /// Start the run: schedules the first batch (or ends immediately for empty work).
+    pub fn start(&mut self, sched: &mut Scheduler<PhaseEvent>) {
+        if self.hwp_ops_remaining > 0 {
+            self.schedule_hwp_batch(sched);
+        } else {
+            self.start_lwp_phase(SimTime::ZERO, sched);
+        }
+    }
+
+    /// Extract the result after the run finished.
+    pub fn result(&self, events: u64) -> QueueingResult {
+        let finish = self.finish.unwrap_or(SimTime::ZERO);
+        let hwp_end = self.hwp_phase_end.unwrap_or(finish);
+        let lwp_phase_ns = finish.saturating_since(hwp_end).as_ns_f64();
+        let mut lwp_merged = LwpStats::default();
+        let mut busy = Vec::with_capacity(self.lwps.len());
+        let mut idle = Vec::with_capacity(self.lwps.len());
+        for (i, l) in self.lwps.iter().enumerate() {
+            let s = l.stats();
+            lwp_merged.merge(&s);
+            busy.push(s.busy_ns);
+            let node_end = self.lwp_node_end[i].unwrap_or(hwp_end);
+            idle.push(finish.saturating_since(node_end).as_ns_f64());
+        }
+        QueueingResult {
+            makespan_ns: finish.as_ns_f64(),
+            hwp_phase_ns: hwp_end.as_ns_f64(),
+            lwp_phase_ns,
+            hwp: self.hwp.stats(),
+            lwp: lwp_merged,
+            lwp_busy_ns: busy,
+            lwp_idle_ns: idle,
+            events,
+        }
+    }
+}
+
+impl Model for QueueingModel {
+    type Event = PhaseEvent;
+
+    fn handle(&mut self, now: SimTime, event: PhaseEvent, sched: &mut Scheduler<PhaseEvent>) {
+        match event {
+            PhaseEvent::HwpBatchDone => {
+                if self.hwp_ops_remaining > 0 {
+                    self.schedule_hwp_batch(sched);
+                } else {
+                    self.start_lwp_phase(now, sched);
+                }
+            }
+            PhaseEvent::LwpBatchDone(node) => {
+                if self.lwp_ops_remaining[node] > 0 {
+                    self.schedule_lwp_batch(node, sched);
+                } else {
+                    self.lwp_node_end[node] = Some(now);
+                    self.active_lwps -= 1;
+                    if self.active_lwps == 0 {
+                        self.finish = Some(now);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run a queuing model to completion and return its result.
+pub fn run_queueing(
+    config: SystemConfig,
+    partition: WorkPartition,
+    mode: RunMode,
+    ops_per_event: u64,
+    seed: u64,
+) -> QueueingResult {
+    let model = QueueingModel::new(config, partition, mode, ops_per_event, seed);
+    let mut sim = Simulation::new(model);
+    sim.init(|m, sched| m.start(sched));
+    let report = sim.run();
+    let events = report.events_processed;
+    sim.model().result(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SystemConfig {
+        SystemConfig { total_ops: 100_000, ..SystemConfig::table1() }
+    }
+
+    #[test]
+    fn control_run_time_matches_expectation() {
+        let c = small_config();
+        let p = WorkPartition::new(c.total_ops, 0.0);
+        let r = run_queueing(c, p, RunMode::Control, 64, 42);
+        let expect = c.total_ops as f64 * c.hwp_op_time_ns();
+        assert!(
+            (r.makespan_ns - expect).abs() / expect < 0.02,
+            "control makespan {} vs expected {expect}",
+            r.makespan_ns
+        );
+        assert_eq!(r.hwp.ops, c.total_ops);
+        assert_eq!(r.lwp.ops, 0);
+        assert!(r.lwp_phase_ns.abs() < 1e-9);
+    }
+
+    #[test]
+    fn test_run_splits_work_between_hwp_and_lwps() {
+        let c = small_config();
+        let p = WorkPartition::new(c.total_ops, 0.4);
+        let r = run_queueing(c, p, RunMode::Test { nodes: 8 }, 64, 42);
+        assert_eq!(r.hwp.ops, 60_000);
+        assert_eq!(r.lwp.ops, 40_000);
+        assert_eq!(r.lwp_busy_ns.len(), 8);
+        // Makespan = HWP phase + parallel LWP phase.
+        assert!((r.makespan_ns - (r.hwp_phase_ns + r.lwp_phase_ns)).abs() < 1e-6);
+        let expect = 60_000.0 * c.hwp_op_time_ns() + 40_000.0 / 8.0 * c.lwp_op_time_ns();
+        assert!(
+            (r.makespan_ns - expect).abs() / expect < 0.05,
+            "test makespan {} vs expected {expect}",
+            r.makespan_ns
+        );
+    }
+
+    #[test]
+    fn more_nodes_shorten_the_parallel_phase() {
+        let c = small_config();
+        let p = WorkPartition::new(c.total_ops, 0.8);
+        let r2 = run_queueing(c, p, RunMode::Test { nodes: 2 }, 64, 7);
+        let r16 = run_queueing(c, p, RunMode::Test { nodes: 16 }, 64, 7);
+        assert!(
+            r16.lwp_phase_ns < r2.lwp_phase_ns / 4.0,
+            "16 nodes ({}) should be much faster than 2 ({})",
+            r16.lwp_phase_ns,
+            r2.lwp_phase_ns
+        );
+    }
+
+    #[test]
+    fn pure_lwp_workload_has_no_hwp_phase() {
+        let c = small_config();
+        let p = WorkPartition::new(c.total_ops, 1.0);
+        let r = run_queueing(c, p, RunMode::Test { nodes: 4 }, 64, 3);
+        assert_eq!(r.hwp.ops, 0);
+        assert!(r.hwp_phase_ns.abs() < 1e-9);
+        assert_eq!(r.lwp.ops, c.total_ops);
+    }
+
+    #[test]
+    fn zero_lwp_workload_in_test_mode_equals_control() {
+        let c = small_config();
+        let p = WorkPartition::new(c.total_ops, 0.0);
+        let test = run_queueing(c, p, RunMode::Test { nodes: 8 }, 64, 5);
+        let control = run_queueing(c, p, RunMode::Control, 64, 5);
+        assert!((test.makespan_ns - control.makespan_ns).abs() < 1e-9);
+        assert_eq!(test.lwp.ops, 0);
+    }
+
+    #[test]
+    fn gain_is_consistent_with_figure5_shape() {
+        // With 100% LWP work and N nodes, gain approaches N / NB.
+        let c = small_config();
+        let p = WorkPartition::new(c.total_ops, 1.0);
+        let control = run_queueing(c, p, RunMode::Control, 64, 9);
+        let test = run_queueing(c, p, RunMode::Test { nodes: 32 }, 64, 9);
+        let gain = control.makespan_ns / test.makespan_ns;
+        let predicted = 32.0 / c.nb();
+        assert!(
+            (gain - predicted).abs() / predicted < 0.05,
+            "gain {gain} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn idle_time_is_small_for_uniform_threads() {
+        let c = small_config();
+        let p = WorkPartition::new(c.total_ops, 0.5);
+        let r = run_queueing(c, p, RunMode::Test { nodes: 8 }, 64, 11);
+        // Uniform threads with stochastic service: nodes finish within a few percent of
+        // one another, so mean idle is a small fraction of the parallel phase.
+        assert!(r.mean_lwp_idle_fraction() < 0.1, "idle fraction {}", r.mean_lwp_idle_fraction());
+    }
+
+    #[test]
+    fn batching_does_not_change_the_makespan_materially() {
+        let c = small_config();
+        let p = WorkPartition::new(c.total_ops, 0.6);
+        let fine = run_queueing(c, p, RunMode::Test { nodes: 4 }, 1, 21);
+        let coarse = run_queueing(c, p, RunMode::Test { nodes: 4 }, 1024, 21);
+        assert!(
+            (fine.makespan_ns - coarse.makespan_ns).abs() / fine.makespan_ns < 0.03,
+            "fine {} vs coarse {}",
+            fine.makespan_ns,
+            coarse.makespan_ns
+        );
+        assert!(coarse.events < fine.events / 100);
+    }
+}

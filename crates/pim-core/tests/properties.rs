@@ -1,0 +1,102 @@
+//! Property-based tests of the study-1 invariants.
+
+use pim_core::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_config() -> impl Strategy<Value = SystemConfig> {
+    (
+        1u64..10_000_000,
+        0.2f64..1.0,   // hwp cycle ns
+        1.0f64..20.0,  // lwp cycle ns
+        2.0f64..500.0, // hwp memory cycles
+        1.0f64..4.0,   // hwp cache cycles
+        1.0f64..200.0, // lwp memory cycles
+        0.0f64..1.0,   // p_miss
+        0.0f64..1.0,   // memory mix
+    )
+        .prop_map(|(ops, hc, lc, tmh, tch, tml, pmiss, mix)| SystemConfig {
+            total_ops: ops,
+            hwp_cycle_ns: hc,
+            lwp_cycle_ns: lc,
+            hwp_memory_cycles: tmh.max(tch),
+            hwp_cache_cycles: tch,
+            lwp_memory_cycles: tml,
+            p_miss: pmiss,
+            mix: pim_workload::InstructionMix::with_memory_fraction(mix),
+        })
+}
+
+proptest! {
+    /// The closed form Time_relative = 1 - %WL (1 - NB/N) always equals the ratio of the
+    /// expected test time to the expected control time, for any valid configuration.
+    #[test]
+    fn relative_time_formula_matches_expected_times(
+        config in arbitrary_config(),
+        nodes in 1usize..512,
+        wl_pct in 0u32..=100,
+    ) {
+        let wl = wl_pct as f64 / 100.0;
+        let study = PartitionStudy::new(config);
+        let point = study.evaluate(nodes, wl, EvalMode::Expected);
+        let formula = 1.0 - wl * (1.0 - config.nb() / nodes as f64);
+        // Rounding of the op split to whole operations introduces at most a 1/total_ops
+        // relative wobble.
+        let tolerance = 2.0 / config.total_ops as f64 + 1e-9;
+        prop_assert!((point.relative_time - formula).abs() <= formula.abs() * 1e-6 + tolerance * config.nb().max(1.0),
+            "relative {} vs formula {}", point.relative_time, formula);
+    }
+
+    /// Gain is always positive, equals 1 when no work is offloaded, and never exceeds
+    /// the control time divided by the best possible parallel time.
+    #[test]
+    fn gain_bounds(config in arbitrary_config(), nodes in 1usize..512, wl_pct in 0u32..=100) {
+        let wl = wl_pct as f64 / 100.0;
+        let study = PartitionStudy::new(config);
+        let point = study.evaluate(nodes, wl, EvalMode::Expected);
+        prop_assert!(point.gain > 0.0);
+        if wl_pct == 0 {
+            prop_assert!((point.gain - 1.0).abs() < 1e-9);
+        }
+        // The gain can never exceed N / NB (achieved at %WL = 100).
+        let cap = nodes as f64 / config.nb();
+        prop_assert!(point.gain <= cap.max(1.0) + 1e-9);
+    }
+
+    /// Adding nodes never makes the expected test system slower.
+    #[test]
+    fn more_nodes_never_hurt(config in arbitrary_config(), wl_pct in 0u32..=100) {
+        let wl = wl_pct as f64 / 100.0;
+        let study = PartitionStudy::new(config);
+        let mut last = f64::INFINITY;
+        for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let t = study.expected_test_ns(nodes, wl);
+            prop_assert!(t <= last + 1e-6, "test time increased from {last} to {t} at {nodes} nodes");
+            last = t;
+        }
+    }
+
+    /// The queuing simulation conserves operations exactly: HWP ops + LWP ops = W.
+    #[test]
+    fn simulation_conserves_operations(
+        wl_pct in 0u32..=100,
+        nodes in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let wl = wl_pct as f64 / 100.0;
+        let config = SystemConfig { total_ops: 20_000, ..SystemConfig::table1() };
+        let partition = pim_workload::WorkPartition::new(config.total_ops, wl);
+        let result = run_queueing(config, partition, RunMode::Test { nodes }, 64, seed);
+        prop_assert_eq!(result.hwp.ops + result.lwp.ops, config.total_ops);
+        // And the makespan is exactly the sum of the two phases.
+        prop_assert!((result.makespan_ns - (result.hwp_phase_ns + result.lwp_phase_ns)).abs() < 1e-6);
+    }
+
+    /// NB is invariant to the total work and to anything else that is not part of its
+    /// defining constants.
+    #[test]
+    fn nb_ignores_total_work(config in arbitrary_config(), other_ops in 1u64..1_000_000_000) {
+        let mut other = config;
+        other.total_ops = other_ops;
+        prop_assert!((config.nb() - other.nb()).abs() < 1e-12);
+    }
+}

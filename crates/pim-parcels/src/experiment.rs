@@ -1,0 +1,314 @@
+//! Parameter sweeps for the parcel study (Figures 11 and 12).
+//!
+//! Figure 11 sweeps the degree of parallelism, the remote-access percentage and the
+//! system-wide latency, reporting the ratio of work completed by the split-transaction
+//! test system to that of the blocking control system. Figure 12 sweeps node count and
+//! parallelism, reporting the idle time of both systems. Each point runs the two
+//! independent discrete-event simulations for the same simulated horizon, exactly as
+//! the paper describes ("the experiments of both systems are run for the same amount of
+//! simulated time").
+
+use crate::config::ParcelConfig;
+use crate::control::run_control;
+use crate::test_system::run_test;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one (parallelism, remote-fraction, latency) point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LatencyHidingPoint {
+    /// Degree of parallelism (parcels per processor) of the test system.
+    pub parallelism: usize,
+    /// Fraction of memory accesses that are remote.
+    pub remote_fraction: f64,
+    /// One-way system-wide latency in cycles.
+    pub latency_cycles: f64,
+    /// Nodes in both systems.
+    pub nodes: usize,
+    /// Work completed by the test system (operations).
+    pub test_work: u64,
+    /// Work completed by the control system (operations).
+    pub control_work: u64,
+    /// `test_work / control_work` — the Figure 11 y-axis.
+    pub ops_ratio: f64,
+    /// Mean idle fraction of the test system's nodes.
+    pub test_idle_fraction: f64,
+    /// Mean idle fraction of the control system's nodes.
+    pub control_idle_fraction: f64,
+}
+
+/// Evaluate one design point by running both systems.
+pub fn evaluate_point(config: ParcelConfig, seed: u64) -> LatencyHidingPoint {
+    let test = run_test(config, seed);
+    let control = run_control(config, seed.wrapping_add(0x5EED));
+    LatencyHidingPoint {
+        parallelism: config.parallelism,
+        remote_fraction: config.remote_fraction,
+        latency_cycles: config.latency_cycles,
+        nodes: config.nodes,
+        test_work: test.total_work_ops,
+        control_work: control.total_work_ops,
+        ops_ratio: if control.total_work_ops == 0 {
+            f64::NAN
+        } else {
+            test.total_work_ops as f64 / control.total_work_ops as f64
+        },
+        test_idle_fraction: test.idle_fraction(),
+        control_idle_fraction: control.idle_fraction(),
+    }
+}
+
+/// Grid for the latency-hiding experiment (Figure 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHidingSpec {
+    /// Base configuration (node count, mix, horizon, overhead).
+    pub base: ParcelConfig,
+    /// Degrees of parallelism (the paper's "six major experiments").
+    pub parallelism: Vec<usize>,
+    /// Remote-access fractions (the connected curves within each major experiment).
+    pub remote_fractions: Vec<f64>,
+    /// One-way latencies in cycles (the parameter varied along each curve).
+    pub latencies: Vec<f64>,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl LatencyHidingSpec {
+    /// The grid used for the Figure 11 reproduction.
+    pub fn figure11() -> Self {
+        LatencyHidingSpec {
+            base: ParcelConfig { nodes: 4, horizon_cycles: 1_000_000.0, ..Default::default() },
+            parallelism: vec![1, 2, 4, 8, 16, 32],
+            remote_fractions: vec![0.2, 0.4, 0.6, 0.8],
+            latencies: vec![10.0, 100.0, 1_000.0, 10_000.0],
+            seed: 0xF11,
+        }
+    }
+
+    /// Enumerate the configurations of every grid point.
+    pub fn configs(&self) -> Vec<ParcelConfig> {
+        let mut out = Vec::with_capacity(self.parallelism.len() * self.remote_fractions.len() * self.latencies.len());
+        for &p in &self.parallelism {
+            for &r in &self.remote_fractions {
+                for &l in &self.latencies {
+                    out.push(ParcelConfig {
+                        parallelism: p,
+                        remote_fraction: r,
+                        latency_cycles: l,
+                        ..self.base
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The outcome of one (node count, parallelism) point of the idle-time experiment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IdleTimePoint {
+    /// Nodes in both systems.
+    pub nodes: usize,
+    /// Degree of parallelism of the test system.
+    pub parallelism: usize,
+    /// Total idle cycles across the test system's nodes.
+    pub test_idle_cycles: f64,
+    /// Total idle cycles across the control system's nodes.
+    pub control_idle_cycles: f64,
+    /// Mean idle fraction of the test system's nodes.
+    pub test_idle_fraction: f64,
+    /// Mean idle fraction of the control system's nodes.
+    pub control_idle_fraction: f64,
+}
+
+/// Grid for the idle-time experiment (Figure 12).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdleTimeSpec {
+    /// Base configuration (remote fraction, latency, mix, horizon).
+    pub base: ParcelConfig,
+    /// Node counts (the paper's eight major experimental sets; it notes the 16-node
+    /// case was never completed, so 16 is deliberately absent here too).
+    pub node_counts: Vec<usize>,
+    /// Degrees of parallelism evaluated within each set.
+    pub parallelism: Vec<usize>,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl IdleTimeSpec {
+    /// The grid used for the Figure 12 reproduction.
+    pub fn figure12() -> Self {
+        IdleTimeSpec {
+            base: ParcelConfig {
+                remote_fraction: 0.4,
+                latency_cycles: 1_000.0,
+                horizon_cycles: 400_000.0,
+                ..Default::default()
+            },
+            node_counts: vec![1, 2, 4, 8, 32, 64, 128, 256],
+            parallelism: vec![1, 2, 4, 8, 16, 32, 64],
+            seed: 0xF12,
+        }
+    }
+
+    /// Enumerate the configurations of every grid point.
+    pub fn configs(&self) -> Vec<ParcelConfig> {
+        let mut out = Vec::with_capacity(self.node_counts.len() * self.parallelism.len());
+        for &n in &self.node_counts {
+            for &p in &self.parallelism {
+                out.push(ParcelConfig { nodes: n, parallelism: p, ..self.base });
+            }
+        }
+        out
+    }
+}
+
+/// Run a closure over every configuration using up to `threads` worker threads,
+/// preserving input order in the output.
+fn parallel_map<T, F>(configs: &[ParcelConfig], threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, ParcelConfig) -> T + Sync,
+{
+    let threads = threads.max(1).min(configs.len().max(1));
+    let mut results: Vec<Option<T>> = (0..configs.len()).map(|_| None).collect();
+    if threads <= 1 {
+        for (i, slot) in results.iter_mut().enumerate() {
+            *slot = Some(f(i, configs[i]));
+        }
+    } else {
+        let chunk = configs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (worker, slots) in results.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (offset, slot) in slots.iter_mut().enumerate() {
+                        let idx = worker * chunk + offset;
+                        *slot = Some(f(idx, configs[idx]));
+                    }
+                });
+            }
+        });
+    }
+    results.into_iter().map(|r| r.expect("every point evaluated")).collect()
+}
+
+/// Run the Figure 11 sweep.
+pub fn run_latency_hiding(spec: &LatencyHidingSpec, threads: usize) -> Vec<LatencyHidingPoint> {
+    let configs = spec.configs();
+    parallel_map(&configs, threads, |i, c| evaluate_point(c, spec.seed.wrapping_add(i as u64 * 131)))
+}
+
+/// Run the Figure 12 sweep.
+pub fn run_idle_time(spec: &IdleTimeSpec, threads: usize) -> Vec<IdleTimePoint> {
+    let configs = spec.configs();
+    parallel_map(&configs, threads, |i, c| {
+        let seed = spec.seed.wrapping_add(i as u64 * 131);
+        let test = run_test(c, seed);
+        let control = run_control(c, seed.wrapping_add(0x5EED));
+        IdleTimePoint {
+            nodes: c.nodes,
+            parallelism: c.parallelism,
+            test_idle_cycles: test.total_idle_cycles(),
+            control_idle_cycles: control.total_idle_cycles(),
+            test_idle_fraction: test.idle_fraction(),
+            control_idle_fraction: control.idle_fraction(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_base() -> ParcelConfig {
+        ParcelConfig { nodes: 2, horizon_cycles: 120_000.0, ..Default::default() }
+    }
+
+    #[test]
+    fn figure11_spec_enumerates_full_grid() {
+        let spec = LatencyHidingSpec::figure11();
+        assert_eq!(spec.configs().len(), 6 * 4 * 4);
+    }
+
+    #[test]
+    fn figure12_spec_omits_the_16_node_case() {
+        let spec = IdleTimeSpec::figure12();
+        assert!(!spec.node_counts.contains(&16));
+        assert_eq!(spec.node_counts.len(), 8);
+    }
+
+    #[test]
+    fn latency_hiding_sweep_shows_the_expected_trends() {
+        let spec = LatencyHidingSpec {
+            base: small_base(),
+            parallelism: vec![1, 8, 32],
+            remote_fractions: vec![0.4],
+            latencies: vec![10.0, 2_000.0],
+            seed: 42,
+        };
+        let points = run_latency_hiding(&spec, 4);
+        assert_eq!(points.len(), 6);
+        let get = |p: usize, l: f64| {
+            *points
+                .iter()
+                .find(|x| x.parallelism == p && (x.latency_cycles - l).abs() < 1e-9)
+                .unwrap()
+        };
+        // High parallelism + high latency: big win.
+        assert!(get(32, 2_000.0).ops_ratio > 4.0);
+        // Little parallelism + short latency: no win (at best parity, possibly reversed).
+        assert!(get(1, 10.0).ops_ratio <= 1.05);
+        // More parallelism never hurts at fixed latency.
+        assert!(get(8, 2_000.0).ops_ratio > get(1, 2_000.0).ops_ratio);
+        // At the same parallelism, longer latency gives the test system a bigger edge.
+        assert!(get(32, 2_000.0).ops_ratio > get(32, 10.0).ops_ratio);
+    }
+
+    #[test]
+    fn idle_time_sweep_shows_test_system_idle_collapsing() {
+        let spec = IdleTimeSpec {
+            base: ParcelConfig { latency_cycles: 1_000.0, remote_fraction: 0.4, ..small_base() },
+            node_counts: vec![1, 4],
+            parallelism: vec![1, 64],
+            seed: 42,
+        };
+        let points = run_idle_time(&spec, 2);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            // The control system is always mostly idle at this latency.
+            assert!(p.control_idle_fraction > 0.5, "control idle {}", p.control_idle_fraction);
+            if p.parallelism == 64 {
+                assert!(p.test_idle_fraction < 0.05, "test idle {}", p.test_idle_fraction);
+            } else {
+                // With one parcel per processor the test system is as idle as the control.
+                assert!(p.test_idle_fraction > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_point_is_deterministic_for_a_seed() {
+        let c = small_base();
+        let a = evaluate_point(c, 7);
+        let b = evaluate_point(c, 7);
+        assert_eq!(a.test_work, b.test_work);
+        assert_eq!(a.control_work, b.control_work);
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree() {
+        let spec = LatencyHidingSpec {
+            base: small_base(),
+            parallelism: vec![2, 4],
+            remote_fractions: vec![0.3],
+            latencies: vec![100.0],
+            seed: 9,
+        };
+        let serial = run_latency_hiding(&spec, 1);
+        let parallel = run_latency_hiding(&spec, 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.test_work, b.test_work);
+            assert_eq!(a.control_work, b.control_work);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The parcel structure (Figure 8) and parcel actions.
+//!
+//! A parcel is a message that names a datum in global virtual memory and an action to
+//! perform on it: "the outer wrapper employed by the interconnection network transport
+//! layer and the inner message providing information including destination data
+//! virtual address, action specifier, and additional operand values." Actions range
+//! from simple reads and writes through atomic arithmetic memory operations to remote
+//! method invocations on objects in memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Unique parcel identifier (monotonically assigned by the issuing node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ParcelId(pub u64);
+
+/// The action a parcel requests at its destination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Read the addressed word and return its value to the source.
+    Read,
+    /// Write a value to the addressed word; no reply needed unless acknowledged.
+    Write {
+        /// Value to store.
+        value: u64,
+    },
+    /// Atomic fetch-and-add on the addressed word, returning the old value.
+    AtomicAdd {
+        /// Addend.
+        delta: u64,
+    },
+    /// Atomic compare-and-swap, returning the old value.
+    CompareSwap {
+        /// Expected current value.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// Invoke a method (code block) on the object at the addressed location.
+    MethodInvoke {
+        /// Identifier of the code block to run at the destination.
+        code_block: u32,
+        /// Estimated cost of the method body in destination-node operations.
+        cost_ops: u32,
+    },
+}
+
+impl Action {
+    /// Whether the destination must send a reply parcel back to the source.
+    pub fn expects_reply(&self) -> bool {
+        match self {
+            Action::Read | Action::AtomicAdd { .. } | Action::CompareSwap { .. } => true,
+            Action::Write { .. } => false,
+            Action::MethodInvoke { .. } => true,
+        }
+    }
+
+    /// Number of destination-node operations needed to perform the action
+    /// (1 for hardware-supported primitives, the method cost for invocations).
+    pub fn service_ops(&self) -> u32 {
+        match self {
+            Action::MethodInvoke { cost_ops, .. } => (*cost_ops).max(1),
+            _ => 1,
+        }
+    }
+}
+
+/// The transport-layer wrapper around a parcel (Figure 8's outer layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Wrapper {
+    /// Source node index.
+    pub src_node: usize,
+    /// Destination node index.
+    pub dst_node: usize,
+    /// Payload size in bytes (used by bandwidth-aware network models).
+    pub size_bytes: u32,
+}
+
+/// A complete parcel: wrapper plus the message body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Parcel {
+    /// Unique identifier.
+    pub id: ParcelId,
+    /// Transport wrapper.
+    pub wrapper: Wrapper,
+    /// Destination datum's virtual address.
+    pub dest_vaddr: u64,
+    /// Action to perform at the destination.
+    pub action: Action,
+    /// Additional operand values carried with the parcel.
+    pub operands: Vec<u64>,
+    /// Whether this parcel is a reply to an earlier request.
+    pub is_reply: bool,
+}
+
+impl Parcel {
+    /// Build a request parcel.
+    pub fn request(id: ParcelId, src: usize, dst: usize, dest_vaddr: u64, action: Action) -> Self {
+        let size = 32 + 8 * match &action {
+            Action::Write { .. } | Action::AtomicAdd { .. } => 1,
+            Action::CompareSwap { .. } => 2,
+            Action::MethodInvoke { .. } => 2,
+            Action::Read => 0,
+        };
+        Parcel {
+            id,
+            wrapper: Wrapper { src_node: src, dst_node: dst, size_bytes: size },
+            dest_vaddr,
+            action,
+            operands: Vec::new(),
+            is_reply: false,
+        }
+    }
+
+    /// Build the reply parcel for this request (destination and source swap).
+    pub fn reply(&self, value: u64) -> Parcel {
+        Parcel {
+            id: self.id,
+            wrapper: Wrapper {
+                src_node: self.wrapper.dst_node,
+                dst_node: self.wrapper.src_node,
+                size_bytes: 40,
+            },
+            dest_vaddr: self.dest_vaddr,
+            action: Action::Write { value },
+            operands: vec![value],
+            is_reply: true,
+        }
+    }
+}
+
+/// A tiny word-addressed memory used to give parcel actions real semantics in tests and
+/// in the message-driven extension of the test system.
+#[derive(Debug, Clone, Default)]
+pub struct ParcelMemory {
+    words: std::collections::HashMap<u64, u64>,
+}
+
+impl ParcelMemory {
+    /// Empty memory (all words read as zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read a word.
+    pub fn read(&self, addr: u64) -> u64 {
+        *self.words.get(&addr).unwrap_or(&0)
+    }
+
+    /// Write a word.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        self.words.insert(addr, value);
+    }
+
+    /// Apply a parcel action; returns the value a reply should carry (old value for
+    /// atomics, loaded value for reads, stored value for writes/invocations).
+    pub fn apply(&mut self, addr: u64, action: &Action) -> u64 {
+        match action {
+            Action::Read => self.read(addr),
+            Action::Write { value } => {
+                self.write(addr, *value);
+                *value
+            }
+            Action::AtomicAdd { delta } => {
+                let old = self.read(addr);
+                self.write(addr, old.wrapping_add(*delta));
+                old
+            }
+            Action::CompareSwap { expected, new } => {
+                let old = self.read(addr);
+                if old == *expected {
+                    self.write(addr, *new);
+                }
+                old
+            }
+            Action::MethodInvoke { .. } => self.read(addr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_reply_swap_endpoints() {
+        let p = Parcel::request(ParcelId(1), 3, 9, 0xABCD, Action::Read);
+        assert_eq!(p.wrapper.src_node, 3);
+        assert_eq!(p.wrapper.dst_node, 9);
+        assert!(!p.is_reply);
+        let r = p.reply(42);
+        assert_eq!(r.wrapper.src_node, 9);
+        assert_eq!(r.wrapper.dst_node, 3);
+        assert!(r.is_reply);
+        assert_eq!(r.operands, vec![42]);
+        assert_eq!(r.id, p.id);
+    }
+
+    #[test]
+    fn reply_expectations_by_action() {
+        assert!(Action::Read.expects_reply());
+        assert!(Action::AtomicAdd { delta: 1 }.expects_reply());
+        assert!(Action::CompareSwap { expected: 0, new: 1 }.expects_reply());
+        assert!(Action::MethodInvoke { code_block: 7, cost_ops: 20 }.expects_reply());
+        assert!(!Action::Write { value: 5 }.expects_reply());
+    }
+
+    #[test]
+    fn service_cost_reflects_method_body() {
+        assert_eq!(Action::Read.service_ops(), 1);
+        assert_eq!(Action::MethodInvoke { code_block: 1, cost_ops: 64 }.service_ops(), 64);
+        assert_eq!(Action::MethodInvoke { code_block: 1, cost_ops: 0 }.service_ops(), 1);
+    }
+
+    #[test]
+    fn request_size_grows_with_operands() {
+        let read = Parcel::request(ParcelId(1), 0, 1, 0, Action::Read);
+        let cas = Parcel::request(ParcelId(2), 0, 1, 0, Action::CompareSwap { expected: 1, new: 2 });
+        assert!(cas.wrapper.size_bytes > read.wrapper.size_bytes);
+    }
+
+    #[test]
+    fn memory_applies_actions_atomically() {
+        let mut m = ParcelMemory::new();
+        assert_eq!(m.apply(8, &Action::Read), 0);
+        assert_eq!(m.apply(8, &Action::Write { value: 10 }), 10);
+        assert_eq!(m.apply(8, &Action::AtomicAdd { delta: 5 }), 10);
+        assert_eq!(m.read(8), 15);
+        // Successful CAS.
+        assert_eq!(m.apply(8, &Action::CompareSwap { expected: 15, new: 99 }), 15);
+        assert_eq!(m.read(8), 99);
+        // Failed CAS leaves the value unchanged.
+        assert_eq!(m.apply(8, &Action::CompareSwap { expected: 15, new: 1 }), 99);
+        assert_eq!(m.read(8), 99);
+    }
+
+    #[test]
+    fn method_invoke_reads_object_state() {
+        let mut m = ParcelMemory::new();
+        m.write(64, 1234);
+        assert_eq!(m.apply(64, &Action::MethodInvoke { code_block: 3, cost_ops: 10 }), 1234);
+    }
+}

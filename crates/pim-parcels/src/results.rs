@@ -1,0 +1,98 @@
+//! Report formatting for the parcel study.
+
+use crate::experiment::{IdleTimePoint, LatencyHidingPoint};
+use std::fmt::Write as _;
+
+/// Figure 11 as CSV: one row per (parallelism, remote fraction, latency) with the
+/// work ratio and the two idle fractions.
+pub fn figure11_table(points: &[LatencyHidingPoint]) -> String {
+    let mut out =
+        String::from("parallelism,remote_pct,latency_cycles,ops_ratio,test_idle_frac,control_idle_frac\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{:.0},{:.0},{:.4},{:.4},{:.4}",
+            p.parallelism,
+            p.remote_fraction * 100.0,
+            p.latency_cycles,
+            p.ops_ratio,
+            p.test_idle_fraction,
+            p.control_idle_fraction
+        );
+    }
+    out
+}
+
+/// Figure 12 as CSV: one row per (nodes, parallelism) with total idle cycles and idle
+/// fractions for both systems.
+pub fn figure12_table(points: &[IdleTimePoint]) -> String {
+    let mut out = String::from(
+        "nodes,parallelism,test_idle_cycles,control_idle_cycles,test_idle_frac,control_idle_frac\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{:.0},{:.0},{:.4},{:.4}",
+            p.nodes,
+            p.parallelism,
+            p.test_idle_cycles,
+            p.control_idle_cycles,
+            p.test_idle_fraction,
+            p.control_idle_fraction
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lh_point() -> LatencyHidingPoint {
+        LatencyHidingPoint {
+            parallelism: 8,
+            remote_fraction: 0.4,
+            latency_cycles: 1000.0,
+            nodes: 4,
+            test_work: 2000,
+            control_work: 500,
+            ops_ratio: 4.0,
+            test_idle_fraction: 0.01,
+            control_idle_fraction: 0.8,
+        }
+    }
+
+    fn idle_point() -> IdleTimePoint {
+        IdleTimePoint {
+            nodes: 32,
+            parallelism: 16,
+            test_idle_cycles: 123.0,
+            control_idle_cycles: 45678.0,
+            test_idle_fraction: 0.001,
+            control_idle_fraction: 0.7,
+        }
+    }
+
+    #[test]
+    fn figure11_rows_contain_the_ratio() {
+        let csv = figure11_table(&[lh_point()]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("parallelism,remote_pct"));
+        assert!(lines[1].starts_with("8,40,1000,4.0000"));
+    }
+
+    #[test]
+    fn figure12_rows_contain_both_idle_times() {
+        let csv = figure12_table(&[idle_point()]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("32,16,123,45678"));
+    }
+
+    #[test]
+    fn empty_inputs_give_header_only() {
+        assert_eq!(figure11_table(&[]).lines().count(), 1);
+        assert_eq!(figure12_table(&[]).lines().count(), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Application-kernel presets.
+//!
+//! The paper motivates PIM with "data intensive" applications whose access patterns
+//! defeat caches. These presets characterize a few canonical kernels in terms of the
+//! statistical parameters the models consume — the LWP-eligible fraction of the work
+//! (low temporal locality), the load/store mix, and the remote-access fraction for a
+//! distributed run — so the example binaries can ask "what does the model predict for
+//! a GUPS-like application on a 32-node PIM system?" without hand-picking numbers.
+//!
+//! The numeric characterizations are conventional textbook values (documented per
+//! kernel), not measurements from the paper; they exist to make the examples concrete
+//! and are easy to override.
+
+use crate::mix::InstructionMix;
+use crate::synthetic::AddressPattern;
+use serde::{Deserialize, Serialize};
+
+/// A named kernel with its statistical characterization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Human-readable kernel name.
+    pub name: String,
+    /// One-line description of what the kernel does and why its locality is what it is.
+    pub description: String,
+    /// Fraction of the kernel's operations with low temporal locality (PIM-eligible),
+    /// i.e. the `%WL` the kernel would present to the partitioning study.
+    pub lwp_fraction: f64,
+    /// Instruction mix.
+    pub mix: InstructionMix,
+    /// Fraction of memory references that are remote when the data set is spread
+    /// uniformly over many PIM nodes.
+    pub remote_fraction: f64,
+    /// Representative address pattern for trace-driven cache calibration.
+    pub pattern: AddressPattern,
+}
+
+/// Built-in kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// STREAM triad: long contiguous vectors, no temporal reuse, high spatial locality.
+    StreamTriad,
+    /// GUPS / RandomAccess: uniformly random updates over a huge table.
+    Gups,
+    /// Pointer chasing over a random linked list (graph traversal proxy).
+    PointerChase,
+    /// 2-D stencil sweep: mostly streaming with a small reused halo.
+    Stencil2D,
+    /// Sparse matrix–vector product: streaming matrix, irregular gathers from x.
+    SpMV,
+    /// Cache-friendly dense linear algebra (blocked matrix multiply) — the HWP-friendly
+    /// counterpoint.
+    BlockedGemm,
+}
+
+impl Kernel {
+    /// All built-in kernels.
+    pub fn all() -> &'static [Kernel] {
+        &[
+            Kernel::StreamTriad,
+            Kernel::Gups,
+            Kernel::PointerChase,
+            Kernel::Stencil2D,
+            Kernel::SpMV,
+            Kernel::BlockedGemm,
+        ]
+    }
+
+    /// The kernel's statistical characterization.
+    pub fn profile(self) -> KernelProfile {
+        match self {
+            Kernel::StreamTriad => KernelProfile {
+                name: "stream-triad".into(),
+                description: "a[i] = b[i] + s*c[i] over long vectors: zero temporal reuse, \
+                              perfect spatial locality"
+                    .into(),
+                lwp_fraction: 0.90,
+                mix: InstructionMix::with_memory_fraction(0.5),
+                remote_fraction: 0.05,
+                pattern: AddressPattern::Sequential { stride: 64 },
+            },
+            Kernel::Gups => KernelProfile {
+                name: "gups".into(),
+                description: "random read-modify-write updates over a table much larger than \
+                              any cache: no reuse, no spatial locality"
+                    .into(),
+                lwp_fraction: 0.95,
+                mix: InstructionMix::with_memory_fraction(0.6),
+                remote_fraction: 0.9,
+                pattern: AddressPattern::UniformRandom { footprint: 1 << 30, line: 8 },
+            },
+            Kernel::PointerChase => KernelProfile {
+                name: "pointer-chase".into(),
+                description: "serial dependent loads through a randomized linked list: \
+                              latency-bound, no reuse"
+                    .into(),
+                lwp_fraction: 0.85,
+                mix: InstructionMix::with_memory_fraction(0.45),
+                remote_fraction: 0.7,
+                pattern: AddressPattern::UniformRandom { footprint: 1 << 28, line: 64 },
+            },
+            Kernel::Stencil2D => KernelProfile {
+                name: "stencil-2d".into(),
+                description: "5-point stencil sweep: streaming rows with a small reused halo"
+                    .into(),
+                lwp_fraction: 0.55,
+                mix: InstructionMix::with_memory_fraction(0.4),
+                remote_fraction: 0.15,
+                pattern: AddressPattern::Sequential { stride: 8 },
+            },
+            Kernel::SpMV => KernelProfile {
+                name: "spmv".into(),
+                description: "CSR sparse matrix-vector product: streaming matrix values with \
+                              irregular gathers from the dense vector"
+                    .into(),
+                lwp_fraction: 0.70,
+                mix: InstructionMix::with_memory_fraction(0.5),
+                remote_fraction: 0.5,
+                pattern: AddressPattern::Zipf { footprint: 1 << 26, line: 8, exponent: 0.8 },
+            },
+            Kernel::BlockedGemm => KernelProfile {
+                name: "blocked-gemm".into(),
+                description: "cache-blocked dense matrix multiply: high temporal reuse, the \
+                              workload caches were built for"
+                    .into(),
+                lwp_fraction: 0.05,
+                mix: InstructionMix::with_memory_fraction(0.25),
+                remote_fraction: 0.02,
+                pattern: AddressPattern::Zipf { footprint: 1 << 20, line: 64, exponent: 1.5 },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_have_valid_parameters() {
+        for k in Kernel::all() {
+            let p = k.profile();
+            assert!(!p.name.is_empty());
+            assert!(!p.description.is_empty());
+            assert!((0.0..=1.0).contains(&p.lwp_fraction), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.remote_fraction), "{}", p.name);
+            assert!(p.mix.memory_fraction() > 0.0 && p.mix.memory_fraction() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn data_intensive_kernels_are_pim_heavy() {
+        assert!(Kernel::Gups.profile().lwp_fraction > 0.9);
+        assert!(Kernel::StreamTriad.profile().lwp_fraction > 0.8);
+        assert!(Kernel::BlockedGemm.profile().lwp_fraction < 0.1);
+    }
+
+    #[test]
+    fn gups_is_mostly_remote_gemm_is_not() {
+        assert!(Kernel::Gups.profile().remote_fraction > 0.8);
+        assert!(Kernel::BlockedGemm.profile().remote_fraction < 0.1);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = Kernel::all().iter().map(|k| k.profile().name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Kernel::all().len());
+    }
+}

@@ -1,0 +1,162 @@
+//! Remote-access models for the parcel study.
+//!
+//! The parcel experiments (Section 4.2) sweep "the percentage of memory accesses that
+//! are remote". [`RemoteAccessModel`] draws that Bernoulli decision per access and also
+//! derives the fraction implied by a uniformly distributed global address space
+//! partitioned over `P` nodes (`(P-1)/P`), which is the natural upper bound for
+//! irregular applications with no partitioning locality.
+
+use desim::random::RandomStream;
+use serde::{Deserialize, Serialize};
+
+/// Where a memory reference is serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessLocality {
+    /// The reference targets the issuing node's local memory.
+    Local,
+    /// The reference targets another node and must travel over the network.
+    Remote,
+}
+
+/// Statistical model of the local/remote split of memory references.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteAccessModel {
+    /// Probability that a memory access is remote, in `[0, 1]`.
+    pub remote_fraction: f64,
+}
+
+impl RemoteAccessModel {
+    /// Create a model with a fixed remote fraction.
+    pub fn new(remote_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&remote_fraction),
+            "remote fraction must lie in [0,1]: {remote_fraction}"
+        );
+        RemoteAccessModel { remote_fraction }
+    }
+
+    /// Remote fraction implied by uniform random references over `nodes` equal
+    /// partitions of a global address space.
+    pub fn uniform_over_nodes(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        RemoteAccessModel::new((nodes as f64 - 1.0) / nodes as f64)
+    }
+
+    /// Classify one access.
+    pub fn classify(&self, stream: &mut RandomStream) -> AccessLocality {
+        if stream.bernoulli(self.remote_fraction) {
+            AccessLocality::Remote
+        } else {
+            AccessLocality::Local
+        }
+    }
+
+    /// Expected number of remote accesses among `memory_ops` references.
+    pub fn expected_remote(&self, memory_ops: u64) -> f64 {
+        memory_ops as f64 * self.remote_fraction
+    }
+}
+
+/// Map a global byte address onto its home node (blocked partition), used when the
+/// parcel model is driven by an explicit address stream rather than statistically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressPartition {
+    /// Number of nodes sharing the global address space.
+    pub nodes: usize,
+    /// Bytes owned by each node.
+    pub bytes_per_node: u64,
+}
+
+impl AddressPartition {
+    /// Create a partition of `nodes` nodes, each owning `bytes_per_node` bytes.
+    pub fn new(nodes: usize, bytes_per_node: u64) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(bytes_per_node > 0, "nodes must own a non-empty range");
+        AddressPartition { nodes, bytes_per_node }
+    }
+
+    /// Total bytes in the global space.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes as u64 * self.bytes_per_node
+    }
+
+    /// Home node of `addr` (addresses beyond the total wrap around).
+    pub fn home_of(&self, addr: u64) -> usize {
+        ((addr % self.total_bytes()) / self.bytes_per_node) as usize
+    }
+
+    /// Whether an access from `from_node` to `addr` is local or remote.
+    pub fn classify(&self, from_node: usize, addr: u64) -> AccessLocality {
+        if self.home_of(addr) == from_node {
+            AccessLocality::Local
+        } else {
+            AccessLocality::Remote
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_fraction_converges() {
+        let m = RemoteAccessModel::new(0.25);
+        let mut s = RandomStream::new(8, 1);
+        let n = 40_000;
+        let remote = (0..n).filter(|_| m.classify(&mut s) == AccessLocality::Remote).count();
+        let frac = remote as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "empirical remote fraction {frac}");
+        assert!((m.expected_remote(1000) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_over_nodes_formula() {
+        assert!((RemoteAccessModel::uniform_over_nodes(1).remote_fraction - 0.0).abs() < 1e-12);
+        assert!((RemoteAccessModel::uniform_over_nodes(2).remote_fraction - 0.5).abs() < 1e-12);
+        assert!((RemoteAccessModel::uniform_over_nodes(256).remote_fraction - 255.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let mut s = RandomStream::new(8, 2);
+        let never = RemoteAccessModel::new(0.0);
+        let always = RemoteAccessModel::new(1.0);
+        for _ in 0..100 {
+            assert_eq!(never.classify(&mut s), AccessLocality::Local);
+            assert_eq!(always.classify(&mut s), AccessLocality::Remote);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0,1]")]
+    fn invalid_fraction_panics() {
+        RemoteAccessModel::new(1.5);
+    }
+
+    #[test]
+    fn address_partition_home_and_classification() {
+        let p = AddressPartition::new(4, 1024);
+        assert_eq!(p.total_bytes(), 4096);
+        assert_eq!(p.home_of(0), 0);
+        assert_eq!(p.home_of(1023), 0);
+        assert_eq!(p.home_of(1024), 1);
+        assert_eq!(p.home_of(4095), 3);
+        assert_eq!(p.home_of(4096), 0, "wraps");
+        assert_eq!(p.classify(1, 1500), AccessLocality::Local);
+        assert_eq!(p.classify(0, 1500), AccessLocality::Remote);
+    }
+
+    #[test]
+    fn uniform_addresses_match_uniform_over_nodes_fraction() {
+        let p = AddressPartition::new(8, 4096);
+        let mut s = RandomStream::new(8, 3);
+        let n = 40_000;
+        let remote = (0..n)
+            .filter(|_| p.classify(0, s.below(p.total_bytes())) == AccessLocality::Remote)
+            .count();
+        let frac = remote as f64 / n as f64;
+        let expect = RemoteAccessModel::uniform_over_nodes(8).remote_fraction;
+        assert!((frac - expect).abs() < 0.01, "empirical {frac} vs {expect}");
+    }
+}

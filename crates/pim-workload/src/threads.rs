@@ -1,0 +1,161 @@
+//! Partitioning the LWP workload into concurrent threads.
+//!
+//! The paper assumes "the LWP workload is partitionable into a number of concurrent
+//! threads that are concurrent and uniform in length, one per LWP" (Section 3.1,
+//! Figure 4). [`ThreadPartition`] produces that uniform split and, as an extension,
+//! an imbalanced split controlled by a skew factor so the sensitivity of the results
+//! to the uniformity assumption can be explored.
+
+use serde::{Deserialize, Serialize};
+
+/// How the lightweight work is divided across PIM nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThreadBalance {
+    /// Every node receives the same number of operations (the paper's assumption).
+    Uniform,
+    /// Linear imbalance: the most loaded node receives `(1 + skew)` times the mean,
+    /// the least loaded `(1 - skew)` times the mean, with a linear ramp in between.
+    Skewed {
+        /// Imbalance factor in `[0, 1)`.
+        skew: f64,
+    },
+}
+
+/// A partition of `total_ops` lightweight operations over `nodes` PIM nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadPartition {
+    ops_per_node: Vec<u64>,
+}
+
+impl ThreadPartition {
+    /// Split `total_ops` over `nodes` nodes according to `balance`.
+    pub fn new(total_ops: u64, nodes: usize, balance: ThreadBalance) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let mut ops_per_node = match balance {
+            ThreadBalance::Uniform => {
+                let base = total_ops / nodes as u64;
+                let rem = (total_ops % nodes as u64) as usize;
+                (0..nodes)
+                    .map(|i| base + if i < rem { 1 } else { 0 })
+                    .collect::<Vec<_>>()
+            }
+            ThreadBalance::Skewed { skew } => {
+                assert!((0.0..1.0).contains(&skew), "skew must lie in [0,1): {skew}");
+                let mean = total_ops as f64 / nodes as f64;
+                let mut v: Vec<u64> = (0..nodes)
+                    .map(|i| {
+                        let frac = if nodes == 1 {
+                            0.0
+                        } else {
+                            2.0 * i as f64 / (nodes - 1) as f64 - 1.0 // -1 .. +1
+                        };
+                        (mean * (1.0 + skew * frac)).round().max(0.0) as u64
+                    })
+                    .collect();
+                // Fix rounding so the total is exact; adjust the largest bucket.
+                let assigned: u64 = v.iter().sum();
+                let diff = total_ops as i64 - assigned as i64;
+                if let Some(last) = v.last_mut() {
+                    *last = (*last as i64 + diff).max(0) as u64;
+                }
+                v
+            }
+        };
+        // Guarantee exact conservation even in pathological rounding cases.
+        let assigned: u64 = ops_per_node.iter().sum();
+        if assigned != total_ops {
+            if let Some(first) = ops_per_node.first_mut() {
+                *first = (*first as i64 + (total_ops as i64 - assigned as i64)).max(0) as u64;
+            }
+        }
+        ThreadPartition { ops_per_node }
+    }
+
+    /// Operations assigned to each node.
+    pub fn ops_per_node(&self) -> &[u64] {
+        &self.ops_per_node
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.ops_per_node.len()
+    }
+
+    /// Total operations across nodes.
+    pub fn total_ops(&self) -> u64 {
+        self.ops_per_node.iter().sum()
+    }
+
+    /// Largest per-node share — this is what determines the parallel phase's makespan.
+    pub fn max_ops(&self) -> u64 {
+        self.ops_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Ratio of the largest share to the mean share (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.ops_per_node.is_empty() || self.total_ops() == 0 {
+            return 1.0;
+        }
+        let mean = self.total_ops() as f64 / self.nodes() as f64;
+        self.max_ops() as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_partition_conserves_and_balances() {
+        let p = ThreadPartition::new(1_000_003, 64, ThreadBalance::Uniform);
+        assert_eq!(p.total_ops(), 1_000_003);
+        assert_eq!(p.nodes(), 64);
+        let max = p.max_ops();
+        let min = p.ops_per_node().iter().copied().min().unwrap();
+        assert!(max - min <= 1, "uniform split must differ by at most one op");
+        assert!((p.imbalance() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn uniform_partition_exact_division() {
+        let p = ThreadPartition::new(1000, 8, ThreadBalance::Uniform);
+        assert!(p.ops_per_node().iter().all(|&o| o == 125));
+    }
+
+    #[test]
+    fn skewed_partition_conserves_total() {
+        let p = ThreadPartition::new(1_000_000, 16, ThreadBalance::Skewed { skew: 0.5 });
+        assert_eq!(p.total_ops(), 1_000_000);
+        assert!(p.imbalance() > 1.2, "imbalance {} should reflect the skew", p.imbalance());
+        assert!(p.imbalance() < 1.6);
+    }
+
+    #[test]
+    fn skew_zero_is_uniform() {
+        let a = ThreadPartition::new(4096, 8, ThreadBalance::Skewed { skew: 0.0 });
+        let b = ThreadPartition::new(4096, 8, ThreadBalance::Uniform);
+        assert_eq!(a.ops_per_node(), b.ops_per_node());
+    }
+
+    #[test]
+    fn single_node_gets_everything() {
+        for balance in [ThreadBalance::Uniform, ThreadBalance::Skewed { skew: 0.3 }] {
+            let p = ThreadPartition::new(777, 1, balance);
+            assert_eq!(p.ops_per_node(), &[777]);
+        }
+    }
+
+    #[test]
+    fn zero_work_partition() {
+        let p = ThreadPartition::new(0, 8, ThreadBalance::Uniform);
+        assert_eq!(p.total_ops(), 0);
+        assert_eq!(p.max_ops(), 0);
+        assert!((p.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must lie in [0,1)")]
+    fn invalid_skew_panics() {
+        ThreadPartition::new(100, 4, ThreadBalance::Skewed { skew: 1.0 });
+    }
+}

@@ -1,0 +1,58 @@
+//! Design-space exploration: reproduce the Figure 5/6/7 sweep at the command line and
+//! locate the break-even region.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use pim_repro::pim_analytic::{validate, AnalyticModel};
+use pim_repro::pim_core::prelude::*;
+
+fn main() {
+    let config = SystemConfig::table1();
+    let spec = SweepSpec::figure5_6();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    // Simulated sweep (what the paper's Workbench model produced).
+    let mode = EvalMode::Simulated { sim_ops: Some(200_000), ops_per_event: 64, seed: 2 };
+    let sweep = run_sweep(config, &spec, mode, threads);
+
+    println!("Performance gain (simulation), rows = %LWP work, columns = node count");
+    print!("{}", csv_to_markdown(&figure5_gain_table(&sweep)));
+
+    // Landmarks the paper calls out in the text.
+    let double = sweep
+        .points
+        .iter()
+        .filter(|p| p.gain >= 2.0)
+        .min_by(|a, b| a.lwp_fraction.partial_cmp(&b.lwp_fraction).unwrap());
+    if let Some(p) = double {
+        println!(
+            "\nEven modest offload doubles performance: gain {:.2}x at {}% LWP work on {} nodes",
+            p.gain,
+            (p.lwp_fraction * 100.0).round(),
+            p.nodes
+        );
+    }
+    let best = sweep.points.iter().max_by(|a, b| a.gain.partial_cmp(&b.gain).unwrap()).unwrap();
+    println!(
+        "Best point in this grid: {:.1}x at {}% LWP work on {} nodes",
+        best.gain,
+        (best.lwp_fraction * 100.0).round(),
+        best.nodes
+    );
+
+    // The analytical model and its break-even parameter.
+    let model = AnalyticModel::new(config);
+    println!("\nAnalytical break-even: NB = {:.3} nodes (ceil = {})", model.nb(), model.break_even_nodes());
+
+    // How well does the closed form track the simulation? (Paper: 5-18%.)
+    let report = validate(config, &spec, mode, threads);
+    println!(
+        "Analytic vs simulation: mean error {:.2}%, max error {:.2}% over {} points",
+        report.mean_relative_error * 100.0,
+        report.max_relative_error * 100.0,
+        report.rows.len()
+    );
+}

@@ -1,0 +1,83 @@
+//! Application kernels on a PIM memory system: what does the model predict for the
+//! data-intensive workloads the paper's introduction motivates (random access, pointer
+//! chasing, streaming) compared with a cache-friendly kernel?
+//!
+//! The kernel profiles supply the `%WL` (low-locality fraction) and remote-access
+//! fraction; the HWP/LWP study predicts the speedup of adding PIM nodes, and the parcel
+//! study predicts how much of the remote latency a multithreaded PIM node can hide.
+//! The host cache miss rate is *measured* against each kernel's address pattern using
+//! the structural cache model rather than assumed.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example kernels_on_pim
+//! ```
+
+use pim_repro::desim::random::RandomStream;
+use pim_repro::pim_core::prelude::*;
+use pim_repro::pim_mem::{CacheModel, SetAssociativeCache};
+use pim_repro::pim_parcels::prelude::*;
+use pim_repro::pim_workload::{AddressPattern, InstructionMix, Kernel, OperationStream};
+
+/// Measure a cache miss rate for the kernel's address pattern against a 64 KiB,
+/// 4-way host cache.
+fn measured_miss_rate(pattern: &AddressPattern, mix: InstructionMix) -> f64 {
+    let mut stream = OperationStream::new(mix, pattern.clone(), RandomStream::new(31, 1));
+    let mut cache = SetAssociativeCache::new(64 * 1024, 64, 4);
+    for op in stream.take_ops(200_000) {
+        if op.kind != pim_repro::pim_workload::OpKind::Compute {
+            cache.access(op.address);
+        }
+    }
+    cache.miss_rate()
+}
+
+fn main() {
+    let nodes = 32;
+    println!("Kernels on a {nodes}-node PIM memory system (Table 1 machine constants)\n");
+    println!(
+        "{:<14} {:>7} {:>9} {:>10} {:>12} {:>14}",
+        "kernel", "%WL", "Pmiss", "gain", "parcel P*", "parcel ratio"
+    );
+
+    for kernel in Kernel::all() {
+        let profile = kernel.profile();
+
+        // Study 1: plug the kernel's measured miss rate and %WL into the partitioning model.
+        let mut config = SystemConfig::table1();
+        config.p_miss = measured_miss_rate(&profile.pattern, profile.mix);
+        config.mix = profile.mix;
+        let study = PartitionStudy::new(config);
+        let point = study.evaluate(nodes, profile.lwp_fraction, EvalMode::Expected);
+
+        // Study 2: how much parallelism does the kernel need to hide a 1000-cycle
+        // network latency, and what does it buy over blocking message passing?
+        let parcel_config = ParcelConfig {
+            nodes,
+            parallelism: 16,
+            remote_fraction: profile.remote_fraction,
+            mix: profile.mix,
+            latency_cycles: 1_000.0,
+            horizon_cycles: 300_000.0,
+            ..Default::default()
+        };
+        let parcels = pim_repro::pim_analytic::ParcelAnalyticModel::new(parcel_config);
+
+        println!(
+            "{:<14} {:>6.0}% {:>9.3} {:>9.2}x {:>12.1} {:>13.2}x",
+            profile.name,
+            profile.lwp_fraction * 100.0,
+            config.p_miss,
+            point.gain,
+            parcels.saturation_parallelism(),
+            parcels.ops_ratio(),
+        );
+    }
+
+    println!(
+        "\nReading: GUPS-like kernels (no reuse, mostly remote) are the ones PIM was built for —\n\
+         large gains from offload and an order-of-magnitude benefit from parcel multithreading —\n\
+         while cache-friendly blocked GEMM sees essentially no benefit, exactly the tradeoff the\n\
+         paper's partitioning model formalizes."
+    );
+}

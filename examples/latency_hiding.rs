@@ -1,0 +1,56 @@
+//! Latency hiding with parcels: how much parallelism does a PIM array need before
+//! split-transaction parcels hide a given system-wide latency?
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example latency_hiding
+//! ```
+
+use pim_repro::pim_analytic::ParcelAnalyticModel;
+use pim_repro::pim_parcels::prelude::*;
+
+fn main() {
+    let base = ParcelConfig {
+        nodes: 8,
+        remote_fraction: 0.4,
+        horizon_cycles: 500_000.0,
+        ..Default::default()
+    };
+
+    println!("latency(cycles)  parallelism  ratio(sim)  ratio(analytic)  test idle  control idle");
+    for &latency in &[100.0, 1_000.0, 10_000.0] {
+        for &parallelism in &[1usize, 4, 16, 64] {
+            let config = ParcelConfig { latency_cycles: latency, parallelism, ..base };
+            let sim = evaluate_point(config, 7);
+            let analytic = ParcelAnalyticModel::new(config);
+            println!(
+                "{:>14.0}  {:>11}  {:>10.2}  {:>15.2}  {:>9.3}  {:>12.3}",
+                latency,
+                parallelism,
+                sim.ops_ratio,
+                analytic.ops_ratio(),
+                sim.test_idle_fraction,
+                sim.control_idle_fraction
+            );
+        }
+    }
+
+    // Where does the advantage disappear? The saturation parallelism P* tells us how
+    // many in-flight parcels are needed to cover a round trip.
+    println!("\nSaturation parallelism P* = (R + 1 + o + 2L) / (R + 1 + o):");
+    for &latency in &[100.0, 1_000.0, 10_000.0] {
+        let config = ParcelConfig { latency_cycles: latency, ..base };
+        let p_star = ParcelAnalyticModel::new(config).saturation_parallelism();
+        println!("  latency {latency:>7.0} cycles -> P* = {p_star:.1} parcels per node");
+    }
+
+    // And the flip side the paper warns about: a single parcel per node with a short
+    // latency is *slower* than plain blocking message passing because of the parcel
+    // handling overhead.
+    let config = ParcelConfig { latency_cycles: 20.0, parallelism: 1, ..base };
+    let point = evaluate_point(config, 11);
+    println!(
+        "\nReversal region: 1 parcel/node at 20-cycle latency gives ratio {:.3} (< 1)",
+        point.ops_ratio
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: evaluate both of the paper's studies at a single design point each.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pim_repro::pim_analytic::AnalyticModel;
+use pim_repro::pim_core::prelude::*;
+use pim_repro::pim_parcels::prelude::*;
+
+fn main() {
+    // ----- Study 1: host + PIM-array partitioning (Table 1 parameters) -----
+    let study = PartitionStudy::table1();
+    let config = *study.config();
+    println!("Study 1: HWP/LWP partitioning");
+    println!("  expected HWP time per op : {:.2} ns", config.hwp_op_time_ns());
+    println!("  expected LWP time per op : {:.2} ns", config.lwp_op_time_ns());
+    println!("  break-even node count NB : {:.3}", config.nb());
+
+    // A data-intensive application (80% low-locality work) on a 32-node PIM memory,
+    // evaluated both analytically and by the queuing simulation.
+    let analytic = study.evaluate(32, 0.8, EvalMode::Expected);
+    let simulated = study.evaluate(32, 0.8, EvalMode::sampled(1));
+    println!("  32 nodes, 80% LWP work   : gain {:.2}x (analytic) / {:.2}x (simulated)",
+        analytic.gain, simulated.gain);
+
+    let model = AnalyticModel::table1();
+    println!("  normalized runtime at NB : {:.3} for any %WL (the Figure 7 coincidence point)",
+        model.time_relative(model.nb(), 0.5));
+
+    // ----- Study 2: parcel latency hiding -----
+    println!("\nStudy 2: parcel split-transaction latency hiding");
+    let parcel_config = ParcelConfig {
+        nodes: 8,
+        parallelism: 16,
+        remote_fraction: 0.4,
+        latency_cycles: 2_000.0,
+        horizon_cycles: 500_000.0,
+        ..Default::default()
+    };
+    let point = evaluate_point(parcel_config, 42);
+    println!(
+        "  16 parcels/node, 40% remote, 2000-cycle latency:\n\
+         \x20   work ratio (test/control) : {:.2}x\n\
+         \x20   test-system idle fraction  : {:.3}\n\
+         \x20   control-system idle frac.  : {:.3}",
+        point.ops_ratio, point.test_idle_fraction, point.control_idle_fraction
+    );
+}

@@ -1,0 +1,207 @@
+//! `pim-tradeoffs` — command-line front end to the PIM design-tradeoff models.
+//!
+//! ```text
+//! pim-tradeoffs point   --nodes 32 --wl 0.8 [--pmiss 0.1] [--mix 0.3] [--simulate]
+//! pim-tradeoffs sweep   [--max-nodes 64] [--simulate]
+//! pim-tradeoffs nb      [--pmiss 0.1] [--mix 0.3] [--lwp-cycle 5] [--tml 30] [--tmh 90]
+//! pim-tradeoffs parcels --parallelism 16 --latency 1000 --remote 0.4 [--nodes 8] [--overhead 4]
+//! ```
+//!
+//! Argument parsing is intentionally hand-rolled (no CLI dependency): every flag is
+//! `--name value`, unknown flags are an error, and `--help` prints the grammar above.
+
+use pim_repro::pim_analytic::{AnalyticModel, ParcelAnalyticModel};
+use pim_repro::pim_core::prelude::*;
+use pim_repro::pim_parcels::prelude::*;
+use pim_repro::pim_workload::InstructionMix;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pim-tradeoffs — PIM architecture design-tradeoff models (SC 2004 reproduction)
+
+USAGE:
+  pim-tradeoffs point   --nodes N --wl FRACTION [--pmiss P] [--mix M] [--simulate]
+  pim-tradeoffs sweep   [--max-nodes N] [--simulate]
+  pim-tradeoffs nb      [--pmiss P] [--mix M] [--lwp-cycle NS] [--tml CYCLES] [--tmh CYCLES]
+  pim-tradeoffs parcels --parallelism P --latency CYCLES --remote FRACTION
+                        [--nodes N] [--overhead CYCLES]
+
+Run a subcommand with no arguments to use the paper's Table 1 defaults.";
+
+/// Parsed `--flag value` arguments.
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{arg}' (flags are --name value)"));
+            };
+            if name == "simulate" || name == "help" {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} needs a value"));
+            };
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got '{v}'")),
+        }
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("unknown flag --{key}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn study_config(args: &Args) -> Result<SystemConfig, String> {
+    let mut config = SystemConfig::table1();
+    config.p_miss = args.get_f64("pmiss", config.p_miss)?;
+    config.lwp_cycle_ns = args.get_f64("lwp-cycle", config.lwp_cycle_ns)?;
+    config.lwp_memory_cycles = args.get_f64("tml", config.lwp_memory_cycles)?;
+    config.hwp_memory_cycles = args.get_f64("tmh", config.hwp_memory_cycles)?;
+    let mix = args.get_f64("mix", config.mix.memory_fraction())?;
+    if !(0.0..=1.0).contains(&mix) {
+        return Err(format!("--mix must lie in [0,1], got {mix}"));
+    }
+    config.mix = InstructionMix::with_memory_fraction(mix);
+    config.validate()?;
+    Ok(config)
+}
+
+fn cmd_point(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["nodes", "wl", "pmiss", "mix", "lwp-cycle", "tml", "tmh", "simulate"])?;
+    let nodes = args.get_usize("nodes", 32)?;
+    let wl = args.get_f64("wl", 0.8)?;
+    if !(0.0..=1.0).contains(&wl) {
+        return Err(format!("--wl must lie in [0,1], got {wl}"));
+    }
+    let config = study_config(args)?;
+    let study = PartitionStudy::new(config);
+    let mode = if args.has("simulate") { EvalMode::sampled(1) } else { EvalMode::Expected };
+    let point = study.evaluate(nodes, wl, mode);
+    println!("nodes            : {nodes}");
+    println!("%WL              : {:.0}%", wl * 100.0);
+    println!("control time     : {:.3e} ns", point.control_ns);
+    println!("test time        : {:.3e} ns", point.test_ns);
+    println!("gain             : {:.3}x", point.gain);
+    println!("relative time    : {:.4}", point.relative_time);
+    println!("break-even NB    : {:.3}", config.nb());
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["max-nodes", "pmiss", "mix", "lwp-cycle", "tml", "tmh", "simulate"])?;
+    let max_nodes = args.get_usize("max-nodes", 64)?;
+    let config = study_config(args)?;
+    let mut node_counts = vec![];
+    let mut n = 1;
+    while n <= max_nodes {
+        node_counts.push(n);
+        n *= 2;
+    }
+    let spec = SweepSpec { node_counts, lwp_fractions: (0..=10).map(|i| i as f64 / 10.0).collect() };
+    let mode = if args.has("simulate") { EvalMode::sampled(1) } else { EvalMode::Expected };
+    let sweep = run_sweep(config, &spec, mode, 4);
+    print!("{}", csv_to_markdown(&figure5_gain_table(&sweep)));
+    Ok(())
+}
+
+fn cmd_nb(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["pmiss", "mix", "lwp-cycle", "tml", "tmh"])?;
+    let config = study_config(args)?;
+    let model = AnalyticModel::new(config);
+    println!("HWP time per op : {:.3} ns", config.hwp_op_time_ns());
+    println!("LWP time per op : {:.3} ns", config.lwp_op_time_ns());
+    println!("NB              : {:.3}", model.nb());
+    println!("break-even nodes: {}", model.break_even_nodes());
+    println!("gain @ 32 nodes, 100% WL: {:.2}x", model.gain(32.0, 1.0));
+    Ok(())
+}
+
+fn cmd_parcels(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["parallelism", "latency", "remote", "nodes", "overhead", "mix"])?;
+    let config = ParcelConfig {
+        nodes: args.get_usize("nodes", 8)?,
+        parallelism: args.get_usize("parallelism", 16)?,
+        latency_cycles: args.get_f64("latency", 1_000.0)?,
+        remote_fraction: args.get_f64("remote", 0.4)?,
+        parcel_overhead_cycles: args.get_f64("overhead", 4.0)?,
+        mix: InstructionMix::with_memory_fraction(args.get_f64("mix", 0.3)?),
+        horizon_cycles: 500_000.0,
+        ..Default::default()
+    };
+    config.validate()?;
+    let point = evaluate_point(config, 1);
+    let analytic = ParcelAnalyticModel::new(config);
+    println!("nodes / parallelism      : {} / {}", config.nodes, config.parallelism);
+    println!("latency / remote fraction: {:.0} cycles / {:.0}%", config.latency_cycles, config.remote_fraction * 100.0);
+    println!("work ratio (simulated)   : {:.3}x", point.ops_ratio);
+    println!("work ratio (analytic)    : {:.3}x", analytic.ops_ratio());
+    println!("test idle fraction       : {:.3}", point.test_idle_fraction);
+    println!("control idle fraction    : {:.3}", point.control_idle_fraction);
+    println!("saturation parallelism P*: {:.1}", analytic.saturation_parallelism());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let args = Args::parse(&raw[1..])?;
+    if args.has("help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    match command.as_str() {
+        "point" => cmd_point(&args),
+        "sweep" => cmd_sweep(&args),
+        "nb" => cmd_nb(&args),
+        "parcels" => cmd_parcels(&args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # pim-repro — reproduction of "Analysis and Modeling of Advanced PIM Architecture Design Tradeoffs" (SC 2004)
+//!
+//! This facade crate re-exports the workspace members so applications can depend on a
+//! single crate:
+//!
+//! * [`desim`] — the discrete-event simulation engine (SES/Workbench substitute);
+//! * [`pim_mem`] — DRAM macro / row buffer / bank / cache / PIM-chip models;
+//! * [`pim_workload`] — instruction mixes, temporal-locality partitions, synthetic
+//!   kernels and remote-access models;
+//! * [`pim_core`] — study 1: the HWP/LWP partitioning queuing model and sweeps
+//!   (Figures 5-7, Table 1);
+//! * [`pim_parcels`] — study 2: parcel split-transaction latency hiding versus blocking
+//!   message passing (Figures 8-12);
+//! * [`pim_analytic`] — the closed-form models (`Time_relative`, `NB`, multithreading
+//!   efficiency) and their validation against the simulations.
+//!
+//! See the `examples/` directory for runnable walkthroughs and the `pim-bench` crate
+//! for the binaries that regenerate every table and figure in the paper.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use desim;
+pub use pim_analytic;
+pub use pim_core;
+pub use pim_mem;
+pub use pim_parcels;
+pub use pim_workload;
