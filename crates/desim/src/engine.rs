@@ -291,7 +291,10 @@ impl<M: Model, Q: EventQueue<M::Event>> Simulation<M, Q> {
             }
             let ev = self.queue.pop().expect("peeked event must pop");
             self.pending.remove(&ev.id);
-            debug_assert!(ev.time >= self.now, "event queue returned an event in the past");
+            debug_assert!(
+                ev.time >= self.now,
+                "event queue returned an event in the past"
+            );
             self.now = ev.time;
             self.scheduler.now = self.now;
             self.model.handle(self.now, ev.payload, &mut self.scheduler);
@@ -439,7 +442,10 @@ mod tests {
                 }
             }
         }
-        let mut sim = Simulation::new(Canceller { victim: None, fired: vec![] });
+        let mut sim = Simulation::new(Canceller {
+            victim: None,
+            fired: vec![],
+        });
         let s = sim.scheduler();
         s.schedule_at(SimTime::from_ticks(1), 1);
         let victim = s.schedule_at(SimTime::from_ticks(10), 99);

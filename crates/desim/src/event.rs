@@ -448,7 +448,9 @@ mod tests {
     #[test]
     fn calendar_handles_clustered_and_sparse_times() {
         let mut q = CalendarQueue::new(2, 4);
-        let times: Vec<u64> = (0..64).map(|i| if i % 7 == 0 { i * 1000 } else { i }).collect();
+        let times: Vec<u64> = (0..64)
+            .map(|i| if i % 7 == 0 { i * 1000 } else { i })
+            .collect();
         for (i, t) in times.iter().enumerate() {
             q.push(ev(*t, i as u64));
         }
@@ -488,7 +490,10 @@ mod tests {
         assert_eq!(q.len(), n as usize);
         let out = drain(&mut q);
         assert_eq!(out.len(), n as usize);
-        assert!(out.windows(2).all(|w| w[0] <= w[1]), "must drain in time order");
+        assert!(
+            out.windows(2).all(|w| w[0] <= w[1]),
+            "must drain in time order"
+        );
     }
 
     #[test]

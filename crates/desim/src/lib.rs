@@ -59,7 +59,9 @@ pub mod prelude {
     pub use crate::random::{Dist, RandomStream};
     pub use crate::replication::{replicate, replicate_to_precision, ReplicationSummary};
     pub use crate::resource::{Acquire, Resource};
-    pub use crate::stats::{BatchMeans, ConfidenceLevel, Histogram, StatSummary, Tally, TimeWeighted};
+    pub use crate::stats::{
+        BatchMeans, ConfidenceLevel, Histogram, StatSummary, Tally, TimeWeighted,
+    };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{TraceLevel, Tracer};
 }

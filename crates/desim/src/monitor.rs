@@ -20,7 +20,11 @@ pub struct Monitor {
 impl Monitor {
     /// Create a monitor with a report-facing name.
     pub fn new(name: impl Into<String>) -> Self {
-        Monitor { name: name.into(), samples: Vec::new(), tally: Tally::new() }
+        Monitor {
+            name: name.into(),
+            samples: Vec::new(),
+            tally: Tally::new(),
+        }
     }
 
     /// Monitor name.
@@ -31,7 +35,10 @@ impl Monitor {
     /// Record a sample. Samples must be recorded in non-decreasing time order.
     pub fn record(&mut self, time: SimTime, value: f64) {
         if let Some(&(last, _)) = self.samples.last() {
-            debug_assert!(time >= last, "monitor samples must be recorded in time order");
+            debug_assert!(
+                time >= last,
+                "monitor samples must be recorded in time order"
+            );
         }
         self.samples.push((time, value));
         self.tally.record(value);

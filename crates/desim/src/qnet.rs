@@ -48,6 +48,10 @@ pub enum Routing {
 }
 
 /// Node behaviours.
+///
+/// A network holds one `NodeKind` per node — a handful of instances per simulation —
+/// so the size spread between variants costs nothing worth boxing for.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum NodeKind {
     /// Generates transactions with an inter-arrival distribution (ns).
@@ -135,12 +139,22 @@ impl QNetwork {
     ) -> NodeId {
         self.push_node(
             name,
-            NodeKind::Source { interarrival, class, limit, generated: 0 },
+            NodeKind::Source {
+                interarrival,
+                class,
+                limit,
+                generated: 0,
+            },
         )
     }
 
     /// Add a service center with `servers` servers and the given service time (ns).
-    pub fn add_service(&mut self, name: impl Into<String>, servers: usize, service: Dist) -> NodeId {
+    pub fn add_service(
+        &mut self,
+        name: impl Into<String>,
+        servers: usize,
+        service: Dist,
+    ) -> NodeId {
         let resource = Resource::new("servers", servers, SimTime::ZERO);
         self.push_node(name, NodeKind::Service { service, resource })
     }
@@ -281,7 +295,13 @@ impl QNetModel {
         let txn_id = self.net.next_txn;
         let (emit, next_fire, class) = {
             let node = &mut self.net.nodes[id.0];
-            let NodeKind::Source { interarrival, class, limit, generated } = &mut node.kind else {
+            let NodeKind::Source {
+                interarrival,
+                class,
+                limit,
+                generated,
+            } = &mut node.kind
+            else {
                 return;
             };
             if limit.is_some_and(|l| *generated >= l) {
@@ -294,7 +314,12 @@ impl QNetModel {
         };
         if emit {
             self.net.next_txn += 1;
-            let txn = Transaction { id: txn_id, class, created: now, arrived_at_node: now };
+            let txn = Transaction {
+                id: txn_id,
+                class,
+                created: now,
+                arrived_at_node: now,
+            };
             // Emit to the source's route target immediately.
             if let Some(target) = self.net.route_target(id, &txn) {
                 self.net.nodes[id.0].departures += 1;
@@ -306,7 +331,13 @@ impl QNetModel {
         }
     }
 
-    fn arrive(&mut self, now: SimTime, id: NodeId, mut txn: Transaction, sched: &mut Scheduler<QEvent>) {
+    fn arrive(
+        &mut self,
+        now: SimTime,
+        id: NodeId,
+        mut txn: Transaction,
+        sched: &mut Scheduler<QEvent>,
+    ) {
         txn.arrived_at_node = now;
         let node = &mut self.net.nodes[id.0];
         node.arrivals += 1;
@@ -345,7 +376,13 @@ impl QNetModel {
         }
     }
 
-    fn complete(&mut self, now: SimTime, id: NodeId, txn: Transaction, sched: &mut Scheduler<QEvent>) {
+    fn complete(
+        &mut self,
+        now: SimTime,
+        id: NodeId,
+        txn: Transaction,
+        sched: &mut Scheduler<QEvent>,
+    ) {
         // Record node statistics and free the server (possibly starting a waiter).
         let next_start: Option<(Transaction, SimDuration)> = {
             let node = &mut self.net.nodes[id.0];
@@ -427,7 +464,12 @@ mod tests {
     use super::*;
 
     /// Build source -> queue -> sink with the given distributions and run.
-    fn single_queue(interarrival: Dist, service: Dist, servers: usize, horizon_ns: u64) -> QNetReport {
+    fn single_queue(
+        interarrival: Dist,
+        service: Dist,
+        servers: usize,
+        horizon_ns: u64,
+    ) -> QNetReport {
         let mut net = QNetwork::new(7);
         let src = net.add_source("src", interarrival, 0, None);
         let q = net.add_service("queue", servers, service);
@@ -442,7 +484,11 @@ mod tests {
         // Arrivals every 10 ns, service 5 ns: utilization 0.5, zero waiting.
         let r = single_queue(Dist::Constant(10.0), Dist::Constant(5.0), 1, 100_000);
         let q = r.node("queue").unwrap();
-        assert!((q.utilization - 0.5).abs() < 0.01, "utilization {}", q.utilization);
+        assert!(
+            (q.utilization - 0.5).abs() < 0.01,
+            "utilization {}",
+            q.utilization
+        );
         assert!(q.mean_wait_ns < 1e-9, "D/D/1 with rho=0.5 must not queue");
         assert!((q.mean_response_ns - 5.0).abs() < 0.1);
         assert!(r.completed > 9_000);
@@ -479,7 +525,9 @@ mod tests {
         let busy = |servers: usize| {
             let r = single_queue(
                 Dist::Exponential { mean: 10.0 },
-                Dist::Exponential { mean: 10.0 * servers as f64 * 0.8 },
+                Dist::Exponential {
+                    mean: 10.0 * servers as f64 * 0.8,
+                },
                 servers,
                 2_000_000,
             );
@@ -487,7 +535,10 @@ mod tests {
         };
         let w1 = busy(1);
         let w2 = busy(2);
-        assert!(w2 < w1, "M/M/2 wait {w2} should beat M/M/1 wait {w1} at equal per-server load");
+        assert!(
+            w2 < w1,
+            "M/M/2 wait {w2} should beat M/M/1 wait {w1} at equal per-server load"
+        );
     }
 
     #[test]

@@ -251,7 +251,10 @@ impl ZipfTable {
     /// Sample a rank in `[0, n)`.
     pub fn sample(&self, stream: &mut RandomStream) -> u64 {
         let u = stream.uniform01();
-        match self.cdf.binary_search_by(|probe| probe.partial_cmp(&u).unwrap()) {
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
+        {
             Ok(i) => i as u64 + 1,
             Err(i) => i as u64,
         }
@@ -281,7 +284,10 @@ mod tests {
         let mut a = RandomStream::new(7, 1);
         let mut b = RandomStream::new(7, 2);
         let same = (0..64).filter(|_| a.uniform01() == b.uniform01()).count();
-        assert!(same < 4, "streams with different ids should not track each other");
+        assert!(
+            same < 4,
+            "streams with different ids should not track each other"
+        );
     }
 
     #[test]
@@ -307,7 +313,10 @@ mod tests {
         assert!(!s.bernoulli(0.0));
         assert!(s.bernoulli(1.0));
         let hits = (0..20_000).filter(|_| s.bernoulli(0.3)).count() as f64 / 20_000.0;
-        assert!((hits - 0.3).abs() < 0.02, "empirical {hits} too far from 0.3");
+        assert!(
+            (hits - 0.3).abs() < 0.02,
+            "empirical {hits} too far from 0.3"
+        );
     }
 
     #[test]
@@ -336,7 +345,10 @@ mod tests {
         let n = 50_000;
         let mean: f64 = (0..n).map(|_| s.geometric(p) as f64).sum::<f64>() / n as f64;
         let expect = (1.0 - p) / p;
-        assert!((mean - expect).abs() / expect < 0.05, "empirical mean {mean} expect {expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "empirical mean {mean} expect {expect}"
+        );
         assert_eq!(s.geometric(1.0), 0);
     }
 
@@ -344,7 +356,9 @@ mod tests {
     fn erlang_mean_and_lower_variance_than_exponential() {
         let mut s = stream();
         let n = 30_000;
-        let erl: Vec<f64> = (0..n).map(|_| s.sample(&Dist::Erlang { k: 4, mean: 8.0 })).collect();
+        let erl: Vec<f64> = (0..n)
+            .map(|_| s.sample(&Dist::Erlang { k: 4, mean: 8.0 }))
+            .collect();
         let exp: Vec<f64> = (0..n).map(|_| s.exponential(8.0)).collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let var = |v: &[f64]| {
@@ -352,13 +366,18 @@ mod tests {
             v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
         };
         assert!((mean(&erl) - 8.0).abs() < 0.2);
-        assert!(var(&erl) < var(&exp), "Erlang-4 must have lower variance than exponential");
+        assert!(
+            var(&erl) < var(&exp),
+            "Erlang-4 must have lower variance than exponential"
+        );
     }
 
     #[test]
     fn empirical_distribution_respects_weights() {
         let mut s = stream();
-        let d = Dist::Empirical { points: vec![(1.0, 0.2), (2.0, 0.5), (3.0, 0.3)] };
+        let d = Dist::Empirical {
+            points: vec![(1.0, 0.2), (2.0, 0.5), (3.0, 0.3)],
+        };
         let n = 30_000;
         let mut counts = [0u32; 3];
         for _ in 0..n {
@@ -377,7 +396,9 @@ mod tests {
         assert_eq!(Dist::Uniform { lo: 2.0, hi: 6.0 }.mean(), 4.0);
         assert_eq!(Dist::Exponential { mean: 5.0 }.mean(), 5.0);
         assert_eq!(Dist::Erlang { k: 3, mean: 9.0 }.mean(), 9.0);
-        let emp = Dist::Empirical { points: vec![(1.0, 0.5), (3.0, 0.5)] };
+        let emp = Dist::Empirical {
+            points: vec![(1.0, 0.5), (3.0, 0.5)],
+        };
         assert!((emp.mean() - 2.0).abs() < 1e-12);
     }
 
@@ -394,7 +415,10 @@ mod tests {
                 low += 1;
             }
         }
-        assert!(low as f64 / n as f64 > 0.5, "Zipf(1.2) should concentrate mass on low ranks");
+        assert!(
+            low as f64 / n as f64 > 0.5,
+            "Zipf(1.2) should concentrate mass on low ranks"
+        );
     }
 
     #[test]
@@ -408,7 +432,10 @@ mod tests {
         }
         for &c in &counts {
             let f = c as f64 / n as f64;
-            assert!((f - 0.1).abs() < 0.02, "bucket frequency {f} deviates from uniform");
+            assert!(
+                (f - 0.1).abs() < 0.02,
+                "bucket frequency {f} deviates from uniform"
+            );
         }
     }
 
@@ -416,7 +443,12 @@ mod tests {
     fn sample_nonneg_clamps() {
         let mut s = stream();
         for _ in 0..1000 {
-            assert!(s.sample_nonneg(&Dist::Normal { mean: 0.0, std_dev: 5.0 }) >= 0.0);
+            assert!(
+                s.sample_nonneg(&Dist::Normal {
+                    mean: 0.0,
+                    std_dev: 5.0
+                }) >= 0.0
+            );
         }
     }
 }

@@ -64,7 +64,10 @@ pub fn replicate<F>(
 where
     F: FnMut(u64) -> f64,
 {
-    assert!(replications >= 2, "need at least two replications for an interval");
+    assert!(
+        replications >= 2,
+        "need at least two replications for an interval"
+    );
     let mut tally = Tally::new();
     for r in 0..replications {
         let seed = base_seed.wrapping_add(r.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -138,7 +141,11 @@ mod tests {
             (0..2_000).map(|_| s.exponential(10.0)).sum::<f64>() / 2_000.0
         });
         assert_eq!(summary.replications, 64);
-        assert!(summary.covers(10.0), "interval {:?} should cover 10", summary.interval());
+        assert!(
+            summary.covers(10.0),
+            "interval {:?} should cover 10",
+            summary.interval()
+        );
         assert!(summary.relative_precision() < 0.02);
         assert!(summary.min <= summary.mean && summary.mean <= summary.max);
     }

@@ -95,7 +95,8 @@ impl<T> Resource<T> {
     pub fn acquire_prio(&mut self, now: SimTime, token: T, priority: i32) -> Acquire {
         if self.busy < self.capacity {
             self.busy += 1;
-            self.utilization.set(now, self.busy as f64 / self.capacity as f64);
+            self.utilization
+                .set(now, self.busy as f64 / self.capacity as f64);
             self.wait_time.record(0.0);
             self.total_grants += 1;
             Acquire::Granted
@@ -123,7 +124,8 @@ impl<T> Resource<T> {
     pub fn try_acquire(&mut self, now: SimTime) -> bool {
         if self.busy < self.capacity {
             self.busy += 1;
-            self.utilization.set(now, self.busy as f64 / self.capacity as f64);
+            self.utilization
+                .set(now, self.busy as f64 / self.capacity as f64);
             self.wait_time.record(0.0);
             self.total_grants += 1;
             true
@@ -140,12 +142,14 @@ impl<T> Resource<T> {
         if let Some(w) = self.waiters.pop_front() {
             // Server stays busy, ownership transfers to the waiter.
             self.queue_len.set(now, self.waiters.len() as f64);
-            self.wait_time.record(now.saturating_since(w.enqueued_at).as_ns_f64());
+            self.wait_time
+                .record(now.saturating_since(w.enqueued_at).as_ns_f64());
             self.total_grants += 1;
             Some(w.token)
         } else {
             self.busy -= 1;
-            self.utilization.set(now, self.busy as f64 / self.capacity as f64);
+            self.utilization
+                .set(now, self.busy as f64 / self.capacity as f64);
             None
         }
     }

@@ -186,7 +186,11 @@ pub fn student_t_critical(dof: u64, level: ConfidenceLevel) -> f64 {
             let x0 = 1.0 / prev.0 as f64;
             let x1 = 1.0 / row.0 as f64;
             let x = 1.0 / dof as f64;
-            let w = if (x1 - x0).abs() < 1e-12 { 0.0 } else { (x - x0) / (x1 - x0) };
+            let w = if (x1 - x0).abs() < 1e-12 {
+                0.0
+            } else {
+                (x - x0) / (x1 - x0)
+            };
             let a = pick((prev.1, prev.2, prev.3));
             let b = pick((row.1, row.2, row.3));
             return a + w * (b - a);
@@ -229,7 +233,10 @@ impl TimeWeighted {
 
     /// Update the state variable to `value` at time `now`.
     pub fn set(&mut self, now: SimTime, value: f64) {
-        debug_assert!(now >= self.last_change, "time-weighted updates must be in time order");
+        debug_assert!(
+            now >= self.last_change,
+            "time-weighted updates must be in time order"
+        );
         let dt = now.saturating_since(self.last_change).ticks() as f64;
         self.area += self.current * dt;
         self.current = value;
@@ -393,7 +400,8 @@ impl BatchMeans {
         self.current_sum += x;
         self.current_count += 1;
         if self.current_count == self.batch_size {
-            self.batches.record(self.current_sum / self.batch_size as f64);
+            self.batches
+                .record(self.current_sum / self.batch_size as f64);
             self.current_sum = 0.0;
             self.current_count = 0;
         }
@@ -477,7 +485,9 @@ mod tests {
 
     #[test]
     fn tally_merge_matches_single_pass() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0)
+            .collect();
         let mut whole = Tally::new();
         for &x in &xs {
             whole.record(x);
@@ -546,7 +556,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.set(SimTime::from_ticks(10), 1.0); // value 0 for 10 ticks
         tw.set(SimTime::from_ticks(30), 3.0); // value 1 for 20 ticks
-        // value 3 for 10 ticks up to t=40
+                                              // value 3 for 10 ticks up to t=40
         let avg = tw.time_average(SimTime::from_ticks(40));
         let expect = (0.0 * 10.0 + 1.0 * 20.0 + 3.0 * 10.0) / 40.0;
         assert!((avg - expect).abs() < 1e-12);

@@ -20,11 +20,15 @@ pub const TICKS_PER_US: u64 = 1_000_000;
 pub const TICKS_PER_MS: u64 = 1_000_000_000;
 
 /// An absolute point in simulated time, measured in ticks from the start of the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, measured in ticks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -267,7 +271,10 @@ mod tests {
     fn duration_sum_and_scale() {
         let total: SimDuration = (1..=4).map(SimDuration::from_ns).sum();
         assert_eq!(total, SimDuration::from_ns(10));
-        assert_eq!(SimDuration::from_ns(3).saturating_mul(4), SimDuration::from_ns(12));
+        assert_eq!(
+            SimDuration::from_ns(3).saturating_mul(4),
+            SimDuration::from_ns(12)
+        );
     }
 
     #[test]
@@ -276,7 +283,10 @@ mod tests {
         let late = SimTime::from_ns(9);
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early), SimDuration::from_ns(4));
-        assert_eq!(SimDuration::from_ns(1) - SimDuration::from_ns(2), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_ns(1) - SimDuration::from_ns(2),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

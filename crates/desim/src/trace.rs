@@ -95,7 +95,11 @@ impl Tracer {
             self.records.pop_front();
             self.dropped += 1;
         }
-        self.records.push_back(TraceRecord { time, category, message: message.into() });
+        self.records.push_back(TraceRecord {
+            time,
+            category,
+            message: message.into(),
+        });
     }
 
     /// Retained records, oldest first.

@@ -74,7 +74,12 @@ impl AnalyticModel {
     pub fn figure7_series(&self, node_counts: &[usize], wl_values: &[f64]) -> Vec<Vec<f64>> {
         wl_values
             .iter()
-            .map(|&wl| node_counts.iter().map(|&n| self.time_relative(n as f64, wl)).collect())
+            .map(|&wl| {
+                node_counts
+                    .iter()
+                    .map(|&n| self.time_relative(n as f64, wl))
+                    .collect()
+            })
             .collect()
     }
 }

@@ -29,7 +29,9 @@ pub struct ParcelAnalyticModel {
 impl ParcelAnalyticModel {
     /// Build the model.
     pub fn new(config: ParcelConfig) -> Self {
-        config.validate().expect("invalid parcel-study configuration");
+        config
+            .validate()
+            .expect("invalid parcel-study configuration");
         ParcelAnalyticModel { config }
     }
 
@@ -120,7 +122,8 @@ mod tests {
         // With unbounded parallelism the ratio approaches
         // (R + 1 + 2L)/(R + 1) x (R + 1)/(R + 1 + o) — roughly 1 + 2L/R for small o.
         let run = m.config.expected_run_cycles();
-        let upper = (run + 1.0 + m.config.round_trip_cycles()) / (run + 1.0 + m.config.parcel_overhead_cycles);
+        let upper = (run + 1.0 + m.config.round_trip_cycles())
+            / (run + 1.0 + m.config.parcel_overhead_cycles);
         assert!((m.ops_ratio() - upper).abs() < 1e-9);
         assert!(m.ops_ratio() > 10.0);
     }
@@ -157,8 +160,16 @@ mod tests {
         // little optimistic in the far-from-saturation, long-latency corner. 20% slack
         // covers that while still catching real modeling errors — the paper's own two
         // models differed by 5-18%.
-        for (p, l, r) in [(1usize, 100.0, 0.2), (8, 1_000.0, 0.4), (32, 5_000.0, 0.6), (4, 10.0, 0.8)] {
-            let cfg = ParcelConfig { horizon_cycles: 800_000.0, ..config(p, l, r) };
+        for (p, l, r) in [
+            (1usize, 100.0, 0.2),
+            (8, 1_000.0, 0.4),
+            (32, 5_000.0, 0.6),
+            (4, 10.0, 0.8),
+        ] {
+            let cfg = ParcelConfig {
+                horizon_cycles: 800_000.0,
+                ..config(p, l, r)
+            };
             let analytic = ParcelAnalyticModel::new(cfg).ops_ratio();
             let simulated = evaluate_point(cfg, 1234).ops_ratio;
             let err = (analytic - simulated).abs() / simulated;

@@ -52,7 +52,11 @@ pub fn nb_sensitivity(parameter: SweepParameter, values: &[f64]) -> Vec<Sensitiv
                 }
             }
             let model = AnalyticModel::new(config);
-            SensitivityRow { value: v, nb: model.nb(), gain_32_full: model.gain(32.0, 1.0) }
+            SensitivityRow {
+                value: v,
+                nb: model.nb(),
+                gain_32_full: model.gain(32.0, 1.0),
+            }
         })
         .collect()
 }

@@ -23,7 +23,10 @@ fn hold_model(queue_kind: &str, events: u64) -> u64 {
             }
         }
     }
-    let model = Hold { remaining: events, stream: RandomStream::new(9, 9) };
+    let model = Hold {
+        remaining: events,
+        stream: RandomStream::new(9, 9),
+    };
     let processed = match queue_kind {
         "heap" => {
             let mut sim = Simulation::with_queue(model, BinaryHeapQueue::new());
@@ -115,5 +118,10 @@ fn bench_qnet_mm1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queues, bench_raw_queue_ops, bench_qnet_mm1);
+criterion_group!(
+    benches,
+    bench_event_queues,
+    bench_raw_queue_ops,
+    bench_qnet_mm1
+);
 criterion_main!(benches);

@@ -17,9 +17,11 @@ fn bench_point_by_parallelism(c: &mut Criterion) {
             horizon_cycles: 300_000.0,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(parallelism), &config, |b, &cfg| {
-            b.iter(|| black_box(evaluate_point(black_box(cfg), 7)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(parallelism),
+            &config,
+            |b, &cfg| b.iter(|| black_box(evaluate_point(black_box(cfg), 7))),
+        );
     }
     group.finish();
 }

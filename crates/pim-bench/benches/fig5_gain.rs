@@ -13,15 +13,23 @@ fn bench_single_point(c: &mut Criterion) {
         b.iter(|| black_box(study.evaluate(black_box(32), black_box(0.7), EvalMode::Expected)))
     });
     for sim_ops in [50_000u64, 200_000] {
-        group.bench_with_input(BenchmarkId::new("simulated", sim_ops), &sim_ops, |b, &ops| {
-            b.iter(|| {
-                black_box(study.evaluate(
-                    black_box(32),
-                    black_box(0.7),
-                    EvalMode::Simulated { sim_ops: Some(ops), ops_per_event: 64, seed: 1 },
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("simulated", sim_ops),
+            &sim_ops,
+            |b, &ops| {
+                b.iter(|| {
+                    black_box(study.evaluate(
+                        black_box(32),
+                        black_box(0.7),
+                        EvalMode::Simulated {
+                            sim_ops: Some(ops),
+                            ops_per_event: 64,
+                            seed: 1,
+                        },
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -31,10 +39,21 @@ fn bench_figure5_sweep(c: &mut Criterion) {
     group.sample_size(10);
     let spec = SweepSpec::figure5_6();
     group.bench_function("figure5_expected_grid", |b| {
-        b.iter(|| black_box(run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 4)))
+        b.iter(|| {
+            black_box(run_sweep(
+                SystemConfig::table1(),
+                &spec,
+                EvalMode::Expected,
+                4,
+            ))
+        })
     });
     group.bench_function("figure5_simulated_grid_small", |b| {
-        let mode = EvalMode::Simulated { sim_ops: Some(20_000), ops_per_event: 64, seed: 1 };
+        let mode = EvalMode::Simulated {
+            sim_ops: Some(20_000),
+            ops_per_event: 64,
+            seed: 1,
+        };
         b.iter(|| black_box(run_sweep(SystemConfig::table1(), &spec, mode, 4)))
     });
     group.finish();

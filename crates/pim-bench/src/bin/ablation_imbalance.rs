@@ -9,7 +9,10 @@ use pim_bench::{emit, REPORT_SEED};
 use pim_core::prelude::*;
 
 fn main() {
-    let config = SystemConfig { total_ops: 2_000_000, ..SystemConfig::table1() };
+    let config = SystemConfig {
+        total_ops: 2_000_000,
+        ..SystemConfig::table1()
+    };
     let skews = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 0.95];
     let mut csv = String::from("nodes,pct_lwp,skew,gain,lwp_idle_fraction\n");
     for &(nodes, wl) in &[(8usize, 0.8), (32, 0.9), (64, 1.0)] {

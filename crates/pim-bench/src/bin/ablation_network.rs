@@ -29,8 +29,9 @@ fn run_with(
 }
 
 fn main() {
-    let mut csv =
-        String::from("network,parallelism,remote_pct,mean_latency_cycles,ops_ratio,test_idle_frac\n");
+    let mut csv = String::from(
+        "network,parallelism,remote_pct,mean_latency_cycles,ops_ratio,test_idle_frac\n",
+    );
     let nodes = 16;
     for &parallelism in &[2usize, 8, 32] {
         for &latency in &[100.0, 1000.0] {

@@ -5,15 +5,18 @@
 //! Using current technology, an on-chip peak memory bandwidth of greater than 1 Tbit/s
 //! is possible per chip."
 
+use desim::random::RandomStream;
 use pim_bench::emit;
 use pim_mem::{CacheModel, DramTiming, PimChip, SetAssociativeCache};
-use pim_workload::{ReuseProfile};
-use desim::random::RandomStream;
+use pim_workload::ReuseProfile;
 
 fn main() {
     let timing = DramTiming::default();
     let mut csv = String::from("quantity,value,unit\n");
-    csv.push_str(&format!("macro_peak_bandwidth,{:.2},Gbit/s\n", timing.peak_bandwidth_gbit_per_s()));
+    csv.push_str(&format!(
+        "macro_peak_bandwidth,{:.2},Gbit/s\n",
+        timing.peak_bandwidth_gbit_per_s()
+    ));
     csv.push_str(&format!(
         "macro_worst_case_bandwidth,{:.2},Gbit/s\n",
         timing.worst_case_bandwidth_gbit_per_s()
@@ -35,7 +38,10 @@ fn main() {
         for addr in profile.addresses(200_000) {
             cache.access(addr);
         }
-        csv.push_str(&format!("measured_pmiss_{label},{:.4},fraction\n", cache.miss_rate()));
+        csv.push_str(&format!(
+            "measured_pmiss_{label},{:.4},fraction\n",
+            cache.miss_rate()
+        ));
     }
     emit(
         "bandwidth_claims",

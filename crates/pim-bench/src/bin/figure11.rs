@@ -16,7 +16,10 @@ fn main() {
         &csv,
     );
     let best = points.iter().map(|p| p.ops_ratio).fold(0.0, f64::max);
-    let worst = points.iter().map(|p| p.ops_ratio).fold(f64::INFINITY, f64::min);
+    let worst = points
+        .iter()
+        .map(|p| p.ops_ratio)
+        .fold(f64::INFINITY, f64::min);
     eprintln!(
         "work ratio range: {worst:.2}x to {best:.2}x (paper: up to an order of magnitude, \
          with small/reversed advantage at low parallelism and short latency)"

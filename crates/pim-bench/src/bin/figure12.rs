@@ -15,8 +15,14 @@ fn main() {
         &csv,
     );
     let saturated: Vec<&IdleTimePoint> = points.iter().filter(|p| p.parallelism >= 64).collect();
-    let max_test_idle = saturated.iter().map(|p| p.test_idle_fraction).fold(0.0, f64::max);
-    let min_control_idle = points.iter().map(|p| p.control_idle_fraction).fold(f64::INFINITY, f64::min);
+    let max_test_idle = saturated
+        .iter()
+        .map(|p| p.test_idle_fraction)
+        .fold(0.0, f64::max);
+    let min_control_idle = points
+        .iter()
+        .map(|p| p.control_idle_fraction)
+        .fold(f64::INFINITY, f64::min);
     eprintln!(
         "with >=64 parcels/node the test system's idle fraction stays below {max_test_idle:.3}; \
          the control system never drops below {min_control_idle:.3} (paper: test idle ~0, control high)"

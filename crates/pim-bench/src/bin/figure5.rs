@@ -14,7 +14,11 @@ fn main() {
     let mode = if expected {
         EvalMode::Expected
     } else {
-        EvalMode::Simulated { sim_ops: Some(400_000), ops_per_event: 64, seed: REPORT_SEED }
+        EvalMode::Simulated {
+            sim_ops: Some(400_000),
+            ops_per_event: 64,
+            seed: REPORT_SEED,
+        }
     };
     let spec = SweepSpec::extended();
     let sweep = run_sweep(SystemConfig::table1(), &spec, mode, sweep_threads());

@@ -9,7 +9,11 @@ fn main() {
     let mode = if expected {
         EvalMode::Expected
     } else {
-        EvalMode::Simulated { sim_ops: Some(400_000), ops_per_event: 64, seed: REPORT_SEED }
+        EvalMode::Simulated {
+            sim_ops: Some(400_000),
+            ops_per_event: 64,
+            seed: REPORT_SEED,
+        }
     };
     let spec = SweepSpec::figure5_6();
     let sweep = run_sweep(SystemConfig::table1(), &spec, mode, sweep_threads());
@@ -21,6 +25,9 @@ fn main() {
     );
     // The paper's figure tops out around 1.25e9 ns (100% LWT on one node).
     if let Some(worst) = sweep.point(1, 1.0) {
-        eprintln!("N=1, 100% LWT response time: {:.3e} ns (paper's figure: ~1.2-1.4e9 ns)", worst.test_ns);
+        eprintln!(
+            "N=1, 100% LWT response time: {:.3e} ns (paper's figure: ~1.2-1.4e9 ns)",
+            worst.test_ns
+        );
     }
 }

@@ -1,9 +1,9 @@
 //! E-F7: regenerate Figure 7 — the analytical model's normalized runtime versus node
 //! count, one curve per %WL, exposing the coincidence point at N = NB.
 
+use pim_analytic::AnalyticModel;
 use pim_bench::emit;
 use pim_core::prelude::*;
-use pim_analytic::AnalyticModel;
 
 fn main() {
     let model = AnalyticModel::table1();
@@ -34,5 +34,8 @@ fn main() {
     // Cross-check against the expected-value evaluator from pim-core.
     let study = PartitionStudy::new(SystemConfig::table1());
     let p = study.evaluate(32, 1.0, EvalMode::Expected);
-    eprintln!("cross-check: pim-core expected relative time at N=32, 100% WL = {:.5}", p.relative_time);
+    eprintln!(
+        "cross-check: pim-core expected relative time at N=32, 100% WL = {:.5}",
+        p.relative_time
+    );
 }

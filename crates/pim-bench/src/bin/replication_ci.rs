@@ -5,8 +5,12 @@ use pim_bench::{emit, REPORT_SEED};
 use pim_core::prelude::*;
 
 fn main() {
-    let config = SystemConfig { total_ops: 1_000_000, ..SystemConfig::table1() };
-    let mut csv = String::from("nodes,pct_lwp,replications,mean_gain,ci95_half_width,analytic_gain\n");
+    let config = SystemConfig {
+        total_ops: 1_000_000,
+        ..SystemConfig::table1()
+    };
+    let mut csv =
+        String::from("nodes,pct_lwp,replications,mean_gain,ci95_half_width,analytic_gain\n");
     for &(nodes, wl) in &[(4usize, 0.5), (8, 0.8), (32, 0.9), (32, 1.0), (64, 1.0)] {
         let summary = replicated_gain(config, nodes, wl, 24, 200_000, REPORT_SEED);
         let analytic = 1.0 / (1.0 - wl * (1.0 - config.nb() / nodes as f64));

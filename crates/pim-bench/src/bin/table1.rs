@@ -18,5 +18,9 @@ fn main() {
         config.lwp_op_time_ns()
     ));
     csv.push_str(&format!("NB,break-even PIM node count,{}\n", config.nb()));
-    pim_bench::emit("table1", "Table 1 parametric assumptions (plus derived constants)", &csv);
+    pim_bench::emit(
+        "table1",
+        "Table 1 parametric assumptions (plus derived constants)",
+        &csv,
+    );
 }

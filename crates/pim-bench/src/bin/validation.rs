@@ -8,7 +8,11 @@ use pim_core::prelude::*;
 
 fn main() {
     let spec = SweepSpec::figure5_6();
-    let mode = EvalMode::Simulated { sim_ops: Some(400_000), ops_per_event: 64, seed: REPORT_SEED };
+    let mode = EvalMode::Simulated {
+        sim_ops: Some(400_000),
+        ops_per_event: 64,
+        seed: REPORT_SEED,
+    };
     let report = validate(SystemConfig::table1(), &spec, mode, sweep_threads());
     emit(
         "validation",

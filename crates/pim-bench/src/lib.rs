@@ -17,7 +17,9 @@ use std::path::PathBuf;
 
 /// Number of worker threads to use for parameter sweeps.
 pub fn sweep_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Print a report to stdout and, when `PIM_RESULTS_DIR` is set, save it as

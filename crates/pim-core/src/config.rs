@@ -106,10 +106,26 @@ impl SystemConfig {
                 "total work = WH + WL".into(),
                 format!("{} operations", self.total_ops),
             ),
-            ("%WH".into(), "percent heavyweight work".into(), "varied 0% to 100%".into()),
-            ("%WL".into(), "percent lightweight work".into(), "varied 0% to 100%".into()),
-            ("THcycle".into(), "heavyweight cycle time".into(), format!("{} nsec", self.hwp_cycle_ns)),
-            ("TLcycle".into(), "lightweight cycle time".into(), format!("{} nsec", self.lwp_cycle_ns)),
+            (
+                "%WH".into(),
+                "percent heavyweight work".into(),
+                "varied 0% to 100%".into(),
+            ),
+            (
+                "%WL".into(),
+                "percent lightweight work".into(),
+                "varied 0% to 100%".into(),
+            ),
+            (
+                "THcycle".into(),
+                "heavyweight cycle time".into(),
+                format!("{} nsec", self.hwp_cycle_ns),
+            ),
+            (
+                "TLcycle".into(),
+                "lightweight cycle time".into(),
+                format!("{} nsec", self.lwp_cycle_ns),
+            ),
             (
                 "TMH".into(),
                 "heavyweight memory access time".into(),
@@ -125,7 +141,11 @@ impl SystemConfig {
                 "lightweight memory access time".into(),
                 format!("{} cycles", self.lwp_memory_cycles),
             ),
-            ("Pmiss".into(), "heavyweight cache miss rate".into(), format!("{}", self.p_miss)),
+            (
+                "Pmiss".into(),
+                "heavyweight cache miss rate".into(),
+                format!("{}", self.p_miss),
+            ),
             (
                 "mix_l/s".into(),
                 "instruction mix for load and store ops".into(),
@@ -151,9 +171,17 @@ mod tests {
     fn expected_per_op_times_match_hand_calculation() {
         let c = SystemConfig::table1();
         // HWP: 1 + 0.3*(2 - 1 + 0.1*90) = 1 + 0.3*10 = 4 ns.
-        assert!((c.hwp_op_time_ns() - 4.0).abs() < 1e-12, "hwp {}", c.hwp_op_time_ns());
+        assert!(
+            (c.hwp_op_time_ns() - 4.0).abs() < 1e-12,
+            "hwp {}",
+            c.hwp_op_time_ns()
+        );
         // LWP: 5 + 0.3*(30 - 5) = 12.5 ns.
-        assert!((c.lwp_op_time_ns() - 12.5).abs() < 1e-12, "lwp {}", c.lwp_op_time_ns());
+        assert!(
+            (c.lwp_op_time_ns() - 12.5).abs() < 1e-12,
+            "lwp {}",
+            c.lwp_op_time_ns()
+        );
     }
 
     #[test]
@@ -195,7 +223,9 @@ mod tests {
     fn table1_rows_cover_all_parameters() {
         let rows = SystemConfig::table1().table1_rows();
         assert_eq!(rows.len(), 10);
-        assert!(rows.iter().any(|(p, _, v)| p == "W" && v.contains("100000000")));
+        assert!(rows
+            .iter()
+            .any(|(p, _, v)| p == "W" && v.contains("100000000")));
         assert!(rows.iter().any(|(p, _, v)| p == "Pmiss" && v == "0.1"));
     }
 

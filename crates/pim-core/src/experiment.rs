@@ -97,7 +97,12 @@ impl SweepResult {
 }
 
 /// Evaluate every point of `spec` under `mode`, using up to `threads` worker threads.
-pub fn run_sweep(config: SystemConfig, spec: &SweepSpec, mode: EvalMode, threads: usize) -> SweepResult {
+pub fn run_sweep(
+    config: SystemConfig,
+    spec: &SweepSpec,
+    mode: EvalMode,
+    threads: usize,
+) -> SweepResult {
     let study = PartitionStudy::new(config);
     let points = spec.points();
     let threads = threads.max(1).min(points.len().max(1));
@@ -129,7 +134,10 @@ pub fn run_sweep(config: SystemConfig, spec: &SweepSpec, mode: EvalMode, threads
 
     SweepResult {
         spec: spec.clone(),
-        points: results.into_iter().map(|p| p.expect("every point evaluated")).collect(),
+        points: results
+            .into_iter()
+            .map(|p| p.expect("every point evaluated"))
+            .collect(),
     }
 }
 
@@ -137,7 +145,11 @@ pub fn run_sweep(config: SystemConfig, spec: &SweepSpec, mode: EvalMode, threads
 fn point_mode(mode: EvalMode, index: usize) -> EvalMode {
     match mode {
         EvalMode::Expected => EvalMode::Expected,
-        EvalMode::Simulated { sim_ops, ops_per_event, seed } => EvalMode::Simulated {
+        EvalMode::Simulated {
+            sim_ops,
+            ops_per_event,
+            seed,
+        } => EvalMode::Simulated {
             sim_ops,
             ops_per_event,
             seed: seed.wrapping_add(1 + index as u64 * 7919),
@@ -203,7 +215,10 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_sweeps_agree() {
-        let spec = SweepSpec { node_counts: vec![1, 4, 16], lwp_fractions: vec![0.0, 0.5, 1.0] };
+        let spec = SweepSpec {
+            node_counts: vec![1, 4, 16],
+            lwp_fractions: vec![0.0, 0.5, 1.0],
+        };
         let serial = run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 1);
         let parallel = run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 8);
         for (a, b) in serial.points.iter().zip(&parallel.points) {
@@ -214,7 +229,10 @@ mod tests {
 
     #[test]
     fn simulated_sweep_is_close_to_expected_sweep() {
-        let spec = SweepSpec { node_counts: vec![2, 16, 64], lwp_fractions: vec![0.2, 0.8] };
+        let spec = SweepSpec {
+            node_counts: vec![2, 16, 64],
+            lwp_fractions: vec![0.2, 0.8],
+        };
         let expected = run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 4);
         let simulated = run_sweep(SystemConfig::table1(), &spec, EvalMode::sampled(17), 4);
         for (e, s) in expected.points.iter().zip(&simulated.points) {

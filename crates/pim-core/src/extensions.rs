@@ -39,7 +39,10 @@ pub struct PhasedOptions {
 
 impl Default for PhasedOptions {
     fn default() -> Self {
-        PhasedOptions { rounds: 1, balance: ThreadBalance::Uniform }
+        PhasedOptions {
+            rounds: 1,
+            balance: ThreadBalance::Uniform,
+        }
     }
 }
 
@@ -93,15 +96,18 @@ pub fn run_phased(
         .collect();
 
     // Split both work pools as evenly as possible across rounds.
-    let hwp_rounds = ThreadPartition::new(partition.hwp_ops(), options.rounds, ThreadBalance::Uniform);
-    let lwp_rounds = ThreadPartition::new(partition.lwp_ops(), options.rounds, ThreadBalance::Uniform);
+    let hwp_rounds =
+        ThreadPartition::new(partition.hwp_ops(), options.rounds, ThreadBalance::Uniform);
+    let lwp_rounds =
+        ThreadPartition::new(partition.lwp_ops(), options.rounds, ThreadBalance::Uniform);
 
     let mut hwp_ns = 0.0;
     let mut lwp_ns = 0.0;
     let mut idle_ns = 0.0;
     for round in 0..options.rounds {
         hwp_ns += hwp.run_ops(hwp_rounds.ops_per_node()[round]);
-        let node_share = ThreadPartition::new(lwp_rounds.ops_per_node()[round], nodes, options.balance);
+        let node_share =
+            ThreadPartition::new(lwp_rounds.ops_per_node()[round], nodes, options.balance);
         let busy: Vec<f64> = node_share
             .ops_per_node()
             .iter()
@@ -192,7 +198,11 @@ pub fn replicated_gain(
             .evaluate(
                 nodes,
                 wl,
-                EvalMode::Simulated { sim_ops: Some(sim_ops), ops_per_event: 64, seed },
+                EvalMode::Simulated {
+                    sim_ops: Some(sim_ops),
+                    ops_per_event: 64,
+                    seed,
+                },
             )
             .gain
     })
@@ -203,7 +213,10 @@ mod tests {
     use super::*;
 
     fn small_config() -> SystemConfig {
-        SystemConfig { total_ops: 200_000, ..SystemConfig::table1() }
+        SystemConfig {
+            total_ops: 200_000,
+            ..SystemConfig::table1()
+        }
     }
 
     #[test]
@@ -219,18 +232,45 @@ mod tests {
             5,
         );
         let err = (phased.makespan_ns - des.makespan_ns).abs() / des.makespan_ns;
-        assert!(err < 0.02, "phased {} vs DES {} (err {err})", phased.makespan_ns, des.makespan_ns);
+        assert!(
+            err < 0.02,
+            "phased {} vs DES {} (err {err})",
+            phased.makespan_ns,
+            des.makespan_ns
+        );
     }
 
     #[test]
     fn splitting_into_rounds_does_not_change_the_total_time() {
         let config = small_config();
         let partition = WorkPartition::new(config.total_ops, 0.7);
-        let one = run_phased(config, partition, 16, PhasedOptions { rounds: 1, ..Default::default() }, 9);
-        let many =
-            run_phased(config, partition, 16, PhasedOptions { rounds: 10, ..Default::default() }, 9);
+        let one = run_phased(
+            config,
+            partition,
+            16,
+            PhasedOptions {
+                rounds: 1,
+                ..Default::default()
+            },
+            9,
+        );
+        let many = run_phased(
+            config,
+            partition,
+            16,
+            PhasedOptions {
+                rounds: 10,
+                ..Default::default()
+            },
+            9,
+        );
         let err = (one.makespan_ns - many.makespan_ns).abs() / one.makespan_ns;
-        assert!(err < 0.02, "1 round {} vs 10 rounds {}", one.makespan_ns, many.makespan_ns);
+        assert!(
+            err < 0.02,
+            "1 round {} vs 10 rounds {}",
+            one.makespan_ns,
+            many.makespan_ns
+        );
         assert_eq!(many.rounds, 10);
     }
 
@@ -243,11 +283,18 @@ mod tests {
             config,
             partition,
             16,
-            PhasedOptions { rounds: 1, balance: ThreadBalance::Skewed { skew: 0.5 } },
+            PhasedOptions {
+                rounds: 1,
+                balance: ThreadBalance::Skewed { skew: 0.5 },
+            },
             3,
         );
         assert!(skewed.makespan_ns > 1.3 * uniform.makespan_ns);
-        assert!(skewed.idle_fraction() > 0.2, "idle {}", skewed.idle_fraction());
+        assert!(
+            skewed.idle_fraction() > 0.2,
+            "idle {}",
+            skewed.idle_fraction()
+        );
         assert!(uniform.idle_fraction() < 0.05);
     }
 
@@ -255,7 +302,10 @@ mod tests {
     fn imbalance_sweep_degrades_gain_monotonically() {
         let rows = imbalance_sensitivity(small_config(), 32, 0.9, &[0.0, 0.2, 0.4, 0.6, 0.8], 7);
         assert_eq!(rows.len(), 5);
-        assert!(rows.windows(2).all(|w| w[1].gain <= w[0].gain + 0.02), "{rows:?}");
+        assert!(
+            rows.windows(2).all(|w| w[1].gain <= w[0].gain + 0.02),
+            "{rows:?}"
+        );
         // A 50%+ skew costs a meaningful share of the paper's headline gain.
         assert!(rows[0].gain / rows[4].gain > 1.3);
         let csv = imbalance_csv(&rows);
@@ -273,7 +323,11 @@ mod tests {
         let summary = replicated_gain(config, 32, 1.0, 16, 50_000, 13);
         let analytic = 32.0 / config.nb();
         assert!(summary.relative_precision() < 0.05);
-        assert!(summary.mean < analytic, "simulated mean {} must sit below {analytic}", summary.mean);
+        assert!(
+            summary.mean < analytic,
+            "simulated mean {} must sit below {analytic}",
+            summary.mean
+        );
         assert!(
             summary.mean > 0.9 * analytic,
             "simulated mean {} should be within 10% of {analytic}",
@@ -289,7 +343,10 @@ mod tests {
             config,
             WorkPartition::new(config.total_ops, 0.0),
             8,
-            PhasedOptions { rounds: 4, balance: ThreadBalance::Skewed { skew: 0.9 } },
+            PhasedOptions {
+                rounds: 4,
+                balance: ThreadBalance::Skewed { skew: 0.9 },
+            },
             1,
         );
         assert!(result.lwp_ns < 1e-9);

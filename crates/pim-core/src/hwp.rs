@@ -66,7 +66,11 @@ pub struct HwpExecution {
 impl HwpExecution {
     /// Create an execution context drawing stochastic decisions from `stream`.
     pub fn new(config: SystemConfig, stream: RandomStream) -> Self {
-        HwpExecution { config, stream, stats: HwpStats::default() }
+        HwpExecution {
+            config,
+            stream,
+            stats: HwpStats::default(),
+        }
     }
 
     /// Closed-form expected time per operation (ns): `1 + mix·(TCH − 1 + Pmiss·TMH)`.
@@ -150,7 +154,9 @@ mod tests {
         let mut c = SystemConfig::table1();
         c.p_miss = 0.0;
         let mut h = HwpExecution::new(c, RandomStream::new(11, 3));
-        let worst = (0..10_000).map(|_| h.sample_op_time_ns()).fold(0.0f64, f64::max);
+        let worst = (0..10_000)
+            .map(|_| h.sample_op_time_ns())
+            .fold(0.0f64, f64::max);
         assert!(worst <= c.hwp_cache_cycles * c.hwp_cycle_ns + 1e-12);
         assert_eq!(h.stats().cache_misses, 0);
     }
@@ -162,7 +168,10 @@ mod tests {
         c.mix = pim_workload::InstructionMix::with_memory_fraction(1.0);
         let mut h = HwpExecution::new(c, RandomStream::new(11, 4));
         let t = h.sample_op_time_ns();
-        assert!((t - (1.0 + 1.0 + 90.0)).abs() < 1e-12, "1 issue + (2-1) cache + 90 memory");
+        assert!(
+            (t - (1.0 + 1.0 + 90.0)).abs() < 1e-12,
+            "1 issue + (2-1) cache + 90 memory"
+        );
     }
 
     #[test]

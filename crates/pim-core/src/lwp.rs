@@ -50,7 +50,11 @@ pub struct LwpExecution {
 impl LwpExecution {
     /// Create an execution context drawing stochastic decisions from `stream`.
     pub fn new(config: SystemConfig, stream: RandomStream) -> Self {
-        LwpExecution { config, stream, stats: LwpStats::default() }
+        LwpExecution {
+            config,
+            stream,
+            stats: LwpStats::default(),
+        }
     }
 
     /// Closed-form expected time per operation (ns): `TLcycle + mix·(TML − TLcycle)`.

@@ -152,7 +152,10 @@ impl QueueingModel {
         let batch = self.lwp_ops_remaining[node].min(self.ops_per_event);
         let dur = self.lwps[node].run_ops(batch);
         self.lwp_ops_remaining[node] -= batch;
-        sched.schedule_in(SimDuration::from_ns_f64(dur), PhaseEvent::LwpBatchDone(node));
+        sched.schedule_in(
+            SimDuration::from_ns_f64(dur),
+            PhaseEvent::LwpBatchDone(node),
+        );
     }
 
     fn start_lwp_phase(&mut self, now: SimTime, sched: &mut Scheduler<PhaseEvent>) {
@@ -253,7 +256,10 @@ mod tests {
     use super::*;
 
     fn small_config() -> SystemConfig {
-        SystemConfig { total_ops: 100_000, ..SystemConfig::table1() }
+        SystemConfig {
+            total_ops: 100_000,
+            ..SystemConfig::table1()
+        }
     }
 
     #[test]
@@ -346,7 +352,11 @@ mod tests {
         let r = run_queueing(c, p, RunMode::Test { nodes: 8 }, 64, 11);
         // Uniform threads with stochastic service: nodes finish within a few percent of
         // one another, so mean idle is a small fraction of the parallel phase.
-        assert!(r.mean_lwp_idle_fraction() < 0.1, "idle fraction {}", r.mean_lwp_idle_fraction());
+        assert!(
+            r.mean_lwp_idle_fraction() < 0.1,
+            "idle fraction {}",
+            r.mean_lwp_idle_fraction()
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub fn figure7_relative_table(result: &SweepResult) -> String {
     for &n in &result.spec.node_counts {
         let _ = write!(out, "{n}");
         for &wl in &result.spec.lwp_fractions {
-            let t = result.point(n, wl).map(|p| p.relative_time).unwrap_or(f64::NAN);
+            let t = result
+                .point(n, wl)
+                .map(|p| p.relative_time)
+                .unwrap_or(f64::NAN);
             let _ = write!(out, ",{t:.5}");
         }
         out.push('\n');
@@ -74,10 +77,18 @@ pub fn csv_to_markdown(csv: &str) -> String {
     };
     let cols = header.split(',').count();
     let mut out = String::new();
-    let _ = writeln!(out, "| {} |", header.split(',').collect::<Vec<_>>().join(" | "));
+    let _ = writeln!(
+        out,
+        "| {} |",
+        header.split(',').collect::<Vec<_>>().join(" | ")
+    );
     let _ = writeln!(out, "|{}", "---|".repeat(cols));
     for line in lines {
-        let _ = writeln!(out, "| {} |", line.split(',').collect::<Vec<_>>().join(" | "));
+        let _ = writeln!(
+            out,
+            "| {} |",
+            line.split(',').collect::<Vec<_>>().join(" | ")
+        );
     }
     out
 }
@@ -90,7 +101,10 @@ mod tests {
     use crate::system::EvalMode;
 
     fn small_result() -> SweepResult {
-        let spec = SweepSpec { node_counts: vec![1, 4, 32], lwp_fractions: vec![0.0, 0.5, 1.0] };
+        let spec = SweepSpec {
+            node_counts: vec![1, 4, 32],
+            lwp_fractions: vec![0.0, 0.5, 1.0],
+        };
         run_sweep(SystemConfig::table1(), &spec, EvalMode::Expected, 2)
     }
 

@@ -35,7 +35,11 @@ pub enum EvalMode {
 impl EvalMode {
     /// A reasonable default for sweeps: 200k sampled operations, batched 64 per event.
     pub fn sampled(seed: u64) -> Self {
-        EvalMode::Simulated { sim_ops: Some(200_000), ops_per_event: 64, seed }
+        EvalMode::Simulated {
+            sim_ops: Some(200_000),
+            ops_per_event: 64,
+            seed,
+        }
     }
 }
 
@@ -96,7 +100,10 @@ impl PartitionStudy {
     /// Simulate the control system; returns the (rescaled) time in ns.
     pub fn simulate_control_ns(&self, sim_ops: Option<u64>, ops_per_event: u64, seed: u64) -> f64 {
         let (ops, scale) = self.scaled_ops(sim_ops);
-        let cfg = SystemConfig { total_ops: ops, ..self.config };
+        let cfg = SystemConfig {
+            total_ops: ops,
+            ..self.config
+        };
         let p = WorkPartition::new(ops, 0.0);
         run_queueing(cfg, p, RunMode::Control, ops_per_event, seed).makespan_ns * scale
     }
@@ -111,7 +118,10 @@ impl PartitionStudy {
         seed: u64,
     ) -> f64 {
         let (ops, scale) = self.scaled_ops(sim_ops);
-        let cfg = SystemConfig { total_ops: ops, ..self.config };
+        let cfg = SystemConfig {
+            total_ops: ops,
+            ..self.config
+        };
         let p = WorkPartition::new(ops, wl);
         run_queueing(cfg, p, RunMode::Test { nodes }, ops_per_event, seed).makespan_ns * scale
     }
@@ -134,7 +144,11 @@ impl PartitionStudy {
     pub fn evaluate(&self, nodes: usize, wl: f64, mode: EvalMode) -> TradeoffPoint {
         let (control_ns, test_ns) = match mode {
             EvalMode::Expected => (self.expected_control_ns(), self.expected_test_ns(nodes, wl)),
-            EvalMode::Simulated { sim_ops, ops_per_event, seed } => (
+            EvalMode::Simulated {
+                sim_ops,
+                ops_per_event,
+                seed,
+            } => (
                 self.simulate_control_ns(sim_ops, ops_per_event, seed),
                 self.simulate_test_ns(nodes, wl, sim_ops, ops_per_event, seed.wrapping_add(1)),
             ),

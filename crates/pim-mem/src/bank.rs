@@ -105,9 +105,15 @@ mod tests {
         let mut b = bank();
         // Row is 2048 bits = 256 bytes; page is 256 bits = 32 bytes => 8 pages/row.
         let first = b.access(0);
-        assert!((first - 22.0).abs() < 1e-12, "cold access = row + page = 22 ns, got {first}");
+        assert!(
+            (first - 22.0).abs() < 1e-12,
+            "cold access = row + page = 22 ns, got {first}"
+        );
         let second = b.access(32);
-        assert!((second - 2.0).abs() < 1e-12, "open-row access = 2 ns, got {second}");
+        assert!(
+            (second - 2.0).abs() < 1e-12,
+            "open-row access = 2 ns, got {second}"
+        );
         assert!((b.row_hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -148,7 +154,10 @@ mod tests {
         }
         let achieved = b.achieved_bandwidth_gbit_per_s();
         let peak = DramTiming::default().peak_bandwidth_gbit_per_s();
-        assert!(achieved < peak / 3.0, "random-row bandwidth {achieved} vs peak {peak}");
+        assert!(
+            achieved < peak / 3.0,
+            "random-row bandwidth {achieved} vs peak {peak}"
+        );
         assert_eq!(b.row_hit_rate(), 0.0);
     }
 

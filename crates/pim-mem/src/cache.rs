@@ -51,8 +51,16 @@ pub struct StatisticalCache {
 impl StatisticalCache {
     /// Create a statistical cache with miss probability `p_miss`, drawing from `stream`.
     pub fn new(p_miss: f64, stream: RandomStream) -> Self {
-        assert!((0.0..=1.0).contains(&p_miss), "miss probability out of range: {p_miss}");
-        StatisticalCache { p_miss, stream, hits: 0, misses: 0 }
+        assert!(
+            (0.0..=1.0).contains(&p_miss),
+            "miss probability out of range: {p_miss}"
+        );
+        StatisticalCache {
+            p_miss,
+            stream,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Configured miss probability.
@@ -97,7 +105,10 @@ pub struct SetAssociativeCache {
 impl SetAssociativeCache {
     /// Create a cache of `capacity_bytes` with the given line size and associativity.
     pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0, "associativity must be positive");
         let lines = (capacity_bytes / line_bytes).max(1) as usize;
         let sets = (lines / ways).max(1);
@@ -177,7 +188,13 @@ impl SectorCache {
     /// Create a sector cache holding `open_slots` rows of `row_bytes` bytes each.
     pub fn new(row_bytes: u64, open_slots: usize) -> Self {
         assert!(open_slots > 0, "sector cache needs at least one slot");
-        SectorCache { row_bytes, open_slots, open_rows: Vec::new(), hits: 0, misses: 0 }
+        SectorCache {
+            row_bytes,
+            open_slots,
+            open_rows: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Effective capacity in bytes.
@@ -221,7 +238,11 @@ mod tests {
         for a in 0..50_000u64 {
             c.access(a);
         }
-        assert!((c.miss_rate() - 0.1).abs() < 0.01, "miss rate {}", c.miss_rate());
+        assert!(
+            (c.miss_rate() - 0.1).abs() < 0.01,
+            "miss rate {}",
+            c.miss_rate()
+        );
         assert_eq!(c.hits() + c.misses(), 50_000);
         assert!((c.p_miss() - 0.1).abs() < 1e-12);
     }

@@ -26,11 +26,18 @@ pub struct DramMacro {
 
 impl DramMacro {
     /// Create a macro with `banks` banks of `rows_per_bank` rows each.
-    pub fn new(timing: DramTiming, banks: usize, rows_per_bank: u64, interleave: Interleave) -> Self {
+    pub fn new(
+        timing: DramTiming,
+        banks: usize,
+        rows_per_bank: u64,
+        interleave: Interleave,
+    ) -> Self {
         assert!(banks > 0, "a macro needs at least one bank");
         DramMacro {
             timing,
-            banks: (0..banks).map(|_| Bank::new(timing, rows_per_bank)).collect(),
+            banks: (0..banks)
+                .map(|_| Bank::new(timing, rows_per_bank))
+                .collect(),
             interleave,
         }
     }
@@ -180,6 +187,8 @@ mod tests {
     fn more_banks_more_peak_bandwidth() {
         let one = DramMacro::new(DramTiming::default(), 1, 64, Interleave::RowInterleaved);
         let four = DramMacro::new(DramTiming::default(), 4, 64, Interleave::RowInterleaved);
-        assert!((four.peak_bandwidth_gbit_per_s() - 4.0 * one.peak_bandwidth_gbit_per_s()).abs() < 1e-9);
+        assert!(
+            (four.peak_bandwidth_gbit_per_s() - 4.0 * one.peak_bandwidth_gbit_per_s()).abs() < 1e-9
+        );
     }
 }

@@ -44,7 +44,12 @@ pub struct PimChip {
 
 impl PimChip {
     /// Build a chip with `nodes` nodes, each owning `rows_per_node` DRAM rows.
-    pub fn new(nodes: usize, rows_per_node: u64, timing: DramTiming, processor: ProcessorTiming) -> Self {
+    pub fn new(
+        nodes: usize,
+        rows_per_node: u64,
+        timing: DramTiming,
+        processor: ProcessorTiming,
+    ) -> Self {
         assert!(nodes > 0, "a PIM chip needs at least one node");
         PimChip {
             nodes: (0..nodes)
@@ -60,7 +65,12 @@ impl PimChip {
 
     /// A chip with the paper's default timing and the given node count.
     pub fn with_nodes(nodes: usize) -> Self {
-        PimChip::new(nodes, 8192, DramTiming::default(), ProcessorTiming::lightweight())
+        PimChip::new(
+            nodes,
+            8192,
+            DramTiming::default(),
+            ProcessorTiming::lightweight(),
+        )
     }
 
     /// Number of nodes on the chip.
@@ -125,7 +135,11 @@ impl PimMemorySystem {
     /// Build a system of `chips` identical chips with `nodes_per_chip` nodes each.
     pub fn new(chips: usize, nodes_per_chip: usize) -> Self {
         assert!(chips > 0, "a memory system needs at least one chip");
-        PimMemorySystem { chips: (0..chips).map(|_| PimChip::with_nodes(nodes_per_chip)).collect() }
+        PimMemorySystem {
+            chips: (0..chips)
+                .map(|_| PimChip::with_nodes(nodes_per_chip))
+                .collect(),
+        }
     }
 
     /// Number of chips.
@@ -140,7 +154,10 @@ impl PimMemorySystem {
 
     /// System-wide peak bandwidth in Tbit/s.
     pub fn peak_bandwidth_tbit_per_s(&self) -> f64 {
-        self.chips.iter().map(|c| c.peak_bandwidth_tbit_per_s()).sum()
+        self.chips
+            .iter()
+            .map(|c| c.peak_bandwidth_tbit_per_s())
+            .sum()
     }
 
     /// Access chip `i`.
@@ -157,7 +174,9 @@ mod tests {
     fn chip_bandwidth_scales_with_nodes() {
         let c8 = PimChip::with_nodes(8);
         let c16 = PimChip::with_nodes(16);
-        assert!((c16.peak_bandwidth_gbit_per_s() - 2.0 * c8.peak_bandwidth_gbit_per_s()).abs() < 1e-9);
+        assert!(
+            (c16.peak_bandwidth_gbit_per_s() - 2.0 * c8.peak_bandwidth_gbit_per_s()).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -209,6 +228,9 @@ mod tests {
         let sys = PimMemorySystem::new(4, 16);
         assert_eq!(sys.chip_count(), 4);
         assert_eq!(sys.total_nodes(), 64);
-        assert!((sys.peak_bandwidth_tbit_per_s() - 4.0 * sys.chip(0).peak_bandwidth_tbit_per_s()).abs() < 1e-9);
+        assert!(
+            (sys.peak_bandwidth_tbit_per_s() - 4.0 * sys.chip(0).peak_bandwidth_tbit_per_s()).abs()
+                < 1e-9
+        );
     }
 }

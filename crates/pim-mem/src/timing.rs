@@ -75,12 +75,20 @@ pub struct ProcessorTiming {
 impl ProcessorTiming {
     /// The paper's heavyweight processor: 1 ns cycle, 2-cycle cache, 90-cycle memory.
     pub fn heavyweight() -> Self {
-        ProcessorTiming { cycle_ns: 1.0, cache_access_cycles: 2, memory_access_cycles: 90 }
+        ProcessorTiming {
+            cycle_ns: 1.0,
+            cache_access_cycles: 2,
+            memory_access_cycles: 90,
+        }
     }
 
     /// The paper's lightweight PIM node: 5 ns cycle, no cache, 30-cycle local memory.
     pub fn lightweight() -> Self {
-        ProcessorTiming { cycle_ns: 5.0, cache_access_cycles: 0, memory_access_cycles: 30 }
+        ProcessorTiming {
+            cycle_ns: 5.0,
+            cache_access_cycles: 0,
+            memory_access_cycles: 30,
+        }
     }
 
     /// Cache access latency in nanoseconds.
@@ -112,8 +120,14 @@ mod tests {
     fn single_macro_exceeds_50_gbit_claim() {
         // Paper §2.1: "a single on-chip DRAM macro could sustain a bandwidth of over 50 Gbit/s".
         let bw = DramTiming::default().peak_bandwidth_gbit_per_s();
-        assert!(bw > 50.0, "peak macro bandwidth {bw} Gbit/s should exceed 50 Gbit/s");
-        assert!(bw < 100.0, "peak macro bandwidth {bw} Gbit/s implausibly high");
+        assert!(
+            bw > 50.0,
+            "peak macro bandwidth {bw} Gbit/s should exceed 50 Gbit/s"
+        );
+        assert!(
+            bw < 100.0,
+            "peak macro bandwidth {bw} Gbit/s implausibly high"
+        );
     }
 
     #[test]
@@ -134,7 +148,10 @@ mod tests {
 
     #[test]
     fn pages_per_row_guard_against_zero() {
-        let t = DramTiming { page_bits: 4096, ..Default::default() };
+        let t = DramTiming {
+            page_bits: 4096,
+            ..Default::default()
+        };
         assert_eq!(t.pages_per_row(), 1);
     }
 }

@@ -65,7 +65,10 @@ impl ParcelConfig {
             return Err("cycle time must be positive".into());
         }
         if !(0.0..=1.0).contains(&self.remote_fraction) {
-            return Err(format!("remote fraction out of range: {}", self.remote_fraction));
+            return Err(format!(
+                "remote fraction out of range: {}",
+                self.remote_fraction
+            ));
         }
         if self.latency_cycles < 0.0 {
             return Err("latency cannot be negative".into());
@@ -138,20 +141,32 @@ mod tests {
 
     #[test]
     fn remote_probability_composes_mix_and_fraction() {
-        let c = ParcelConfig { remote_fraction: 0.5, ..Default::default() };
+        let c = ParcelConfig {
+            remote_fraction: 0.5,
+            ..Default::default()
+        };
         assert!((c.remote_prob_per_op() - 0.15).abs() < 1e-12);
     }
 
     #[test]
     fn expected_run_shrinks_with_remote_fraction() {
-        let near = ParcelConfig { remote_fraction: 0.1, ..Default::default() };
-        let far = ParcelConfig { remote_fraction: 0.9, ..Default::default() };
+        let near = ParcelConfig {
+            remote_fraction: 0.1,
+            ..Default::default()
+        };
+        let far = ParcelConfig {
+            remote_fraction: 0.9,
+            ..Default::default()
+        };
         assert!(near.expected_run_cycles() > far.expected_run_cycles());
     }
 
     #[test]
     fn zero_remote_fraction_means_infinite_run() {
-        let c = ParcelConfig { remote_fraction: 0.0, ..Default::default() };
+        let c = ParcelConfig {
+            remote_fraction: 0.0,
+            ..Default::default()
+        };
         assert!(c.expected_run_cycles().is_infinite());
     }
 
@@ -185,7 +200,11 @@ mod tests {
 
     #[test]
     fn round_trip_and_horizon_conversions() {
-        let c = ParcelConfig { latency_cycles: 500.0, cycle_ns: 2.0, ..Default::default() };
+        let c = ParcelConfig {
+            latency_cycles: 500.0,
+            cycle_ns: 2.0,
+            ..Default::default()
+        };
         assert!((c.round_trip_cycles() - 1000.0).abs() < 1e-12);
         assert!((c.horizon_ns() - c.horizon_cycles * 2.0).abs() < 1e-9);
     }

@@ -76,7 +76,11 @@ impl LatencyHidingSpec {
     /// The grid used for the Figure 11 reproduction.
     pub fn figure11() -> Self {
         LatencyHidingSpec {
-            base: ParcelConfig { nodes: 4, horizon_cycles: 1_000_000.0, ..Default::default() },
+            base: ParcelConfig {
+                nodes: 4,
+                horizon_cycles: 1_000_000.0,
+                ..Default::default()
+            },
             parallelism: vec![1, 2, 4, 8, 16, 32],
             remote_fractions: vec![0.2, 0.4, 0.6, 0.8],
             latencies: vec![10.0, 100.0, 1_000.0, 10_000.0],
@@ -86,7 +90,9 @@ impl LatencyHidingSpec {
 
     /// Enumerate the configurations of every grid point.
     pub fn configs(&self) -> Vec<ParcelConfig> {
-        let mut out = Vec::with_capacity(self.parallelism.len() * self.remote_fractions.len() * self.latencies.len());
+        let mut out = Vec::with_capacity(
+            self.parallelism.len() * self.remote_fractions.len() * self.latencies.len(),
+        );
         for &p in &self.parallelism {
             for &r in &self.remote_fractions {
                 for &l in &self.latencies {
@@ -155,7 +161,11 @@ impl IdleTimeSpec {
         let mut out = Vec::with_capacity(self.node_counts.len() * self.parallelism.len());
         for &n in &self.node_counts {
             for &p in &self.parallelism {
-                out.push(ParcelConfig { nodes: n, parallelism: p, ..self.base });
+                out.push(ParcelConfig {
+                    nodes: n,
+                    parallelism: p,
+                    ..self.base
+                });
             }
         }
         out
@@ -189,13 +199,18 @@ where
             }
         });
     }
-    results.into_iter().map(|r| r.expect("every point evaluated")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every point evaluated"))
+        .collect()
 }
 
 /// Run the Figure 11 sweep.
 pub fn run_latency_hiding(spec: &LatencyHidingSpec, threads: usize) -> Vec<LatencyHidingPoint> {
     let configs = spec.configs();
-    parallel_map(&configs, threads, |i, c| evaluate_point(c, spec.seed.wrapping_add(i as u64 * 131)))
+    parallel_map(&configs, threads, |i, c| {
+        evaluate_point(c, spec.seed.wrapping_add(i as u64 * 131))
+    })
 }
 
 /// Run the Figure 12 sweep.
@@ -221,7 +236,11 @@ mod tests {
     use super::*;
 
     fn small_base() -> ParcelConfig {
-        ParcelConfig { nodes: 2, horizon_cycles: 120_000.0, ..Default::default() }
+        ParcelConfig {
+            nodes: 2,
+            horizon_cycles: 120_000.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -267,7 +286,11 @@ mod tests {
     #[test]
     fn idle_time_sweep_shows_test_system_idle_collapsing() {
         let spec = IdleTimeSpec {
-            base: ParcelConfig { latency_cycles: 1_000.0, remote_fraction: 0.4, ..small_base() },
+            base: ParcelConfig {
+                latency_cycles: 1_000.0,
+                remote_fraction: 0.4,
+                ..small_base()
+            },
             node_counts: vec![1, 4],
             parallelism: vec![1, 64],
             seed: 42,
@@ -276,9 +299,17 @@ mod tests {
         assert_eq!(points.len(), 4);
         for p in &points {
             // The control system is always mostly idle at this latency.
-            assert!(p.control_idle_fraction > 0.5, "control idle {}", p.control_idle_fraction);
+            assert!(
+                p.control_idle_fraction > 0.5,
+                "control idle {}",
+                p.control_idle_fraction
+            );
             if p.parallelism == 64 {
-                assert!(p.test_idle_fraction < 0.05, "test idle {}", p.test_idle_fraction);
+                assert!(
+                    p.test_idle_fraction < 0.05,
+                    "test idle {}",
+                    p.test_idle_fraction
+                );
             } else {
                 // With one parcel per processor the test system is as idle as the control.
                 assert!(p.test_idle_fraction > 0.5);

@@ -57,7 +57,5 @@ pub mod prelude {
     pub use crate::parcel::{Action, Parcel, ParcelId, ParcelMemory, Wrapper};
     pub use crate::results::{figure11_table, figure12_table};
     pub use crate::runs::{LocalOpDist, Run, RunSampler};
-    pub use crate::test_system::{
-        run_test, run_test_with_options, RemoteService, TestSystem,
-    };
+    pub use crate::test_system::{run_test, run_test_with_options, RemoteService, TestSystem};
 }

@@ -85,7 +85,12 @@ impl MeshNetwork {
     pub fn for_nodes(nodes: usize, base_cycles: f64, per_hop_cycles: f64) -> Self {
         assert!(nodes > 0, "mesh needs at least one node");
         let (width, height) = grid_dims(nodes);
-        MeshNetwork { base_cycles, per_hop_cycles, width, height }
+        MeshNetwork {
+            base_cycles,
+            per_hop_cycles,
+            width,
+            height,
+        }
     }
 
     fn coords(&self, node: usize) -> (isize, isize) {
@@ -126,7 +131,12 @@ impl TorusNetwork {
     pub fn for_nodes(nodes: usize, base_cycles: f64, per_hop_cycles: f64) -> Self {
         assert!(nodes > 0, "torus needs at least one node");
         let (width, height) = grid_dims(nodes);
-        TorusNetwork { base_cycles, per_hop_cycles, width, height }
+        TorusNetwork {
+            base_cycles,
+            per_hop_cycles,
+            width,
+            height,
+        }
     }
 
     fn hops(&self, src: usize, dst: usize) -> f64 {
@@ -178,12 +188,14 @@ impl NetworkKind {
     pub fn build(&self, nodes: usize) -> Box<dyn NetworkModel + Send + Sync> {
         match *self {
             NetworkKind::Flat { cycles } => Box::new(FlatLatency::new(cycles)),
-            NetworkKind::Mesh { base_cycles, per_hop_cycles } => {
-                Box::new(MeshNetwork::for_nodes(nodes, base_cycles, per_hop_cycles))
-            }
-            NetworkKind::Torus { base_cycles, per_hop_cycles } => {
-                Box::new(TorusNetwork::for_nodes(nodes, base_cycles, per_hop_cycles))
-            }
+            NetworkKind::Mesh {
+                base_cycles,
+                per_hop_cycles,
+            } => Box::new(MeshNetwork::for_nodes(nodes, base_cycles, per_hop_cycles)),
+            NetworkKind::Torus {
+                base_cycles,
+                per_hop_cycles,
+            } => Box::new(TorusNetwork::for_nodes(nodes, base_cycles, per_hop_cycles)),
         }
     }
 }
@@ -249,8 +261,14 @@ mod tests {
     fn network_kind_builds_working_models() {
         for kind in [
             NetworkKind::Flat { cycles: 100.0 },
-            NetworkKind::Mesh { base_cycles: 5.0, per_hop_cycles: 2.0 },
-            NetworkKind::Torus { base_cycles: 5.0, per_hop_cycles: 2.0 },
+            NetworkKind::Mesh {
+                base_cycles: 5.0,
+                per_hop_cycles: 2.0,
+            },
+            NetworkKind::Torus {
+                base_cycles: 5.0,
+                per_hop_cycles: 2.0,
+            },
         ] {
             let model = kind.build(16);
             assert_eq!(model.latency_cycles(3, 3), 0.0);

@@ -37,7 +37,12 @@ impl SystemOutcome {
     pub fn from_nodes(horizon_cycles: f64, nodes: Vec<NodeOutcome>) -> Self {
         let total_work_ops = nodes.iter().map(|n| n.work_ops).sum();
         let total_remote_accesses = nodes.iter().map(|n| n.remote_accesses).sum();
-        SystemOutcome { horizon_cycles, nodes, total_work_ops, total_remote_accesses }
+        SystemOutcome {
+            horizon_cycles,
+            nodes,
+            total_work_ops,
+            total_remote_accesses,
+        }
     }
 
     /// Number of nodes.
@@ -82,7 +87,12 @@ mod tests {
     use super::*;
 
     fn node(work: u64, busy: f64, idle: f64) -> NodeOutcome {
-        NodeOutcome { work_ops: work, busy_cycles: busy, idle_cycles: idle, remote_accesses: 2 }
+        NodeOutcome {
+            work_ops: work,
+            busy_cycles: busy,
+            idle_cycles: idle,
+            remote_accesses: 2,
+        }
     }
 
     #[test]

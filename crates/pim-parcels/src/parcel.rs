@@ -95,15 +95,20 @@ pub struct Parcel {
 impl Parcel {
     /// Build a request parcel.
     pub fn request(id: ParcelId, src: usize, dst: usize, dest_vaddr: u64, action: Action) -> Self {
-        let size = 32 + 8 * match &action {
-            Action::Write { .. } | Action::AtomicAdd { .. } => 1,
-            Action::CompareSwap { .. } => 2,
-            Action::MethodInvoke { .. } => 2,
-            Action::Read => 0,
-        };
+        let size = 32
+            + 8 * match &action {
+                Action::Write { .. } | Action::AtomicAdd { .. } => 1,
+                Action::CompareSwap { .. } => 2,
+                Action::MethodInvoke { .. } => 2,
+                Action::Read => 0,
+            };
         Parcel {
             id,
-            wrapper: Wrapper { src_node: src, dst_node: dst, size_bytes: size },
+            wrapper: Wrapper {
+                src_node: src,
+                dst_node: dst,
+                size_bytes: size,
+            },
             dest_vaddr,
             action,
             operands: Vec::new(),
@@ -199,22 +204,53 @@ mod tests {
     fn reply_expectations_by_action() {
         assert!(Action::Read.expects_reply());
         assert!(Action::AtomicAdd { delta: 1 }.expects_reply());
-        assert!(Action::CompareSwap { expected: 0, new: 1 }.expects_reply());
-        assert!(Action::MethodInvoke { code_block: 7, cost_ops: 20 }.expects_reply());
+        assert!(Action::CompareSwap {
+            expected: 0,
+            new: 1
+        }
+        .expects_reply());
+        assert!(Action::MethodInvoke {
+            code_block: 7,
+            cost_ops: 20
+        }
+        .expects_reply());
         assert!(!Action::Write { value: 5 }.expects_reply());
     }
 
     #[test]
     fn service_cost_reflects_method_body() {
         assert_eq!(Action::Read.service_ops(), 1);
-        assert_eq!(Action::MethodInvoke { code_block: 1, cost_ops: 64 }.service_ops(), 64);
-        assert_eq!(Action::MethodInvoke { code_block: 1, cost_ops: 0 }.service_ops(), 1);
+        assert_eq!(
+            Action::MethodInvoke {
+                code_block: 1,
+                cost_ops: 64
+            }
+            .service_ops(),
+            64
+        );
+        assert_eq!(
+            Action::MethodInvoke {
+                code_block: 1,
+                cost_ops: 0
+            }
+            .service_ops(),
+            1
+        );
     }
 
     #[test]
     fn request_size_grows_with_operands() {
         let read = Parcel::request(ParcelId(1), 0, 1, 0, Action::Read);
-        let cas = Parcel::request(ParcelId(2), 0, 1, 0, Action::CompareSwap { expected: 1, new: 2 });
+        let cas = Parcel::request(
+            ParcelId(2),
+            0,
+            1,
+            0,
+            Action::CompareSwap {
+                expected: 1,
+                new: 2,
+            },
+        );
         assert!(cas.wrapper.size_bytes > read.wrapper.size_bytes);
     }
 
@@ -226,10 +262,28 @@ mod tests {
         assert_eq!(m.apply(8, &Action::AtomicAdd { delta: 5 }), 10);
         assert_eq!(m.read(8), 15);
         // Successful CAS.
-        assert_eq!(m.apply(8, &Action::CompareSwap { expected: 15, new: 99 }), 15);
+        assert_eq!(
+            m.apply(
+                8,
+                &Action::CompareSwap {
+                    expected: 15,
+                    new: 99
+                }
+            ),
+            15
+        );
         assert_eq!(m.read(8), 99);
         // Failed CAS leaves the value unchanged.
-        assert_eq!(m.apply(8, &Action::CompareSwap { expected: 15, new: 1 }), 99);
+        assert_eq!(
+            m.apply(
+                8,
+                &Action::CompareSwap {
+                    expected: 15,
+                    new: 1
+                }
+            ),
+            99
+        );
         assert_eq!(m.read(8), 99);
     }
 
@@ -237,6 +291,15 @@ mod tests {
     fn method_invoke_reads_object_state() {
         let mut m = ParcelMemory::new();
         m.write(64, 1234);
-        assert_eq!(m.apply(64, &Action::MethodInvoke { code_block: 3, cost_ops: 10 }), 1234);
+        assert_eq!(
+            m.apply(
+                64,
+                &Action::MethodInvoke {
+                    code_block: 3,
+                    cost_ops: 10
+                }
+            ),
+            1234
+        );
     }
 }

@@ -6,8 +6,9 @@ use std::fmt::Write as _;
 /// Figure 11 as CSV: one row per (parallelism, remote fraction, latency) with the
 /// work ratio and the two idle fractions.
 pub fn figure11_table(points: &[LatencyHidingPoint]) -> String {
-    let mut out =
-        String::from("parallelism,remote_pct,latency_cycles,ops_ratio,test_idle_frac,control_idle_frac\n");
+    let mut out = String::from(
+        "parallelism,remote_pct,latency_cycles,ops_ratio,test_idle_frac,control_idle_frac\n",
+    );
     for p in points {
         let _ = writeln!(
             out,

@@ -42,13 +42,23 @@ impl LocalOpDist {
         let p_local_mem = mix * (1.0 - config.remote_fraction);
         let denom = p_compute + p_local_mem;
         if denom <= 0.0 {
-            return LocalOpDist { p_local_mem: 0.0, mem_cycles: config.local_memory_cycles, mean: 0.0, std_dev: 0.0 };
+            return LocalOpDist {
+                p_local_mem: 0.0,
+                mem_cycles: config.local_memory_cycles,
+                mean: 0.0,
+                std_dev: 0.0,
+            };
         }
         let p = p_local_mem / denom;
         let m = config.local_memory_cycles;
         let mean = (1.0 - p) * 1.0 + p * m;
         let var = (1.0 - p) * (1.0 - mean) * (1.0 - mean) + p * (m - mean) * (m - mean);
-        LocalOpDist { p_local_mem: p, mem_cycles: m, mean, std_dev: var.sqrt() }
+        LocalOpDist {
+            p_local_mem: p,
+            mem_cycles: m,
+            mean,
+            std_dev: var.sqrt(),
+        }
     }
 
     /// Mean cycles per local operation.
@@ -96,7 +106,10 @@ pub struct RunSampler {
 impl RunSampler {
     /// Build a sampler from the study configuration.
     pub fn new(config: &ParcelConfig) -> Self {
-        RunSampler { p_remote: config.remote_prob_per_op(), local: LocalOpDist::from_config(config) }
+        RunSampler {
+            p_remote: config.remote_prob_per_op(),
+            local: LocalOpDist::from_config(config),
+        }
     }
 
     /// Probability that an operation is a remote access.
@@ -117,20 +130,46 @@ impl RunSampler {
     /// marked as not ending in a remote access.
     pub fn sample_run(&self, max_cycles: f64, stream: &mut RandomStream) -> (Run, bool) {
         if max_cycles <= 0.0 {
-            return (Run { ops: 0, cycles: 0.0 }, false);
+            return (
+                Run {
+                    ops: 0,
+                    cycles: 0.0,
+                },
+                false,
+            );
         }
         if self.p_remote <= 0.0 {
             // No remote accesses ever: the run fills the remaining horizon.
-            let ops = if self.local.mean > 0.0 { (max_cycles / self.local.mean).floor() as u64 } else { 0 };
-            return (Run { ops, cycles: max_cycles }, false);
+            let ops = if self.local.mean > 0.0 {
+                (max_cycles / self.local.mean).floor() as u64
+            } else {
+                0
+            };
+            return (
+                Run {
+                    ops,
+                    cycles: max_cycles,
+                },
+                false,
+            );
         }
         let ops = stream.geometric(self.p_remote);
         let cycles = self.local.sample_total(ops, stream);
         if cycles >= max_cycles {
             // Truncate at the horizon; prorate the completed operations.
-            let frac = if cycles > 0.0 { max_cycles / cycles } else { 0.0 };
+            let frac = if cycles > 0.0 {
+                max_cycles / cycles
+            } else {
+                0.0
+            };
             let done = (ops as f64 * frac).floor() as u64;
-            (Run { ops: done, cycles: max_cycles }, false)
+            (
+                Run {
+                    ops: done,
+                    cycles: max_cycles,
+                },
+                false,
+            )
         } else {
             (Run { ops, cycles }, true)
         }
@@ -148,7 +187,10 @@ mod tests {
     use pim_workload::InstructionMix;
 
     fn config(remote_fraction: f64) -> ParcelConfig {
-        ParcelConfig { remote_fraction, ..Default::default() }
+        ParcelConfig {
+            remote_fraction,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -167,8 +209,12 @@ mod tests {
         let d = LocalOpDist::from_config(&config(0.2));
         let mut s = RandomStream::new(2, 1);
         let trials = 4_000;
-        let exact: f64 = (0..trials).map(|_| d.sample_total(60, &mut s)).sum::<f64>() / trials as f64;
-        let approx: f64 = (0..trials).map(|_| d.sample_total(600, &mut s)).sum::<f64>() / trials as f64;
+        let exact: f64 =
+            (0..trials).map(|_| d.sample_total(60, &mut s)).sum::<f64>() / trials as f64;
+        let approx: f64 = (0..trials)
+            .map(|_| d.sample_total(600, &mut s))
+            .sum::<f64>()
+            / trials as f64;
         assert!((exact - 60.0 * d.mean_cycles()).abs() / (60.0 * d.mean_cycles()) < 0.03);
         assert!((approx - 600.0 * d.mean_cycles()).abs() / (600.0 * d.mean_cycles()) < 0.03);
     }
@@ -192,7 +238,10 @@ mod tests {
             .sum::<f64>()
             / trials as f64;
         let expect = r.expected_run_cycles();
-        assert!((mean - expect).abs() / expect < 0.05, "mean {mean} expect {expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} expect {expect}"
+        );
     }
 
     #[test]

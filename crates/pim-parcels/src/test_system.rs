@@ -118,7 +118,9 @@ impl TestSystem {
         remote_service: RemoteService,
         seed: u64,
     ) -> Self {
-        config.validate().expect("invalid parcel-study configuration");
+        config
+            .validate()
+            .expect("invalid parcel-study configuration");
         TestSystem {
             sampler: RunSampler::new(&config),
             network,
@@ -174,16 +176,30 @@ impl TestSystem {
     }
 
     /// Start `job` on `node`'s execution unit (which must be free).
-    fn start_job(&mut self, node: usize, job: Job, now_cycles: f64, sched: &mut Scheduler<TestEvent>) {
-        debug_assert!(self.nodes[node].running.is_none(), "execution unit already busy");
+    fn start_job(
+        &mut self,
+        node: usize,
+        job: Job,
+        now_cycles: f64,
+        sched: &mut Scheduler<TestEvent>,
+    ) {
+        debug_assert!(
+            self.nodes[node].running.is_none(),
+            "execution unit already busy"
+        );
         let remaining = self.remaining_cycles(now_cycles);
         if remaining <= 0.0 {
             return;
         }
         let running = match job {
             Job::Local { ctx } => {
-                let (run, ends_remote) = self.sampler.sample_run(remaining, &mut self.streams[node]);
-                let issue = if ends_remote { 1.0 + self.config.parcel_overhead_cycles } else { 0.0 };
+                let (run, ends_remote) =
+                    self.sampler.sample_run(remaining, &mut self.streams[node]);
+                let issue = if ends_remote {
+                    1.0 + self.config.parcel_overhead_cycles
+                } else {
+                    0.0
+                };
                 RunningJob {
                     started_cycles: now_cycles,
                     duration_cycles: run.cycles + issue,
@@ -195,11 +211,18 @@ impl TestSystem {
                     },
                 }
             }
-            Job::Remote { reply_node, reply_ctx } => RunningJob {
+            Job::Remote {
+                reply_node,
+                reply_ctx,
+            } => RunningJob {
                 started_cycles: now_cycles,
-                duration_cycles: self.config.local_memory_cycles + self.config.parcel_overhead_cycles,
+                duration_cycles: self.config.local_memory_cycles
+                    + self.config.parcel_overhead_cycles,
                 ops: 1,
-                completion: Completion::Reply { node: reply_node, ctx: reply_ctx },
+                completion: Completion::Reply {
+                    node: reply_node,
+                    ctx: reply_ctx,
+                },
             },
         };
         sched.schedule_in(
@@ -210,7 +233,13 @@ impl TestSystem {
     }
 
     /// Make `job` runnable on `node`: start it if the unit is free, otherwise queue it.
-    fn make_ready(&mut self, node: usize, job: Job, now_cycles: f64, sched: &mut Scheduler<TestEvent>) {
+    fn make_ready(
+        &mut self,
+        node: usize,
+        job: Job,
+        now_cycles: f64,
+        sched: &mut Scheduler<TestEvent>,
+    ) {
         if self.nodes[node].running.is_none() {
             self.start_job(node, job, now_cycles, sched);
         } else {
@@ -235,7 +264,9 @@ impl TestSystem {
             let mut work = n.work_ops;
             let mut busy = n.busy_cycles;
             if let Some(run) = n.running {
-                let elapsed = (horizon - run.started_cycles).max(0.0).min(run.duration_cycles);
+                let elapsed = (horizon - run.started_cycles)
+                    .max(0.0)
+                    .min(run.duration_cycles);
                 busy += elapsed;
                 if run.duration_cycles > 0.0 {
                     work += (run.ops as f64 * elapsed / run.duration_cycles).floor() as u64;
@@ -259,7 +290,10 @@ impl Model for TestSystem {
         let now_cycles = self.cycles_of(now);
         match event {
             TestEvent::ServiceDone(node) => {
-                let finished = self.nodes[node].running.take().expect("service-done without a job");
+                let finished = self.nodes[node]
+                    .running
+                    .take()
+                    .expect("service-done without a job");
                 self.nodes[node].work_ops += finished.ops;
                 self.nodes[node].busy_cycles += finished.duration_cycles;
                 match finished.completion {
@@ -283,7 +317,10 @@ impl Model for TestSystem {
                             }
                         }
                     }
-                    Completion::Reply { node: reply_node, ctx } => {
+                    Completion::Reply {
+                        node: reply_node,
+                        ctx,
+                    } => {
                         let one_way = self.one_way_latency(node, reply_node);
                         sched.schedule_in(
                             SimDuration::from_ns_f64(one_way * self.config.cycle_ns),
@@ -300,7 +337,15 @@ impl Model for TestSystem {
                 self.make_ready(node, Job::Local { ctx }, now_cycles, sched);
             }
             TestEvent::ParcelArrive(node, src, ctx) => {
-                self.make_ready(node, Job::Remote { reply_node: src, reply_ctx: ctx }, now_cycles, sched);
+                self.make_ready(
+                    node,
+                    Job::Remote {
+                        reply_node: src,
+                        reply_ctx: ctx,
+                    },
+                    now_cycles,
+                    sched,
+                );
             }
         }
     }
@@ -338,7 +383,11 @@ mod tests {
     use crate::control::run_control;
 
     fn base_config() -> ParcelConfig {
-        ParcelConfig { nodes: 4, horizon_cycles: 300_000.0, ..Default::default() }
+        ParcelConfig {
+            nodes: 4,
+            horizon_cycles: 300_000.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -351,12 +400,20 @@ mod tests {
             ..base_config()
         };
         let out = run_test(config, 21);
-        assert!(out.idle_fraction() < 0.02, "idle fraction {}", out.idle_fraction());
+        assert!(
+            out.idle_fraction() < 0.02,
+            "idle fraction {}",
+            out.idle_fraction()
+        );
     }
 
     #[test]
     fn single_context_behaves_like_the_control_system_modulo_overhead() {
-        let config = ParcelConfig { parallelism: 1, latency_cycles: 500.0, ..base_config() };
+        let config = ParcelConfig {
+            parallelism: 1,
+            latency_cycles: 500.0,
+            ..base_config()
+        };
         let test = run_test(config, 23);
         let control = run_control(config, 23);
         let ratio = test.total_work_ops as f64 / control.total_work_ops as f64;
@@ -371,7 +428,11 @@ mod tests {
         // With a 500-cycle latency the node saturates around 8 contexts: below that,
         // work grows nearly linearly with parallelism; beyond it, extra contexts add
         // almost nothing.
-        let mk = |p| ParcelConfig { parallelism: p, latency_cycles: 500.0, ..base_config() };
+        let mk = |p| ParcelConfig {
+            parallelism: p,
+            latency_cycles: 500.0,
+            ..base_config()
+        };
         let w1 = run_test(mk(1), 31).total_work_ops;
         let w4 = run_test(mk(4), 31).total_work_ops;
         let w16 = run_test(mk(16), 31).total_work_ops;
@@ -379,7 +440,10 @@ mod tests {
         assert!(w4 > 3 * w1, "w1={w1} w4={w4}");
         assert!(w16 as f64 > 1.5 * w4 as f64, "w4={w4} w16={w16}");
         let gain_64_over_16 = w64 as f64 / w16 as f64;
-        assert!(gain_64_over_16 < 1.2, "saturated regime gain {gain_64_over_16}");
+        assert!(
+            gain_64_over_16 < 1.2,
+            "saturated regime gain {gain_64_over_16}"
+        );
     }
 
     #[test]
@@ -393,12 +457,19 @@ mod tests {
         let test = run_test(config, 41);
         let control = run_control(config, 41);
         let ratio = test.total_work_ops as f64 / control.total_work_ops as f64;
-        assert!(ratio > 5.0, "split transactions should win big here, ratio {ratio}");
+        assert!(
+            ratio > 5.0,
+            "split transactions should win big here, ratio {ratio}"
+        );
     }
 
     #[test]
     fn no_remote_accesses_make_both_systems_equal() {
-        let config = ParcelConfig { remote_fraction: 0.0, parallelism: 8, ..base_config() };
+        let config = ParcelConfig {
+            remote_fraction: 0.0,
+            parallelism: 8,
+            ..base_config()
+        };
         let test = run_test(config, 51);
         let control = run_control(config, 51);
         let ratio = test.total_work_ops as f64 / control.total_work_ops as f64;
@@ -443,7 +514,11 @@ mod tests {
 
     #[test]
     fn remote_accesses_are_counted() {
-        let config = ParcelConfig { remote_fraction: 0.5, parallelism: 4, ..base_config() };
+        let config = ParcelConfig {
+            remote_fraction: 0.5,
+            parallelism: 4,
+            ..base_config()
+        };
         let out = run_test(config, 81);
         assert!(out.total_remote_accesses > 100);
     }
@@ -452,11 +527,19 @@ mod tests {
     fn mesh_network_hides_less_latency_than_flat_with_equal_mean() {
         // Same mean latency, but the mesh's variance means some parcels return late;
         // the work totals should still be in the same ballpark.
-        let config = ParcelConfig { parallelism: 8, nodes: 16, ..base_config() };
+        let config = ParcelConfig {
+            parallelism: 8,
+            nodes: 16,
+            ..base_config()
+        };
         let flat = run_test(config, 91);
         let mesh = run_test_with_options(
             config,
-            Box::new(crate::network::MeshNetwork::for_nodes(16, config.latency_cycles, 10.0)),
+            Box::new(crate::network::MeshNetwork::for_nodes(
+                16,
+                config.latency_cycles,
+                10.0,
+            )),
             RemoteService::MemorySide,
             91,
         );

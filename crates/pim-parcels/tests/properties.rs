@@ -5,21 +5,23 @@ use proptest::prelude::*;
 
 fn small_config() -> impl Strategy<Value = ParcelConfig> {
     (
-        1usize..8,      // nodes
-        1usize..48,     // parallelism
-        0u32..=100,     // remote %
+        1usize..8,       // nodes
+        1usize..48,      // parallelism
+        0u32..=100,      // remote %
         0.0f64..3_000.0, // latency
-        0.0f64..16.0,   // overhead
+        0.0f64..16.0,    // overhead
     )
-        .prop_map(|(nodes, parallelism, remote_pct, latency, overhead)| ParcelConfig {
-            nodes,
-            parallelism,
-            remote_fraction: remote_pct as f64 / 100.0,
-            latency_cycles: latency,
-            parcel_overhead_cycles: overhead,
-            horizon_cycles: 60_000.0,
-            ..Default::default()
-        })
+        .prop_map(
+            |(nodes, parallelism, remote_pct, latency, overhead)| ParcelConfig {
+                nodes,
+                parallelism,
+                remote_fraction: remote_pct as f64 / 100.0,
+                latency_cycles: latency,
+                parcel_overhead_cycles: overhead,
+                horizon_cycles: 60_000.0,
+                ..Default::default()
+            },
+        )
 }
 
 proptest! {

@@ -86,7 +86,10 @@ impl Kernel {
                 lwp_fraction: 0.95,
                 mix: InstructionMix::with_memory_fraction(0.6),
                 remote_fraction: 0.9,
-                pattern: AddressPattern::UniformRandom { footprint: 1 << 30, line: 8 },
+                pattern: AddressPattern::UniformRandom {
+                    footprint: 1 << 30,
+                    line: 8,
+                },
             },
             Kernel::PointerChase => KernelProfile {
                 name: "pointer-chase".into(),
@@ -96,7 +99,10 @@ impl Kernel {
                 lwp_fraction: 0.85,
                 mix: InstructionMix::with_memory_fraction(0.45),
                 remote_fraction: 0.7,
-                pattern: AddressPattern::UniformRandom { footprint: 1 << 28, line: 64 },
+                pattern: AddressPattern::UniformRandom {
+                    footprint: 1 << 28,
+                    line: 64,
+                },
             },
             Kernel::Stencil2D => KernelProfile {
                 name: "stencil-2d".into(),
@@ -115,7 +121,11 @@ impl Kernel {
                 lwp_fraction: 0.70,
                 mix: InstructionMix::with_memory_fraction(0.5),
                 remote_fraction: 0.5,
-                pattern: AddressPattern::Zipf { footprint: 1 << 26, line: 8, exponent: 0.8 },
+                pattern: AddressPattern::Zipf {
+                    footprint: 1 << 26,
+                    line: 8,
+                    exponent: 0.8,
+                },
             },
             Kernel::BlockedGemm => KernelProfile {
                 name: "blocked-gemm".into(),
@@ -125,7 +135,11 @@ impl Kernel {
                 lwp_fraction: 0.05,
                 mix: InstructionMix::with_memory_fraction(0.25),
                 remote_fraction: 0.02,
-                pattern: AddressPattern::Zipf { footprint: 1 << 20, line: 64, exponent: 1.5 },
+                pattern: AddressPattern::Zipf {
+                    footprint: 1 << 20,
+                    line: 64,
+                    exponent: 1.5,
+                },
             },
         }
     }

@@ -29,7 +29,10 @@ impl WorkPartition {
             (0.0..=1.0).contains(&lwp_fraction),
             "LWP work fraction must lie in [0,1]: {lwp_fraction}"
         );
-        WorkPartition { total_ops, lwp_fraction }
+        WorkPartition {
+            total_ops,
+            lwp_fraction,
+        }
     }
 
     /// The paper's default total work of 10^8 operations with the given `%WL`.
@@ -73,7 +76,10 @@ impl ReuseProfile {
     /// Create a profile with reuse probability `reuse_prob` over a `working_set`-line
     /// LRU stack of `line_bytes`-byte lines.
     pub fn new(reuse_prob: f64, working_set: usize, line_bytes: u64, stream: RandomStream) -> Self {
-        assert!((0.0..=1.0).contains(&reuse_prob), "reuse probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&reuse_prob),
+            "reuse probability out of range"
+        );
         assert!(working_set > 0, "working set must be non-empty");
         ReuseProfile {
             reuse_prob,
@@ -177,7 +183,11 @@ mod tests {
         for a in hot.addresses(50_000) {
             cache.access(a);
         }
-        assert!(cache.miss_rate() < 0.2, "hot stream miss rate {}", cache.miss_rate());
+        assert!(
+            cache.miss_rate() < 0.2,
+            "hot stream miss rate {}",
+            cache.miss_rate()
+        );
 
         // No-locality stream against the same cache: very high miss rate.
         let mut cold = ReuseProfile::new(0.0, 64, 64, RandomStream::new(5, 4));
@@ -185,7 +195,11 @@ mod tests {
         for a in cold.addresses(50_000) {
             cache2.access(a);
         }
-        assert!(cache2.miss_rate() > 0.9, "cold stream miss rate {}", cache2.miss_rate());
+        assert!(
+            cache2.miss_rate() > 0.9,
+            "cold stream miss rate {}",
+            cache2.miss_rate()
+        );
     }
 
     #[test]

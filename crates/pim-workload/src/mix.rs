@@ -20,7 +20,10 @@ pub struct InstructionMix {
 impl InstructionMix {
     /// Build a mix from separate load and store fractions.
     pub fn new(load_fraction: f64, store_fraction: f64) -> Self {
-        let m = InstructionMix { load_fraction, store_fraction };
+        let m = InstructionMix {
+            load_fraction,
+            store_fraction,
+        };
         m.validate();
         m
     }

@@ -72,7 +72,10 @@ impl AddressPartition {
     pub fn new(nodes: usize, bytes_per_node: u64) -> Self {
         assert!(nodes > 0, "need at least one node");
         assert!(bytes_per_node > 0, "nodes must own a non-empty range");
-        AddressPartition { nodes, bytes_per_node }
+        AddressPartition {
+            nodes,
+            bytes_per_node,
+        }
     }
 
     /// Total bytes in the global space.
@@ -104,9 +107,14 @@ mod tests {
         let m = RemoteAccessModel::new(0.25);
         let mut s = RandomStream::new(8, 1);
         let n = 40_000;
-        let remote = (0..n).filter(|_| m.classify(&mut s) == AccessLocality::Remote).count();
+        let remote = (0..n)
+            .filter(|_| m.classify(&mut s) == AccessLocality::Remote)
+            .count();
         let frac = remote as f64 / n as f64;
-        assert!((frac - 0.25).abs() < 0.01, "empirical remote fraction {frac}");
+        assert!(
+            (frac - 0.25).abs() < 0.01,
+            "empirical remote fraction {frac}"
+        );
         assert!((m.expected_remote(1000) - 250.0).abs() < 1e-9);
     }
 
@@ -114,7 +122,10 @@ mod tests {
     fn uniform_over_nodes_formula() {
         assert!((RemoteAccessModel::uniform_over_nodes(1).remote_fraction - 0.0).abs() < 1e-12);
         assert!((RemoteAccessModel::uniform_over_nodes(2).remote_fraction - 0.5).abs() < 1e-12);
-        assert!((RemoteAccessModel::uniform_over_nodes(256).remote_fraction - 255.0 / 256.0).abs() < 1e-12);
+        assert!(
+            (RemoteAccessModel::uniform_over_nodes(256).remote_fraction - 255.0 / 256.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -61,12 +61,21 @@ impl OperationStream {
     /// Create a stream with the given mix, address pattern and random stream.
     pub fn new(mix: InstructionMix, pattern: AddressPattern, stream: RandomStream) -> Self {
         let zipf = match &pattern {
-            AddressPattern::Zipf { footprint, line, exponent } => {
-                Some(ZipfTable::new((footprint / line).max(1), *exponent))
-            }
+            AddressPattern::Zipf {
+                footprint,
+                line,
+                exponent,
+            } => Some(ZipfTable::new((footprint / line).max(1), *exponent)),
             _ => None,
         };
-        OperationStream { mix, pattern, stream, zipf, next_sequential: 0, emitted: 0 }
+        OperationStream {
+            mix,
+            pattern,
+            stream,
+            zipf,
+            next_sequential: 0,
+            emitted: 0,
+        }
     }
 
     /// The configured mix.
@@ -108,7 +117,11 @@ impl OperationStream {
         } else {
             OpKind::Compute
         };
-        let address = if kind == OpKind::Compute { 0 } else { self.next_address() };
+        let address = if kind == OpKind::Compute {
+            0
+        } else {
+            self.next_address()
+        };
         Operation { kind, address }
     }
 
@@ -169,7 +182,10 @@ mod tests {
 
     #[test]
     fn uniform_random_stays_in_footprint() {
-        let mut s = stream(AddressPattern::UniformRandom { footprint: 1 << 20, line: 64 });
+        let mut s = stream(AddressPattern::UniformRandom {
+            footprint: 1 << 20,
+            line: 64,
+        });
         for op in s.take_ops(10_000) {
             if op.kind != OpKind::Compute {
                 assert!(op.address < 1 << 20);
@@ -180,7 +196,11 @@ mod tests {
 
     #[test]
     fn zipf_pattern_is_skewed() {
-        let mut s = stream(AddressPattern::Zipf { footprint: 64 * 1024, line: 64, exponent: 1.2 });
+        let mut s = stream(AddressPattern::Zipf {
+            footprint: 64 * 1024,
+            line: 64,
+            exponent: 1.2,
+        });
         let addrs: Vec<u64> = s
             .take_ops(30_000)
             .into_iter()
@@ -188,7 +208,10 @@ mod tests {
             .map(|o| o.address)
             .collect();
         let hot = addrs.iter().filter(|&&a| a < 64 * 64).count() as f64;
-        assert!(hot / addrs.len() as f64 > 0.4, "Zipf stream should concentrate on low lines");
+        assert!(
+            hot / addrs.len() as f64 > 0.4,
+            "Zipf stream should concentrate on low lines"
+        );
     }
 
     #[test]

@@ -112,7 +112,10 @@ mod tests {
         assert_eq!(p.nodes(), 64);
         let max = p.max_ops();
         let min = p.ops_per_node().iter().copied().min().unwrap();
-        assert!(max - min <= 1, "uniform split must differ by at most one op");
+        assert!(
+            max - min <= 1,
+            "uniform split must differ by at most one op"
+        );
         assert!((p.imbalance() - 1.0).abs() < 1e-4);
     }
 
@@ -126,7 +129,11 @@ mod tests {
     fn skewed_partition_conserves_total() {
         let p = ThreadPartition::new(1_000_000, 16, ThreadBalance::Skewed { skew: 0.5 });
         assert_eq!(p.total_ops(), 1_000_000);
-        assert!(p.imbalance() > 1.2, "imbalance {} should reflect the skew", p.imbalance());
+        assert!(
+            p.imbalance() > 1.2,
+            "imbalance {} should reflect the skew",
+            p.imbalance()
+        );
         assert!(p.imbalance() < 1.6);
     }
 

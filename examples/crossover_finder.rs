@@ -16,7 +16,11 @@ use pim_repro::pim_core::prelude::*;
 /// Simulated gain for a (possibly fractional) node count, by interpolating between the
 /// two neighbouring integer node counts.
 fn simulated_gain(study: &PartitionStudy, n: f64, wl: f64, seed: u64) -> f64 {
-    let mode = |s| EvalMode::Simulated { sim_ops: Some(300_000), ops_per_event: 64, seed: s };
+    let mode = |s| EvalMode::Simulated {
+        sim_ops: Some(300_000),
+        ops_per_event: 64,
+        seed: s,
+    };
     let lo = n.floor().max(1.0) as usize;
     let hi = n.ceil().max(1.0) as usize;
     let g_lo = study.evaluate(lo, wl, mode(seed)).gain;
@@ -51,7 +55,12 @@ fn main() {
     println!("%WL    simulated crossover (gain = 1)");
     for wl in [0.25, 0.5, 0.75, 1.0] {
         let n = find_crossover(&study, wl);
-        println!("{:>4.0}%  {:>8.2}  (analytic {:.3})", wl * 100.0, n, analytic_nb);
+        println!(
+            "{:>4.0}%  {:>8.2}  (analytic {:.3})",
+            wl * 100.0,
+            n,
+            analytic_nb
+        );
     }
 
     println!("\nSensitivity: crossover vs host cache miss rate (100% LWP work)");

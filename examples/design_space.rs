@@ -12,10 +12,16 @@ use pim_repro::pim_core::prelude::*;
 fn main() {
     let config = SystemConfig::table1();
     let spec = SweepSpec::figure5_6();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     // Simulated sweep (what the paper's Workbench model produced).
-    let mode = EvalMode::Simulated { sim_ops: Some(200_000), ops_per_event: 64, seed: 2 };
+    let mode = EvalMode::Simulated {
+        sim_ops: Some(200_000),
+        ops_per_event: 64,
+        seed: 2,
+    };
     let sweep = run_sweep(config, &spec, mode, threads);
 
     println!("Performance gain (simulation), rows = %LWP work, columns = node count");
@@ -35,7 +41,11 @@ fn main() {
             p.nodes
         );
     }
-    let best = sweep.points.iter().max_by(|a, b| a.gain.partial_cmp(&b.gain).unwrap()).unwrap();
+    let best = sweep
+        .points
+        .iter()
+        .max_by(|a, b| a.gain.partial_cmp(&b.gain).unwrap())
+        .unwrap();
     println!(
         "Best point in this grid: {:.1}x at {}% LWP work on {} nodes",
         best.gain,
@@ -45,7 +55,11 @@ fn main() {
 
     // The analytical model and its break-even parameter.
     let model = AnalyticModel::new(config);
-    println!("\nAnalytical break-even: NB = {:.3} nodes (ceil = {})", model.nb(), model.break_even_nodes());
+    println!(
+        "\nAnalytical break-even: NB = {:.3} nodes (ceil = {})",
+        model.nb(),
+        model.break_even_nodes()
+    );
 
     // How well does the closed form track the simulation? (Paper: 5-18%.)
     let report = validate(config, &spec, mode, threads);

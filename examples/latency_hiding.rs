@@ -20,7 +20,11 @@ fn main() {
     println!("latency(cycles)  parallelism  ratio(sim)  ratio(analytic)  test idle  control idle");
     for &latency in &[100.0, 1_000.0, 10_000.0] {
         for &parallelism in &[1usize, 4, 16, 64] {
-            let config = ParcelConfig { latency_cycles: latency, parallelism, ..base };
+            let config = ParcelConfig {
+                latency_cycles: latency,
+                parallelism,
+                ..base
+            };
             let sim = evaluate_point(config, 7);
             let analytic = ParcelAnalyticModel::new(config);
             println!(
@@ -39,7 +43,10 @@ fn main() {
     // many in-flight parcels are needed to cover a round trip.
     println!("\nSaturation parallelism P* = (R + 1 + o + 2L) / (R + 1 + o):");
     for &latency in &[100.0, 1_000.0, 10_000.0] {
-        let config = ParcelConfig { latency_cycles: latency, ..base };
+        let config = ParcelConfig {
+            latency_cycles: latency,
+            ..base
+        };
         let p_star = ParcelAnalyticModel::new(config).saturation_parallelism();
         println!("  latency {latency:>7.0} cycles -> P* = {p_star:.1} parcels per node");
     }
@@ -47,7 +54,11 @@ fn main() {
     // And the flip side the paper warns about: a single parcel per node with a short
     // latency is *slower* than plain blocking message passing because of the parcel
     // handling overhead.
-    let config = ParcelConfig { latency_cycles: 20.0, parallelism: 1, ..base };
+    let config = ParcelConfig {
+        latency_cycles: 20.0,
+        parallelism: 1,
+        ..base
+    };
     let point = evaluate_point(config, 11);
     println!(
         "\nReversal region: 1 parcel/node at 20-cycle latency gives ratio {:.3} (< 1)",

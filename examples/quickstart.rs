@@ -14,20 +14,30 @@ fn main() {
     let study = PartitionStudy::table1();
     let config = *study.config();
     println!("Study 1: HWP/LWP partitioning");
-    println!("  expected HWP time per op : {:.2} ns", config.hwp_op_time_ns());
-    println!("  expected LWP time per op : {:.2} ns", config.lwp_op_time_ns());
+    println!(
+        "  expected HWP time per op : {:.2} ns",
+        config.hwp_op_time_ns()
+    );
+    println!(
+        "  expected LWP time per op : {:.2} ns",
+        config.lwp_op_time_ns()
+    );
     println!("  break-even node count NB : {:.3}", config.nb());
 
     // A data-intensive application (80% low-locality work) on a 32-node PIM memory,
     // evaluated both analytically and by the queuing simulation.
     let analytic = study.evaluate(32, 0.8, EvalMode::Expected);
     let simulated = study.evaluate(32, 0.8, EvalMode::sampled(1));
-    println!("  32 nodes, 80% LWP work   : gain {:.2}x (analytic) / {:.2}x (simulated)",
-        analytic.gain, simulated.gain);
+    println!(
+        "  32 nodes, 80% LWP work   : gain {:.2}x (analytic) / {:.2}x (simulated)",
+        analytic.gain, simulated.gain
+    );
 
     let model = AnalyticModel::table1();
-    println!("  normalized runtime at NB : {:.3} for any %WL (the Figure 7 coincidence point)",
-        model.time_relative(model.nb(), 0.5));
+    println!(
+        "  normalized runtime at NB : {:.3} for any %WL (the Figure 7 coincidence point)",
+        model.time_relative(model.nb(), 0.5)
+    );
 
     // ----- Study 2: parcel latency hiding -----
     println!("\nStudy 2: parcel split-transaction latency hiding");

@@ -40,7 +40,9 @@ impl Args {
         let mut it = raw.iter();
         while let Some(arg) = it.next() {
             let Some(name) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected argument '{arg}' (flags are --name value)"));
+                return Err(format!(
+                    "unexpected argument '{arg}' (flags are --name value)"
+                ));
             };
             if name == "simulate" || name == "help" {
                 flags.insert(name.to_string(), "true".to_string());
@@ -57,14 +59,18 @@ impl Args {
     fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got '{v}'")),
         }
     }
 
     fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got '{v}'")),
         }
     }
 
@@ -98,15 +104,31 @@ fn study_config(args: &Args) -> Result<SystemConfig, String> {
 }
 
 fn cmd_point(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["nodes", "wl", "pmiss", "mix", "lwp-cycle", "tml", "tmh", "simulate"])?;
+    args.reject_unknown(&[
+        "nodes",
+        "wl",
+        "pmiss",
+        "mix",
+        "lwp-cycle",
+        "tml",
+        "tmh",
+        "simulate",
+    ])?;
     let nodes = args.get_usize("nodes", 32)?;
+    if nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
     let wl = args.get_f64("wl", 0.8)?;
     if !(0.0..=1.0).contains(&wl) {
         return Err(format!("--wl must lie in [0,1], got {wl}"));
     }
     let config = study_config(args)?;
     let study = PartitionStudy::new(config);
-    let mode = if args.has("simulate") { EvalMode::sampled(1) } else { EvalMode::Expected };
+    let mode = if args.has("simulate") {
+        EvalMode::sampled(1)
+    } else {
+        EvalMode::Expected
+    };
     let point = study.evaluate(nodes, wl, mode);
     println!("nodes            : {nodes}");
     println!("%WL              : {:.0}%", wl * 100.0);
@@ -119,8 +141,19 @@ fn cmd_point(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["max-nodes", "pmiss", "mix", "lwp-cycle", "tml", "tmh", "simulate"])?;
+    args.reject_unknown(&[
+        "max-nodes",
+        "pmiss",
+        "mix",
+        "lwp-cycle",
+        "tml",
+        "tmh",
+        "simulate",
+    ])?;
     let max_nodes = args.get_usize("max-nodes", 64)?;
+    if max_nodes == 0 {
+        return Err("--max-nodes must be at least 1".into());
+    }
     let config = study_config(args)?;
     let mut node_counts = vec![];
     let mut n = 1;
@@ -128,8 +161,15 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         node_counts.push(n);
         n *= 2;
     }
-    let spec = SweepSpec { node_counts, lwp_fractions: (0..=10).map(|i| i as f64 / 10.0).collect() };
-    let mode = if args.has("simulate") { EvalMode::sampled(1) } else { EvalMode::Expected };
+    let spec = SweepSpec {
+        node_counts,
+        lwp_fractions: (0..=10).map(|i| i as f64 / 10.0).collect(),
+    };
+    let mode = if args.has("simulate") {
+        EvalMode::sampled(1)
+    } else {
+        EvalMode::Expected
+    };
     let sweep = run_sweep(config, &spec, mode, 4);
     print!("{}", csv_to_markdown(&figure5_gain_table(&sweep)));
     Ok(())
@@ -148,7 +188,14 @@ fn cmd_nb(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_parcels(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["parallelism", "latency", "remote", "nodes", "overhead", "mix"])?;
+    args.reject_unknown(&[
+        "parallelism",
+        "latency",
+        "remote",
+        "nodes",
+        "overhead",
+        "mix",
+    ])?;
     let config = ParcelConfig {
         nodes: args.get_usize("nodes", 8)?,
         parallelism: args.get_usize("parallelism", 16)?,
@@ -162,13 +209,26 @@ fn cmd_parcels(args: &Args) -> Result<(), String> {
     config.validate()?;
     let point = evaluate_point(config, 1);
     let analytic = ParcelAnalyticModel::new(config);
-    println!("nodes / parallelism      : {} / {}", config.nodes, config.parallelism);
-    println!("latency / remote fraction: {:.0} cycles / {:.0}%", config.latency_cycles, config.remote_fraction * 100.0);
+    println!(
+        "nodes / parallelism      : {} / {}",
+        config.nodes, config.parallelism
+    );
+    println!(
+        "latency / remote fraction: {:.0} cycles / {:.0}%",
+        config.latency_cycles,
+        config.remote_fraction * 100.0
+    );
     println!("work ratio (simulated)   : {:.3}x", point.ops_ratio);
     println!("work ratio (analytic)    : {:.3}x", analytic.ops_ratio());
     println!("test idle fraction       : {:.3}", point.test_idle_fraction);
-    println!("control idle fraction    : {:.3}", point.control_idle_fraction);
-    println!("saturation parallelism P*: {:.1}", analytic.saturation_parallelism());
+    println!(
+        "control idle fraction    : {:.3}",
+        point.control_idle_fraction
+    );
+    println!(
+        "saturation parallelism P*: {:.1}",
+        analytic.saturation_parallelism()
+    );
     Ok(())
 }
 

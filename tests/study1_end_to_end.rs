@@ -10,7 +10,11 @@ fn figure5_landmarks_from_simulation() {
     // Run the actual Figure 5 grid (simulated, reduced op count) and check the claims
     // the paper makes in prose about that figure.
     let spec = SweepSpec::figure5_6();
-    let mode = EvalMode::Simulated { sim_ops: Some(100_000), ops_per_event: 64, seed: 99 };
+    let mode = EvalMode::Simulated {
+        sim_ops: Some(100_000),
+        ops_per_event: 64,
+        seed: 99,
+    };
     let sweep = run_sweep(SystemConfig::table1(), &spec, mode, 4);
 
     // "even for a small amount of LWP work including PIMs in the system may double the
@@ -52,24 +56,43 @@ fn figure6_response_times_match_paper_scale() {
 
 #[test]
 fn analytic_model_validates_against_simulation_within_paper_band() {
-    let spec = SweepSpec { node_counts: vec![1, 4, 16, 64], lwp_fractions: vec![0.0, 0.5, 1.0] };
-    let mode = EvalMode::Simulated { sim_ops: Some(150_000), ops_per_event: 64, seed: 3 };
+    let spec = SweepSpec {
+        node_counts: vec![1, 4, 16, 64],
+        lwp_fractions: vec![0.0, 0.5, 1.0],
+    };
+    let mode = EvalMode::Simulated {
+        sim_ops: Some(150_000),
+        ops_per_event: 64,
+        seed: 3,
+    };
     let report = validate(SystemConfig::table1(), &spec, mode, 4);
     // The paper's two independently built models agreed within 5-18%; ours share
     // parameter definitions so the residual is sampling noise only.
-    assert!(report.max_relative_error < 0.05, "max error {}", report.max_relative_error);
+    assert!(
+        report.max_relative_error < 0.05,
+        "max error {}",
+        report.max_relative_error
+    );
 }
 
 #[test]
 fn simulation_and_formula_agree_through_the_whole_pipeline() {
     // WorkPartition (pim-workload) -> queuing model (pim-core/desim) -> closed form
     // (pim-analytic): one consistent answer.
-    let config = SystemConfig { total_ops: 300_000, ..SystemConfig::table1() };
+    let config = SystemConfig {
+        total_ops: 300_000,
+        ..SystemConfig::table1()
+    };
     let partition = WorkPartition::new(config.total_ops, 0.8);
     let sim = run_queueing(config, partition, RunMode::Test { nodes: 16 }, 64, 11);
     let analytic = AnalyticModel::new(config).test_time_ns(16.0, 0.8);
     let err = (sim.makespan_ns - analytic).abs() / analytic;
-    assert!(err < 0.03, "simulated {} vs analytic {} (err {err})", sim.makespan_ns, analytic);
+    assert!(
+        err < 0.03,
+        "simulated {} vs analytic {} (err {err})",
+        sim.makespan_ns,
+        analytic
+    );
 }
 
 #[test]
@@ -78,7 +101,11 @@ fn kernel_profiles_drive_the_partitioning_model() {
     // should be essentially unchanged.
     let study = PartitionStudy::table1();
     let gups = study.evaluate(32, Kernel::Gups.profile().lwp_fraction, EvalMode::Expected);
-    let gemm = study.evaluate(32, Kernel::BlockedGemm.profile().lwp_fraction, EvalMode::Expected);
+    let gemm = study.evaluate(
+        32,
+        Kernel::BlockedGemm.profile().lwp_fraction,
+        EvalMode::Expected,
+    );
     assert!(gups.gain > 5.0, "GUPS gain {}", gups.gain);
     assert!(gemm.gain < 1.1, "GEMM gain {}", gemm.gain);
 }
@@ -98,5 +125,8 @@ fn report_tables_are_well_formed_and_consistent() {
         assert!((p.gain * p.relative_time - 1.0).abs() < 1e-9);
     }
     // Markdown rendering keeps all rows.
-    assert_eq!(csv_to_markdown(&fig5).lines().count(), fig5.lines().count() + 1);
+    assert_eq!(
+        csv_to_markdown(&fig5).lines().count(),
+        fig5.lines().count() + 1
+    );
 }

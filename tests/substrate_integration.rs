@@ -4,7 +4,9 @@
 use pim_repro::desim::prelude::*;
 use pim_repro::desim::random::RandomStream;
 use pim_repro::pim_mem::{CacheModel, DramTiming, PimChip, SectorCache, SetAssociativeCache};
-use pim_repro::pim_workload::{AddressPattern, InstructionMix, OperationStream, OpKind, ReuseProfile};
+use pim_repro::pim_workload::{
+    AddressPattern, InstructionMix, OpKind, OperationStream, ReuseProfile,
+};
 
 #[test]
 fn mm1_queue_matches_theory_on_both_event_queue_implementations() {
@@ -20,9 +22,21 @@ fn mm1_queue_matches_theory_on_both_event_queue_implementations() {
     };
     let report = build().run(SimTime::from_us(4_000));
     let cpu = report.node("cpu").unwrap();
-    assert!((cpu.utilization - 0.8).abs() < 0.03, "rho {}", cpu.utilization);
-    assert!((cpu.mean_response_ns - 50.0).abs() / 50.0 < 0.12, "W {}", cpu.mean_response_ns);
-    assert!((cpu.mean_population - 4.0).abs() < 0.6, "L {}", cpu.mean_population);
+    assert!(
+        (cpu.utilization - 0.8).abs() < 0.03,
+        "rho {}",
+        cpu.utilization
+    );
+    assert!(
+        (cpu.mean_response_ns - 50.0).abs() / 50.0 < 0.12,
+        "W {}",
+        cpu.mean_response_ns
+    );
+    assert!(
+        (cpu.mean_population - 4.0).abs() < 0.6,
+        "L {}",
+        cpu.mean_population
+    );
 }
 
 #[test]
@@ -33,7 +47,9 @@ fn dram_macro_bandwidth_claims_from_section_2_1() {
     assert!(chip.peak_bandwidth_tbit_per_s() > 1.0);
     // Bandwidth is proportional to node count (the paper's claim).
     let chip64 = PimChip::with_nodes(64);
-    assert!((chip64.peak_bandwidth_tbit_per_s() / chip.peak_bandwidth_tbit_per_s() - 2.0).abs() < 1e-9);
+    assert!(
+        (chip64.peak_bandwidth_tbit_per_s() / chip.peak_bandwidth_tbit_per_s() - 2.0).abs() < 1e-9
+    );
 }
 
 #[test]
@@ -56,7 +72,11 @@ fn workload_locality_knob_reproduces_table1_miss_rate_regime() {
     for addr in cold.addresses(50_000) {
         cache.access(addr);
     }
-    assert!(cache.miss_rate() > 0.95, "no-reuse miss rate {}", cache.miss_rate());
+    assert!(
+        cache.miss_rate() > 0.95,
+        "no-reuse miss rate {}",
+        cache.miss_rate()
+    );
 }
 
 #[test]
@@ -92,7 +112,10 @@ fn pim_chip_streaming_accesses_hit_open_rows() {
         assert_eq!(node, 0);
         total_latency += latency;
     }
-    assert!(total_latency < 64.0 * 5.0, "streaming should average close to the 2 ns page access");
+    assert!(
+        total_latency < 64.0 * 5.0,
+        "streaming should average close to the 2 ns page access"
+    );
     // Touch another node: independent row buffer, so it misses once then hits.
     let (node, first) = chip.access(per_node + 7);
     assert_eq!(node, 1);
@@ -132,11 +155,17 @@ fn resource_statistics_survive_a_full_simulation() {
             }
         }
     }
-    let model = Loop { cpu: Resource::new("cpu", 1, SimTime::ZERO), remaining: 500 };
+    let model = Loop {
+        cpu: Resource::new("cpu", 1, SimTime::ZERO),
+        remaining: 500,
+    };
     let mut sim = Simulation::new(model);
     sim.scheduler().schedule_at(SimTime::ZERO, Ev::Arrive(0));
     sim.run();
     let now = sim.now();
     let util = sim.model().cpu.utilization(now);
-    assert!((util - 0.4).abs() < 0.05, "utilization {util} for a 40/100 load");
+    assert!(
+        (util - 0.4).abs() < 0.05,
+        "utilization {util} for a 40/100 load"
+    );
 }

@@ -1,0 +1,411 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this vendored crate provides the
+//! subset of the proptest API this workspace's property tests use, with one deliberate
+//! difference: **all runs are deterministic**. Real proptest seeds its RNG from the OS
+//! and persists failing cases to regression files; here every test function derives
+//! its seed from [`ProptestConfig::rng_seed`] (a fixed constant by default) mixed with
+//! the test's own name, so CI failures always reproduce locally with no state files.
+//!
+//! Supported surface:
+//! * the [`proptest!`] macro, including `#![proptest_config(...)]`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * range strategies (`0u64..100`, `0u32..=100`, `0.5f64..2.0`), tuples of
+//!   strategies, [`Strategy::prop_map`], [`collection::vec`] and [`any`];
+//! * no shrinking — a failing case panics with the generated inputs' debug
+//!   representation via the standard assertion message instead.
+
+#![deny(unsafe_code)]
+
+/// Runner configuration and the deterministic test RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SampleRange, SeedableRng, Standard};
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Base seed every test function's RNG derives from (mixed with the test
+        /// name). Fixed by default so runs are reproducible everywhere.
+        pub rng_seed: u64,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                rng_seed: 0x5EED_CAFE_F00D_0001,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` generated inputs per property (mirror of proptest's API).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+
+        /// Override the base RNG seed (extension; real proptest reads env vars).
+        pub fn with_rng_seed(mut self, seed: u64) -> Self {
+            self.rng_seed = seed;
+            self
+        }
+    }
+
+    /// The RNG handed to strategies: a deterministic xoshiro256++ stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Derive the RNG for one test function from the config seed and test name.
+        pub fn for_test(seed: u64, test_name: &str) -> Self {
+            // FNV-1a over the name keeps independent tests on independent streams.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(seed ^ h),
+            }
+        }
+
+        /// Sample uniformly from a range.
+        pub fn sample<S: SampleRange>(&mut self, range: S) -> S::Output {
+            range.sample_from(&mut self.inner)
+        }
+
+        /// Sample a standard-distribution value.
+        pub fn sample_standard<T: Standard>(&mut self) -> T {
+            T::from_raw(self.inner.next_u64())
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value` (mirror of proptest's trait;
+    /// generation only, no shrink tree).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with a function.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.sample(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    if span > u64::MAX as u128 {
+                        // The whole 64-bit domain: one raw draw.
+                        return rng.sample_standard::<u64>() as $t;
+                    }
+                    lo + rng.sample(0u64..span as u64) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u64, u32, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.sample(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($t:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($t,)+) = self;
+                    ($($t.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
+    }
+
+    /// Types with a canonical "anything" strategy (mirror of proptest's Arbitrary).
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.sample_standard()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.sample_standard()
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> usize {
+            rng.sample_standard::<u64>() as usize
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.sample_standard()
+        }
+    }
+
+    // No `Arbitrary for f64` on purpose: a lazy mapping from the raw draw would only
+    // cover [0, 1), silently unlike real proptest's full-domain (negatives, huge
+    // magnitudes, non-finite) `any::<f64>()`. Use an explicit range strategy instead;
+    // implement the full-domain version here if a test genuinely needs it.
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy of all values of `T` (mirror of `proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The admissible length specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element` and whose length is
+    /// drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.hi_exclusive - self.size.lo <= 1 {
+                self.size.lo
+            } else {
+                rng.sample(self.size.lo..self.size.hi_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Build a vector strategy (mirror of `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// One-stop import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert a condition inside a property (panics with the standard message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Define deterministic property tests (mirror of `proptest::proptest!`).
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` that runs the
+/// body [`ProptestConfig::cases`] times with inputs generated from a seed derived
+/// from the config's `rng_seed` and the test name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        cfg = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_test(__config.rng_seed, stringify!($name));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The harness itself: generated values respect their ranges.
+        #[test]
+        fn ranges_respected(x in 3u64..10, y in 0u32..=5, z in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 5);
+            prop_assert!((-2.0..2.0).contains(&z));
+        }
+
+        /// Vec strategies respect both fixed and ranged sizes.
+        #[test]
+        fn vec_sizes_respected(
+            xs in collection::vec(any::<bool>(), 7),
+            ys in collection::vec(0u64..100, 1..4),
+        ) {
+            prop_assert_eq!(xs.len(), 7);
+            prop_assert!((1..4).contains(&ys.len()));
+        }
+
+        /// prop_map composes.
+        #[test]
+        fn map_composes(s in (1u64..5, 1u64..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!((2..=8).contains(&s));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_test(1, "t");
+        let mut b = TestRng::for_test(1, "t");
+        for _ in 0..100 {
+            assert_eq!(a.sample(0u64..1000), b.sample(0u64..1000));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate provides
+//! the (small) subset of the `rand 0.8` API that the workspace actually uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded through
+//!   SplitMix64, exactly reproducible across platforms;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen`] for `f64`, `u64`, `u32`, `bool`;
+//! * [`Rng::gen_range`] for half-open integer and float ranges.
+//!
+//! The statistical quality of xoshiro256++ is more than adequate for the queuing
+//! simulations here; it is the same family the real `rand` crate has used for
+//! `SmallRng`. Swapping the real crate back in later only requires deleting this
+//! directory and pointing the manifests at crates.io.
+
+#![deny(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable generators (mirror of `rand::SeedableRng`, `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, expanding it with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled from a generator's raw 64-bit output
+/// (mirror of sampling from `rand`'s `Standard` distribution).
+pub trait Standard: Sized {
+    /// Convert one raw 64-bit draw into a value of this type.
+    fn from_raw(raw: u64) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_raw(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_raw(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_raw(raw: u64) -> Self {
+        raw >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits, matching `rand`'s convention.
+    #[inline]
+    fn from_raw(raw: u64) -> Self {
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges that can be sampled uniformly (mirror of `rand`'s `SampleRange`).
+pub trait SampleRange {
+    /// The element type produced by sampling.
+    type Output;
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Debiased multiply-shift (Lemire); span == 0 means the full u64 range.
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let t = span.wrapping_neg() % span;
+                    while lo < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                self.start + ((m >> 64) as u64) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u64, u32, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + (self.end - self.start) * f64::from_raw(rng.next_u64())
+    }
+}
+
+/// The raw 64-bit generator interface (mirror of `rand::RngCore`).
+pub trait RngCore {
+    /// Produce the next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods (mirror of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_raw(self.next_u64())
+    }
+
+    /// Sample uniformly from a range.
+    #[inline]
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::from_raw(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Named generators (mirror of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator, the stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let n = r.gen_range(0..17u64);
+            assert!(n < 17);
+        }
+    }
+
+    #[test]
+    fn range_mean_is_plausible() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| r.gen_range(0..1000u64)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 499.5).abs() < 5.0, "mean {mean}");
+    }
+}

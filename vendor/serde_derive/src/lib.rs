@@ -1,0 +1,465 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Because the build environment has no crates.io access, this proc-macro crate is
+//! written against the bare `proc_macro` API (no `syn`/`quote`). It parses the
+//! `DeriveInput` token stream by hand — attributes, visibility, `struct`/`enum`,
+//! named/tuple/unit shapes — and emits impls of the vendored `serde`'s value-tree
+//! `Serialize`/`Deserialize` traits as stringified code.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * structs with named fields, tuple structs (newtype and wider), unit structs;
+//! * enums with unit, newtype, tuple and struct variants, using serde's
+//!   externally-tagged representation.
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally unsupported and
+//! produce a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the item a derive was placed on.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant: name plus payload shape.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Parsed `DeriveInput`: type name + shape.
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Reject `#[serde(...)]` on a just-consumed attribute group: this vendored derive
+/// implements no serde attributes, and silently ignoring one would produce JSON that
+/// disagrees with what the annotation promises.
+fn reject_serde_attr(attr_group: Option<TokenTree>) {
+    if let Some(TokenTree::Group(g)) = attr_group {
+        if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+            if id.to_string() == "serde" {
+                panic!(
+                    "serde_derive (vendored): #[serde(...)] attributes are not supported; \
+                     remove the attribute or extend vendor/serde_derive"
+                );
+            }
+        }
+    }
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut iter = ts.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                reject_serde_attr(iter.next());
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive (vendored): generic type `{name}` is not supported; \
+                 write the impls by hand or extend vendor/serde_derive"
+            );
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Input { name, shape }
+}
+
+/// Parse `field: Type, ...` bodies, returning the field names in order.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility in front of each field.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    reject_serde_attr(iter.next());
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        // Expect `:`, then consume the type up to a depth-0 comma.
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        let mut prev_dash = false;
+        for tok in iter.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' && !prev_dash {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        break;
+                    }
+                    prev_dash = c == '-';
+                }
+                _ => prev_dash = false,
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant body (`Type, Type, ...`), tolerating a
+/// trailing comma (rustfmt adds one when it breaks the body across lines).
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    let mut pending_field = false;
+    for tok in ts {
+        match &tok {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' && !prev_dash {
+                    angle_depth -= 1;
+                } else if c == ',' && angle_depth == 0 {
+                    count += 1;
+                    prev_dash = false;
+                    pending_field = false;
+                    continue;
+                }
+                prev_dash = c == '-';
+                pending_field = true;
+            }
+            _ => {
+                prev_dash = false;
+                pending_field = true;
+            }
+        }
+    }
+    if pending_field {
+        count += 1;
+    }
+    count
+}
+
+/// Parse enum variants.
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments on variants).
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                reject_serde_attr(iter.next());
+            } else {
+                break;
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        let mut angle_depth = 0i32;
+        let mut prev_dash = false;
+        while let Some(tok) = iter.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' && !prev_dash {
+                        angle_depth -= 1;
+                    }
+                    prev_dash = c == '-';
+                    iter.next();
+                }
+                _ => {
+                    prev_dash = false;
+                    iter.next();
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(ref __f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("ref __f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| format!("ref {f}")).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match *self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__v.get(\"{f}\").ok_or_else(|| ::serde::Error::msg(\"missing field `{f}` in {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ ::serde::Value::Seq(__items) if __items.len() == {n} => Ok({name}({})), _ => Err(::serde::Error::msg(\"expected sequence of {n} for {name}\")) }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    VariantKind::Tuple(1) => payload_arms.push(format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                            })
+                            .collect();
+                        payload_arms.push(format!(
+                            "\"{vn}\" => match __payload {{ ::serde::Value::Seq(__items) if __items.len() == {n} => Ok({name}::{vn}({})), _ => Err(::serde::Error::msg(\"expected sequence of {n} for {name}::{vn}\")) }},",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__payload.get(\"{f}\").ok_or_else(|| ::serde::Error::msg(\"missing field `{f}` in {name}::{vn}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push(format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => Err(::serde::Error::msg(format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => Err(::serde::Error::msg(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::Error::msg(\"expected enum representation for {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
