@@ -1,34 +1,9 @@
-//! E-X4: sensitivity of the study-1 gains to load imbalance across the LWP threads.
-//!
-//! The paper assumes the lightweight work splits into threads "concurrent and uniform in
-//! length, one per LWP". This ablation skews the per-node thread lengths and reports how
-//! much of the headline gain survives, for the 32-node / data-intensive corner of
-//! Figure 5.
+//! Thin wrapper over the unified scenario registry: runs the `ablation_imbalance` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_bench::{emit, REPORT_SEED};
-use pim_core::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
-    let config = SystemConfig {
-        total_ops: 2_000_000,
-        ..SystemConfig::table1()
-    };
-    let skews = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 0.95];
-    let mut csv = String::from("nodes,pct_lwp,skew,gain,lwp_idle_fraction\n");
-    for &(nodes, wl) in &[(8usize, 0.8), (32, 0.9), (64, 1.0)] {
-        for row in imbalance_sensitivity(config, nodes, wl, &skews, REPORT_SEED) {
-            csv.push_str(&format!(
-                "{nodes},{:.0},{:.2},{:.4},{:.4}\n",
-                wl * 100.0,
-                row.skew,
-                row.gain,
-                row.idle_fraction
-            ));
-        }
-    }
-    emit(
-        "ablation_imbalance",
-        "gain vs per-thread load skew (the paper assumes perfectly uniform threads)",
-        &csv,
-    );
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("ablation_imbalance")
 }

@@ -1,47 +1,9 @@
-//! E-X1: sensitivity of the break-even parameter NB to the machine constants.
-//!
-//! DESIGN.md calls out the design choices behind the Table 1 constants; this ablation
-//! shows how the paper's central conclusion (NB is small, so a handful of PIM nodes
-//! already guarantees no slowdown) moves as those constants change.
+//! Thin wrapper over the unified scenario registry: runs the `ablation_nb` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_analytic::{nb_sensitivity, sensitivity_csv, SweepParameter};
-use pim_bench::emit;
+use std::process::ExitCode;
 
-fn main() {
-    let sweeps: [(SweepParameter, &str, Vec<f64>); 5] = [
-        (
-            SweepParameter::CacheMissRate,
-            "ablation_nb_pmiss",
-            vec![0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5],
-        ),
-        (
-            SweepParameter::LwpCycleTime,
-            "ablation_nb_lwp_clock",
-            vec![1.0, 2.0, 3.0, 5.0, 8.0, 10.0, 20.0],
-        ),
-        (
-            SweepParameter::LwpMemoryCycles,
-            "ablation_nb_tml",
-            vec![10.0, 20.0, 30.0, 45.0, 60.0, 90.0],
-        ),
-        (
-            SweepParameter::HwpMemoryCycles,
-            "ablation_nb_tmh",
-            vec![30.0, 60.0, 90.0, 150.0, 300.0, 500.0],
-        ),
-        (
-            SweepParameter::MemoryMix,
-            "ablation_nb_mix",
-            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0],
-        ),
-    ];
-    for (param, name, values) in sweeps {
-        let rows = nb_sensitivity(param, &values);
-        emit(
-            name,
-            "break-even node count NB vs the swept machine constant",
-            &sensitivity_csv(param, &rows),
-        );
-        println!();
-    }
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("ablation_nb")
 }

@@ -1,82 +1,9 @@
-//! E-X2: network-model ablation for the parcel study.
-//!
-//! The paper assumes a flat, fixed system-wide latency. This ablation repeats a slice of
-//! the Figure 11 sweep with hop-count mesh and torus networks whose mean latency matches
-//! the flat value, showing how much of the conclusion depends on the flat-latency
-//! simplification. A second section repeats the sweep with message-driven remote
-//! servicing (the Figure 9 behaviour) instead of memory-side servicing.
+//! Thin wrapper over the unified scenario registry: runs the `ablation_network` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_bench::{emit, REPORT_SEED};
-use pim_parcels::prelude::*;
+use std::process::ExitCode;
 
-fn run_with(
-    config: ParcelConfig,
-    kind: &str,
-    network: Box<dyn NetworkModel + Send>,
-    service: RemoteService,
-) -> String {
-    let seed = REPORT_SEED;
-    let test = run_test_with_options(config, network, service, seed);
-    let control = run_control(config, seed.wrapping_add(1));
-    format!(
-        "{kind},{},{:.0},{:.0},{:.4},{:.4}\n",
-        config.parallelism,
-        config.remote_fraction * 100.0,
-        config.latency_cycles,
-        test.total_work_ops as f64 / control.total_work_ops as f64,
-        test.idle_fraction()
-    )
-}
-
-fn main() {
-    let mut csv = String::from(
-        "network,parallelism,remote_pct,mean_latency_cycles,ops_ratio,test_idle_frac\n",
-    );
-    let nodes = 16;
-    for &parallelism in &[2usize, 8, 32] {
-        for &latency in &[100.0, 1000.0] {
-            let config = ParcelConfig {
-                nodes,
-                parallelism,
-                latency_cycles: latency,
-                remote_fraction: 0.4,
-                horizon_cycles: 500_000.0,
-                ..Default::default()
-            };
-            // Choose per-hop costs so the mesh/torus mean latency equals the flat value.
-            let mesh_template = MeshNetwork::for_nodes(nodes, 0.0, 1.0);
-            let torus_template = TorusNetwork::for_nodes(nodes, 0.0, 1.0);
-            let mesh_hops = mesh_template.mean_latency_cycles(nodes);
-            let torus_hops = torus_template.mean_latency_cycles(nodes);
-            csv.push_str(&run_with(
-                config,
-                "flat",
-                Box::new(FlatLatency::new(latency)),
-                RemoteService::MemorySide,
-            ));
-            csv.push_str(&run_with(
-                config,
-                "mesh",
-                Box::new(MeshNetwork::for_nodes(nodes, 0.0, latency / mesh_hops)),
-                RemoteService::MemorySide,
-            ));
-            csv.push_str(&run_with(
-                config,
-                "torus",
-                Box::new(TorusNetwork::for_nodes(nodes, 0.0, latency / torus_hops)),
-                RemoteService::MemorySide,
-            ));
-            csv.push_str(&run_with(
-                config,
-                "flat+msg-driven",
-                Box::new(FlatLatency::new(latency)),
-                RemoteService::OnCpu,
-            ));
-        }
-    }
-    emit(
-        "ablation_network",
-        "parcel latency hiding under flat vs mesh vs torus networks and message-driven servicing",
-        &csv,
-    );
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("ablation_network")
 }

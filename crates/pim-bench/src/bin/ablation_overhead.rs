@@ -1,38 +1,9 @@
-//! E-X5: sensitivity of the parcel study to the per-parcel handling overhead.
-//!
-//! Section 5.2 concludes that "efficient parcel handling mechanisms are required to
-//! realize performance gains". This ablation sweeps the overhead charged for creating
-//! and assimilating each parcel and shows where the split-transaction advantage erodes
-//! and where it reverses.
+//! Thin wrapper over the unified scenario registry: runs the `ablation_overhead` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_bench::{emit, REPORT_SEED};
-use pim_parcels::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
-    let mut csv = String::from("parallelism,latency_cycles,overhead_cycles,ops_ratio\n");
-    for &parallelism in &[1usize, 4, 16] {
-        for &latency in &[50.0, 500.0, 5_000.0] {
-            for &overhead in &[0.0, 2.0, 8.0, 32.0, 128.0] {
-                let config = ParcelConfig {
-                    nodes: 4,
-                    parallelism,
-                    latency_cycles: latency,
-                    remote_fraction: 0.4,
-                    parcel_overhead_cycles: overhead,
-                    horizon_cycles: 600_000.0,
-                    ..Default::default()
-                };
-                let point = evaluate_point(config, REPORT_SEED);
-                csv.push_str(&format!(
-                    "{parallelism},{latency:.0},{overhead:.0},{:.4}\n",
-                    point.ops_ratio
-                ));
-            }
-        }
-    }
-    emit(
-        "ablation_overhead",
-        "work ratio vs per-parcel handling overhead (efficient parcel handling is required)",
-        &csv,
-    );
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("ablation_overhead")
 }

@@ -1,51 +1,9 @@
-//! E-X3: validate the Section 2.1 bandwidth claims that motivate PIM.
-//!
-//! "Assuming a very conservative row access time of 20 ns and a page access time of
-//! 2 ns, a single on-chip DRAM macro could sustain a bandwidth of over 50 Gbit/s. …
-//! Using current technology, an on-chip peak memory bandwidth of greater than 1 Tbit/s
-//! is possible per chip."
+//! Thin wrapper over the unified scenario registry: runs the `bandwidth_claims` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use desim::random::RandomStream;
-use pim_bench::emit;
-use pim_mem::{CacheModel, DramTiming, PimChip, SetAssociativeCache};
-use pim_workload::ReuseProfile;
+use std::process::ExitCode;
 
-fn main() {
-    let timing = DramTiming::default();
-    let mut csv = String::from("quantity,value,unit\n");
-    csv.push_str(&format!(
-        "macro_peak_bandwidth,{:.2},Gbit/s\n",
-        timing.peak_bandwidth_gbit_per_s()
-    ));
-    csv.push_str(&format!(
-        "macro_worst_case_bandwidth,{:.2},Gbit/s\n",
-        timing.worst_case_bandwidth_gbit_per_s()
-    ));
-    for nodes in [8usize, 16, 32, 64, 128] {
-        let chip = PimChip::with_nodes(nodes);
-        csv.push_str(&format!(
-            "chip_peak_bandwidth_n{nodes},{:.3},Tbit/s\n",
-            chip.peak_bandwidth_tbit_per_s()
-        ));
-    }
-
-    // Calibrate the Table 1 cache miss rate from synthetic address streams instead of
-    // assuming it: a high-reuse stream against a 64 KiB host cache lands near the
-    // paper's Pmiss = 0.1, while a no-reuse stream misses nearly always.
-    for (label, reuse) in [("high_locality", 0.93), ("no_locality", 0.0)] {
-        let mut profile = ReuseProfile::new(reuse, 128, 64, RandomStream::new(7, 1));
-        let mut cache = SetAssociativeCache::new(64 * 1024, 64, 4);
-        for addr in profile.addresses(200_000) {
-            cache.access(addr);
-        }
-        csv.push_str(&format!(
-            "measured_pmiss_{label},{:.4},fraction\n",
-            cache.miss_rate()
-        ));
-    }
-    emit(
-        "bandwidth_claims",
-        "Section 2.1 DRAM bandwidth claims and trace-calibrated cache miss rates",
-        &csv,
-    );
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("bandwidth_claims")
 }

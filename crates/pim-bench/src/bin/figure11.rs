@@ -1,27 +1,9 @@
-//! E-F11: regenerate Figure 11 — latency hiding with parcels. For each degree of
-//! parallelism (the paper's six major experiments) and each remote-access percentage,
-//! the ratio of work completed by the split-transaction test system to the blocking
-//! control system is reported as the system-wide latency is swept.
+//! Thin wrapper over the unified scenario registry: runs the `figure11` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_bench::{emit, sweep_threads};
-use pim_parcels::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
-    let spec = LatencyHidingSpec::figure11();
-    let points = run_latency_hiding(&spec, sweep_threads());
-    let csv = figure11_table(&points);
-    emit(
-        "figure11",
-        "test/control work ratio vs latency, per (parallelism, remote%) curve",
-        &csv,
-    );
-    let best = points.iter().map(|p| p.ops_ratio).fold(0.0, f64::max);
-    let worst = points
-        .iter()
-        .map(|p| p.ops_ratio)
-        .fold(f64::INFINITY, f64::min);
-    eprintln!(
-        "work ratio range: {worst:.2}x to {best:.2}x (paper: up to an order of magnitude, \
-         with small/reversed advantage at low parallelism and short latency)"
-    );
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("figure11")
 }

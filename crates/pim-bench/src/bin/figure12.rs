@@ -1,30 +1,9 @@
-//! E-F12: regenerate Figure 12 — idle time with respect to the degree of parallelism,
-//! for system sizes from 1 to 256 nodes (the paper's 16-node set was never completed,
-//! so it is omitted here as well).
+//! Thin wrapper over the unified scenario registry: runs the `figure12` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_bench::{emit, sweep_threads};
-use pim_parcels::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
-    let spec = IdleTimeSpec::figure12();
-    let points = run_idle_time(&spec, sweep_threads());
-    let csv = figure12_table(&points);
-    emit(
-        "figure12",
-        "idle time of test and control systems vs parallelism, per node count",
-        &csv,
-    );
-    let saturated: Vec<&IdleTimePoint> = points.iter().filter(|p| p.parallelism >= 64).collect();
-    let max_test_idle = saturated
-        .iter()
-        .map(|p| p.test_idle_fraction)
-        .fold(0.0, f64::max);
-    let min_control_idle = points
-        .iter()
-        .map(|p| p.control_idle_fraction)
-        .fold(f64::INFINITY, f64::min);
-    eprintln!(
-        "with >=64 parcels/node the test system's idle fraction stays below {max_test_idle:.3}; \
-         the control system never drops below {min_control_idle:.3} (paper: test idle ~0, control high)"
-    );
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("figure12")
 }

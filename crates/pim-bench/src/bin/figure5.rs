@@ -1,35 +1,9 @@
-//! E-F5: regenerate Figure 5 — performance gain of the PIM-augmented test system over
-//! the host-only control system, as a function of the lightweight-work fraction, for
-//! node counts 1–64 (plus the extended 128/256-node configurations mentioned in the
-//! text's "factor of 100X" remark).
-//!
-//! The data come from the stochastic queuing simulation; pass `--expected` to use the
-//! closed-form expected values instead (they agree to within sampling noise).
+//! Thin wrapper over the unified scenario registry: runs the `figure5` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_bench::{emit, sweep_threads, REPORT_SEED};
-use pim_core::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
-    let expected = std::env::args().any(|a| a == "--expected");
-    let mode = if expected {
-        EvalMode::Expected
-    } else {
-        EvalMode::Simulated {
-            sim_ops: Some(400_000),
-            ops_per_event: 64,
-            seed: REPORT_SEED,
-        }
-    };
-    let spec = SweepSpec::extended();
-    let sweep = run_sweep(SystemConfig::table1(), &spec, mode, sweep_threads());
-    let csv = figure5_gain_table(&sweep);
-    emit(
-        "figure5",
-        "performance gain vs %LWP work, one column per PIM node count (simulation)",
-        &csv,
-    );
-    eprintln!(
-        "max gain in sweep: {:.1}x (paper: order of magnitude at 32-64 nodes, ~100x in the extreme)",
-        sweep.max_gain()
-    );
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("figure5")
 }

@@ -1,33 +1,9 @@
-//! E-F6: regenerate Figure 6 — unnormalized single-thread/node response time versus the
-//! number of smart-memory nodes, one curve per lightweight-work percentage (0%–100%).
+//! Thin wrapper over the unified scenario registry: runs the `figure6` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_bench::{emit, sweep_threads, REPORT_SEED};
-use pim_core::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
-    let expected = std::env::args().any(|a| a == "--expected");
-    let mode = if expected {
-        EvalMode::Expected
-    } else {
-        EvalMode::Simulated {
-            sim_ops: Some(400_000),
-            ops_per_event: 64,
-            seed: REPORT_SEED,
-        }
-    };
-    let spec = SweepSpec::figure5_6();
-    let sweep = run_sweep(SystemConfig::table1(), &spec, mode, sweep_threads());
-    let csv = figure6_response_table(&sweep);
-    emit(
-        "figure6",
-        "response time (ns) vs number of smart memory nodes, one column per %LWT (simulation)",
-        &csv,
-    );
-    // The paper's figure tops out around 1.25e9 ns (100% LWT on one node).
-    if let Some(worst) = sweep.point(1, 1.0) {
-        eprintln!(
-            "N=1, 100% LWT response time: {:.3e} ns (paper's figure: ~1.2-1.4e9 ns)",
-            worst.test_ns
-        );
-    }
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("figure6")
 }

@@ -1,41 +1,9 @@
-//! E-F7: regenerate Figure 7 — the analytical model's normalized runtime versus node
-//! count, one curve per %WL, exposing the coincidence point at N = NB.
+//! Thin wrapper over the unified scenario registry: runs the `figure7` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_analytic::AnalyticModel;
-use pim_bench::emit;
-use pim_core::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
-    let model = AnalyticModel::table1();
-    let node_counts: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64];
-    let wl_values: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-
-    let mut csv = String::from("nodes");
-    for wl in &wl_values {
-        csv.push_str(&format!(",rel_time_wl{:.0}", wl * 100.0));
-    }
-    csv.push('\n');
-    for &n in &node_counts {
-        csv.push_str(&n.to_string());
-        for &wl in &wl_values {
-            csv.push_str(&format!(",{:.5}", model.time_relative(n as f64, wl)));
-        }
-        csv.push('\n');
-    }
-    emit(
-        "figure7",
-        "analytical normalized runtime vs node count, one column per %WL",
-        &csv,
-    );
-    eprintln!(
-        "NB = {:.4}: every %WL curve crosses 1.0 there; for N > NB the PIM system never loses",
-        model.nb()
-    );
-    // Cross-check against the expected-value evaluator from pim-core.
-    let study = PartitionStudy::new(SystemConfig::table1());
-    let p = study.evaluate(32, 1.0, EvalMode::Expected);
-    eprintln!(
-        "cross-check: pim-core expected relative time at N=32, 100% WL = {:.5}",
-        p.relative_time
-    );
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("figure7")
 }

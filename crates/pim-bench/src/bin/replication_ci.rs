@@ -1,31 +1,9 @@
-//! E-X6: confidence intervals on the headline simulated gains, via independent
-//! replications (output-analysis methodology the paper's figures omit).
+//! Thin wrapper over the unified scenario registry: runs the `replication_ci` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_bench::{emit, REPORT_SEED};
-use pim_core::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
-    let config = SystemConfig {
-        total_ops: 1_000_000,
-        ..SystemConfig::table1()
-    };
-    let mut csv =
-        String::from("nodes,pct_lwp,replications,mean_gain,ci95_half_width,analytic_gain\n");
-    for &(nodes, wl) in &[(4usize, 0.5), (8, 0.8), (32, 0.9), (32, 1.0), (64, 1.0)] {
-        let summary = replicated_gain(config, nodes, wl, 24, 200_000, REPORT_SEED);
-        let analytic = 1.0 / (1.0 - wl * (1.0 - config.nb() / nodes as f64));
-        csv.push_str(&format!(
-            "{nodes},{:.0},{},{:.4},{:.4},{:.4}\n",
-            wl * 100.0,
-            summary.replications,
-            summary.mean,
-            summary.half_width,
-            analytic
-        ));
-    }
-    emit(
-        "replication_ci",
-        "replicated simulated gains with 95% confidence intervals vs the closed form",
-        &csv,
-    );
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("replication_ci")
 }

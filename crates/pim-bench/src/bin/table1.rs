@@ -1,26 +1,9 @@
-//! E-T1: regenerate Table 1 (parametric assumptions and metrics) plus the derived
-//! per-operation expectations and the break-even parameter NB.
+//! Thin wrapper over the unified scenario registry: runs the `table1` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_core::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
-    let config = SystemConfig::table1();
-    let mut csv = String::from("parameter,description,value\n");
-    for (p, d, v) in config.table1_rows() {
-        csv.push_str(&format!("{p},{d},{v}\n"));
-    }
-    csv.push_str(&format!(
-        "t_op_HWP,expected HWP time per operation,{} ns\n",
-        config.hwp_op_time_ns()
-    ));
-    csv.push_str(&format!(
-        "t_op_LWP,expected LWP time per operation,{} ns\n",
-        config.lwp_op_time_ns()
-    ));
-    csv.push_str(&format!("NB,break-even PIM node count,{}\n", config.nb()));
-    pim_bench::emit(
-        "table1",
-        "Table 1 parametric assumptions (plus derived constants)",
-        &csv,
-    );
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("table1")
 }

@@ -1,27 +1,9 @@
-//! E-V1: reproduce the Section 3.1.2 claim that the analytical model matches the
-//! queuing simulation — the paper saw agreement "to an accuracy of between 5% and 18%"
-//! between its two independently built models; here the residual is sampling noise.
+//! Thin wrapper over the unified scenario registry: runs the `validation` scenario at the
+//! default seed and prints its tables in the legacy CSV format. See `pim-harness`
+//! for the scenario definition and `pim-tradeoffs run` for the batch interface.
 
-use pim_analytic::validate;
-use pim_bench::{emit, sweep_threads, REPORT_SEED};
-use pim_core::prelude::*;
+use std::process::ExitCode;
 
-fn main() {
-    let spec = SweepSpec::figure5_6();
-    let mode = EvalMode::Simulated {
-        sim_ops: Some(400_000),
-        ops_per_event: 64,
-        seed: REPORT_SEED,
-    };
-    let report = validate(SystemConfig::table1(), &spec, mode, sweep_threads());
-    emit(
-        "validation",
-        "analytical vs simulated test-system time per (N, %WL) point",
-        &report.to_csv(),
-    );
-    eprintln!(
-        "mean relative error {:.2}%, max {:.2}% (paper: 5%-18% between its two models)",
-        report.mean_relative_error * 100.0,
-        report.max_relative_error * 100.0
-    );
+fn main() -> ExitCode {
+    pim_harness::bin_support::scenario_main("validation")
 }

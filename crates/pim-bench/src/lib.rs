@@ -5,59 +5,13 @@
 //! benches that measure the cost of the underlying models and of the simulation engine
 //! itself.
 //!
-//! Report binaries print CSV to stdout. If the `PIM_RESULTS_DIR` environment variable
-//! is set, each binary also writes its CSV into that directory under
-//! `<experiment>.csv`, which is how `EXPERIMENTS.md`'s measured numbers were produced.
+//! The report binaries are thin wrappers over the scenario registry in `pim-harness`
+//! (`pim_harness::bin_support::scenario_main`); the scenario definitions, the parallel
+//! batch runner, the stdout/CSV rendering and the JSON artifact schema all live there,
+//! and `pim-tradeoffs list|run` is the batch front end. Each binary prints CSV to
+//! stdout and headline metrics to stderr; the `PIM_RESULTS_DIR` environment variable
+//! saves each table as `<dir>/<table>.csv`, and `PIM_ARTIFACTS_DIR` additionally saves
+//! the full JSON artifact.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
-
-use std::io::Write as _;
-use std::path::PathBuf;
-
-/// Number of worker threads to use for parameter sweeps.
-pub fn sweep_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-}
-
-/// Print a report to stdout and, when `PIM_RESULTS_DIR` is set, save it as
-/// `<dir>/<name>.csv`.
-pub fn emit(name: &str, description: &str, csv: &str) {
-    println!("# {name}: {description}");
-    print!("{csv}");
-    if let Ok(dir) = std::env::var("PIM_RESULTS_DIR") {
-        let path = PathBuf::from(dir).join(format!("{name}.csv"));
-        if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        match std::fs::File::create(&path) {
-            Ok(mut f) => {
-                let _ = f.write_all(csv.as_bytes());
-                eprintln!("wrote {}", path.display());
-            }
-            Err(e) => eprintln!("could not write {}: {e}", path.display()),
-        }
-    }
-}
-
-/// Shared, documented seed so every report run is reproducible.
-pub const REPORT_SEED: u64 = 0x5C_2004;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn threads_is_positive() {
-        assert!(sweep_threads() >= 1);
-    }
-
-    #[test]
-    fn emit_prints_without_results_dir() {
-        // Just exercises the stdout path; no environment manipulation (tests run in
-        // parallel and PIM_RESULTS_DIR is process-global).
-        emit("unit-test", "test artifact", "a,b\n1,2\n");
-    }
-}

@@ -55,6 +55,18 @@ impl SystemConfig {
         if self.total_ops == 0 {
             return Err("total_ops must be positive".into());
         }
+        for (name, value) in [
+            ("hwp_cycle_ns", self.hwp_cycle_ns),
+            ("lwp_cycle_ns", self.lwp_cycle_ns),
+            ("hwp_memory_cycles", self.hwp_memory_cycles),
+            ("hwp_cache_cycles", self.hwp_cache_cycles),
+            ("lwp_memory_cycles", self.lwp_memory_cycles),
+            ("p_miss", self.p_miss),
+        ] {
+            if !value.is_finite() {
+                return Err(format!("{name} must be finite, got {value}"));
+            }
+        }
         if self.hwp_cycle_ns <= 0.0 || self.lwp_cycle_ns <= 0.0 {
             return Err("cycle times must be positive".into());
         }
@@ -217,6 +229,22 @@ mod tests {
         let mut c = SystemConfig::table1();
         c.hwp_cache_cycles = 0.5;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_parameters() {
+        // NaN compares false against every range bound, so without explicit finiteness
+        // checks these would sail through and corrupt a whole sweep downstream.
+        for f in [
+            |c: &mut SystemConfig| c.hwp_memory_cycles = f64::NAN,
+            |c: &mut SystemConfig| c.lwp_memory_cycles = f64::NAN,
+            |c: &mut SystemConfig| c.hwp_cycle_ns = f64::INFINITY,
+            |c: &mut SystemConfig| c.p_miss = f64::NAN,
+        ] {
+            let mut c = SystemConfig::table1();
+            f(&mut c);
+            assert!(c.validate().is_err(), "non-finite parameter accepted");
+        }
     }
 
     #[test]

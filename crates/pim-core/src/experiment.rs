@@ -8,10 +8,14 @@
 
 use crate::config::SystemConfig;
 use crate::system::{EvalMode, PartitionStudy, TradeoffPoint};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// The grid of design points to evaluate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand so malformed grids — empty axes, zero node
+/// counts, non-finite or out-of-range `%WL` values — are rejected when the spec is
+/// parsed (e.g. from a JSON artifact or request) instead of panicking mid-sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SweepSpec {
     /// Node counts for the test system.
     pub node_counts: Vec<usize>,
@@ -19,7 +23,44 @@ pub struct SweepSpec {
     pub lwp_fractions: Vec<f64>,
 }
 
+impl Deserialize for SweepSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}` in SweepSpec")))
+        };
+        let spec = SweepSpec {
+            node_counts: Deserialize::from_value(field("node_counts")?)?,
+            lwp_fractions: Deserialize::from_value(field("lwp_fractions")?)?,
+        };
+        spec.validate().map_err(Error::msg)?;
+        Ok(spec)
+    }
+}
+
 impl SweepSpec {
+    /// Check the grid is non-empty and every point is evaluable: node counts ≥ 1 and
+    /// `%WL` values finite within `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.node_counts.is_empty() {
+            return Err("SweepSpec.node_counts must not be empty".into());
+        }
+        if self.lwp_fractions.is_empty() {
+            return Err("SweepSpec.lwp_fractions must not be empty".into());
+        }
+        if self.node_counts.contains(&0) {
+            return Err("SweepSpec.node_counts must all be at least 1".into());
+        }
+        for &wl in &self.lwp_fractions {
+            if !wl.is_finite() || !(0.0..=1.0).contains(&wl) {
+                return Err(format!(
+                    "SweepSpec.lwp_fractions must lie in [0, 1], got {wl}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// The grid used for Figures 5 and 6: N ∈ {1, 2, 4, 8, 16, 32, 64},
     /// %WL ∈ {0%, 10%, …, 100%}.
     pub fn figure5_6() -> Self {
@@ -160,6 +201,53 @@ fn point_mode(mode: EvalMode, index: usize) -> EvalMode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = SweepSpec::figure5_6();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn deserialization_rejects_malformed_grids() {
+        for (label, json) in [
+            ("empty nodes", r#"{"node_counts":[],"lwp_fractions":[0.5]}"#),
+            (
+                "empty fractions",
+                r#"{"node_counts":[1],"lwp_fractions":[]}"#,
+            ),
+            (
+                "zero node count",
+                r#"{"node_counts":[4,0],"lwp_fractions":[0.5]}"#,
+            ),
+            (
+                "wl above 1",
+                r#"{"node_counts":[1],"lwp_fractions":[0.5,1.5]}"#,
+            ),
+            (
+                "negative wl",
+                r#"{"node_counts":[1],"lwp_fractions":[-0.1]}"#,
+            ),
+            // 1e999 overflows to +inf when parsed; null is how JSON spells NaN.
+            (
+                "infinite wl",
+                r#"{"node_counts":[1],"lwp_fractions":[1e999]}"#,
+            ),
+            ("nan wl", r#"{"node_counts":[1],"lwp_fractions":[null]}"#),
+            ("missing field", r#"{"node_counts":[1]}"#),
+        ] {
+            let r: Result<SweepSpec, _> = serde_json::from_str(json);
+            assert!(r.is_err(), "{label} should be rejected: {json}");
+        }
+    }
+
+    #[test]
+    fn validate_accepts_the_paper_grids() {
+        assert!(SweepSpec::figure5_6().validate().is_ok());
+        assert!(SweepSpec::extended().validate().is_ok());
+    }
 
     #[test]
     fn figure5_grid_shape() {

@@ -1,0 +1,143 @@
+//! Tolerance-aware JSON diffing for the golden-file regression suite.
+//!
+//! Golden files pin each scenario's artifact at the default seed. Because every
+//! scenario is deterministic the comparison is normally exact, but numeric fields are
+//! compared with a per-field *relative* tolerance so a legitimate cross-platform
+//! difference in the last ulp (or a deliberately loosened golden) does not flake.
+
+use serde::Value;
+
+/// Numeric comparison tolerances.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative tolerance: values agree when `|a − b| ≤ atol + rtol·max(|a|, |b|)`.
+    pub rtol: f64,
+    /// Absolute floor for values near zero.
+    pub atol: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            rtol: 1e-9,
+            atol: 1e-12,
+        }
+    }
+}
+
+impl Tolerance {
+    /// True when two numbers agree under this tolerance (NaN agrees only with NaN).
+    pub fn matches(&self, a: f64, b: f64) -> bool {
+        if a.is_nan() && b.is_nan() {
+            return true;
+        }
+        (a - b).abs() <= self.atol + self.rtol * a.abs().max(b.abs())
+    }
+}
+
+/// Compare two JSON trees, returning one human-readable line per mismatch (empty when
+/// the trees agree within `tol`). Maps compare by key (order-insensitive), sequences
+/// by position, numbers under `tol`, everything else exactly.
+pub fn diff_json(expected: &Value, actual: &Value, tol: Tolerance) -> Vec<String> {
+    let mut out = Vec::new();
+    diff_at("$", expected, actual, tol, &mut out);
+    out
+}
+
+fn diff_at(path: &str, expected: &Value, actual: &Value, tol: Tolerance, out: &mut Vec<String>) {
+    match (expected, actual) {
+        // Numbers of any representation compare numerically.
+        (e, a) if e.as_f64().is_some() && a.as_f64().is_some() => {
+            let (e, a) = (e.as_f64().unwrap(), a.as_f64().unwrap());
+            if !tol.matches(e, a) {
+                out.push(format!("{path}: expected {e}, got {a}"));
+            }
+        }
+        (Value::Seq(e), Value::Seq(a)) => {
+            if e.len() != a.len() {
+                out.push(format!(
+                    "{path}: expected {} elements, got {}",
+                    e.len(),
+                    a.len()
+                ));
+            }
+            for (i, (ev, av)) in e.iter().zip(a).enumerate() {
+                diff_at(&format!("{path}[{i}]"), ev, av, tol, out);
+            }
+        }
+        (Value::Map(e), Value::Map(a)) => {
+            for (k, ev) in e {
+                match actual.get(k) {
+                    Some(av) => diff_at(&format!("{path}.{k}"), ev, av, tol, out),
+                    None => out.push(format!("{path}.{k}: missing in actual")),
+                }
+            }
+            for (k, _) in a {
+                if expected.get(k).is_none() {
+                    out.push(format!("{path}.{k}: unexpected key in actual"));
+                }
+            }
+        }
+        (e, a) => {
+            if e != a {
+                out.push(format!("{path}: expected {e:?}, got {a:?}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::value_from_str;
+
+    fn v(s: &str) -> Value {
+        value_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_have_no_diff() {
+        let a = v(r#"{"x": [1, 2.5, "s"], "y": {"z": true}}"#);
+        assert!(diff_json(&a, &a.clone(), Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn numbers_compare_with_relative_tolerance() {
+        let tol = Tolerance {
+            rtol: 1e-6,
+            atol: 1e-12,
+        };
+        let a = v("[1000.0]");
+        let close = v("[1000.0000001]");
+        let far = v("[1000.01]");
+        assert!(diff_json(&a, &close, tol).is_empty());
+        assert_eq!(diff_json(&a, &far, tol).len(), 1);
+    }
+
+    #[test]
+    fn integer_and_float_representations_agree() {
+        let tol = Tolerance::default();
+        assert!(diff_json(&v("[1]"), &v("[1.0]"), tol).is_empty());
+        assert!(diff_json(&v("[-3]"), &v("[-3.0]"), tol).is_empty());
+    }
+
+    #[test]
+    fn structural_mismatches_are_reported_with_paths() {
+        let tol = Tolerance::default();
+        let diffs = diff_json(
+            &v(r#"{"a": [1, 2], "b": "x"}"#),
+            &v(r#"{"a": [1], "c": "x"}"#),
+            tol,
+        );
+        let joined = diffs.join("\n");
+        assert!(joined.contains("$.a: expected 2 elements"), "{joined}");
+        assert!(joined.contains("$.b: missing"), "{joined}");
+        assert!(joined.contains("$.c: unexpected"), "{joined}");
+    }
+
+    #[test]
+    fn type_mismatch_is_a_diff() {
+        let diffs = diff_json(&v(r#"["s"]"#), &v("[1]"), Tolerance::default());
+        assert_eq!(diffs.len(), 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! The catalog of registered scenarios.
+
+use crate::scenario::Scenario;
+use crate::scenarios::{analytic, memory, parcels, partition};
+
+/// An ordered, name-indexed collection of scenarios.
+pub struct Registry {
+    scenarios: Vec<Box<dyn Scenario>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// The built-in registry: every figure, table, validation study and ablation of
+    /// the paper (one per legacy `pim-bench` report binary), sorted by name.
+    pub fn builtin() -> Registry {
+        let mut r = Registry::new();
+        r.register(Box::new(partition::Figure5));
+        r.register(Box::new(partition::Figure6));
+        r.register(Box::new(analytic::Figure7));
+        r.register(Box::new(parcels::Figure11));
+        r.register(Box::new(parcels::Figure12));
+        r.register(Box::new(partition::Table1));
+        r.register(Box::new(partition::Validation));
+        r.register(Box::new(partition::ReplicationCi));
+        r.register(Box::new(partition::AblationImbalance));
+        r.register(Box::new(analytic::AblationNb));
+        r.register(Box::new(parcels::AblationNetwork));
+        r.register(Box::new(parcels::AblationOverhead));
+        r.register(Box::new(memory::BandwidthClaims));
+        r
+    }
+
+    /// Add a scenario, keeping the catalog sorted by name.
+    ///
+    /// # Panics
+    /// Panics if a scenario with the same name is already registered — duplicate
+    /// names would make artifact files and seed streams collide.
+    pub fn register(&mut self, scenario: Box<dyn Scenario>) {
+        match self
+            .scenarios
+            .binary_search_by(|s| s.name().cmp(scenario.name()))
+        {
+            Ok(_) => panic!("duplicate scenario name '{}'", scenario.name()),
+            Err(pos) => self.scenarios.insert(pos, scenario),
+        }
+    }
+
+    /// Look up a scenario by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Scenario> {
+        self.scenarios
+            .binary_search_by(|s| s.name().cmp(name))
+            .ok()
+            .map(|i| self.scenarios[i].as_ref())
+    }
+
+    /// All scenario names, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.scenarios.iter().map(|s| s.name()).collect()
+    }
+
+    /// Iterate over the scenarios in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Scenario> {
+        self.scenarios.iter().map(|s| s.as_ref())
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registers_every_legacy_binary() {
+        let r = Registry::builtin();
+        assert_eq!(r.len(), 13);
+        for name in [
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure11",
+            "figure12",
+            "table1",
+            "validation",
+            "replication_ci",
+            "ablation_imbalance",
+            "ablation_nb",
+            "ablation_network",
+            "ablation_overhead",
+            "bandwidth_claims",
+        ] {
+            assert!(r.get(name).is_some(), "missing scenario '{name}'");
+        }
+    }
+
+    #[test]
+    fn names_are_sorted_and_unique() {
+        let names = Registry::builtin().names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(Registry::builtin().get("figure99").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scenario name")]
+    fn duplicate_registration_panics() {
+        let mut r = Registry::builtin();
+        r.register(Box::new(crate::scenarios::partition::Table1));
+    }
+}

@@ -1,0 +1,222 @@
+//! The parallel batch runner: execute any subset of the registry across OS threads
+//! and write versioned JSON artifacts.
+//!
+//! Workers pull scenarios from a shared queue, but every scenario's seed comes from
+//! [`SeedPolicy::scenario_seed`] (a pure function of base seed + name) and results are
+//! collected by input position — so the artifacts are byte-identical whatever the job
+//! count or completion order.
+
+use crate::registry::Registry;
+use crate::report::ScenarioReport;
+use crate::scenario::SeedPolicy;
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Options for one batch run. The default runs with one worker per core at the
+/// [`SeedPolicy::default`] base seed and writes nothing.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Worker threads; `0` means one per available core.
+    pub jobs: usize,
+    /// Seed policy shared by every scenario in the batch.
+    pub seeds: SeedPolicy,
+    /// When set, each report is written to `<out_dir>/<scenario>.json` plus a
+    /// `manifest.json` naming the batch.
+    pub out_dir: Option<PathBuf>,
+}
+
+/// The result of a batch run.
+pub struct BatchOutcome {
+    /// One report per requested scenario, in request order.
+    pub reports: Vec<ScenarioReport>,
+    /// Paths written (artifacts then manifest), empty when no `out_dir` was given.
+    pub written: Vec<PathBuf>,
+}
+
+/// Resolve requested scenario names against the registry, preserving request order
+/// and rejecting unknowns and duplicates with a helpful message.
+pub fn resolve_names<'r, S: AsRef<str>>(
+    registry: &'r Registry,
+    requested: &[S],
+) -> Result<Vec<&'r str>, String> {
+    let mut out: Vec<&str> = Vec::with_capacity(requested.len());
+    for name in requested {
+        let name = name.as_ref();
+        let Some(s) = registry.get(name) else {
+            return Err(format!(
+                "unknown scenario '{}'; available: {}",
+                name,
+                registry.names().join(", ")
+            ));
+        };
+        if out.contains(&s.name()) {
+            return Err(format!("scenario '{name}' requested twice"));
+        }
+        out.push(s.name());
+    }
+    if out.is_empty() {
+        return Err("no scenarios requested".into());
+    }
+    Ok(out)
+}
+
+/// Run `names` (already validated, e.g. via [`resolve_names`]) under `opts`.
+///
+/// Scenarios execute across up to `opts.jobs` OS threads; reports come back in the
+/// order of `names` and, when `opts.out_dir` is set, are written as JSON artifacts.
+pub fn run_batch<S: AsRef<str>>(
+    registry: &Registry,
+    names: &[S],
+    opts: &BatchOptions,
+) -> Result<BatchOutcome, String> {
+    let names = resolve_names(registry, names)?;
+    let jobs = if opts.jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        opts.jobs
+    }
+    .min(names.len())
+    .max(1);
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<ScenarioReport>>> = Mutex::new(vec![None; names.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= names.len() {
+                    break;
+                }
+                let scenario = registry
+                    .get(names[i])
+                    .expect("names were resolved against this registry");
+                let report = scenario.run(&opts.seeds);
+                slots.lock().expect("no worker panicked")[i] = Some(report);
+            });
+        }
+    });
+    let reports: Vec<ScenarioReport> = slots
+        .into_inner()
+        .expect("no worker panicked")
+        .into_iter()
+        .map(|r| r.expect("every scenario ran"))
+        .collect();
+
+    let written = match &opts.out_dir {
+        Some(dir) => write_artifacts(dir, &opts.seeds, &reports)?,
+        None => Vec::new(),
+    };
+    Ok(BatchOutcome { reports, written })
+}
+
+/// Write each report to `<dir>/<scenario>.json` plus a `manifest.json`. All content is
+/// a pure function of the reports, so repeated batches produce byte-identical files.
+pub fn write_artifacts(
+    dir: &Path,
+    seeds: &SeedPolicy,
+    reports: &[ScenarioReport],
+) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut written = Vec::with_capacity(reports.len() + 1);
+    for report in reports {
+        let path = dir.join(format!("{}.json", report.scenario));
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        written.push(path);
+    }
+    let manifest = Value::Map(vec![
+        (
+            "schema_version".into(),
+            Value::U64(u64::from(crate::report::ARTIFACT_SCHEMA_VERSION)),
+        ),
+        ("base_seed".into(), Value::U64(seeds.base_seed)),
+        (
+            "scenarios".into(),
+            Value::Seq(
+                reports
+                    .iter()
+                    .map(|r| Value::Str(r.scenario.clone()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = dir.join("manifest.json");
+    let mut json =
+        serde_json::to_string_pretty(&manifest).expect("manifest serialization is infallible");
+    json.push('\n');
+    std::fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    written.push(path);
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_rejects_unknown_and_duplicate_names() {
+        let r = Registry::builtin();
+        assert!(resolve_names(&r, &["figure99"])
+            .unwrap_err()
+            .contains("unknown scenario"));
+        assert!(resolve_names(&r, &["table1", "table1"])
+            .unwrap_err()
+            .contains("twice"));
+        assert!(resolve_names::<&str>(&r, &[]).is_err());
+        assert_eq!(resolve_names(&r, &["table1", "figure7"]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let r = Registry::builtin();
+        let out = run_batch(
+            &r,
+            &["figure7", "table1", "ablation_nb"],
+            &BatchOptions {
+                jobs: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let order: Vec<&str> = out.reports.iter().map(|r| r.scenario.as_str()).collect();
+        assert_eq!(order, vec!["figure7", "table1", "ablation_nb"]);
+        assert!(out.written.is_empty());
+    }
+
+    #[test]
+    fn artifacts_are_written_and_byte_stable() {
+        let r = Registry::builtin();
+        let dir =
+            std::env::temp_dir().join(format!("pim-harness-runner-test-{}", std::process::id()));
+        let names = ["table1", "figure7"];
+        let run = |jobs: usize, sub: &str| {
+            let out = dir.join(sub);
+            run_batch(
+                &r,
+                &names,
+                &BatchOptions {
+                    jobs,
+                    out_dir: Some(out.clone()),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            out
+        };
+        let a = run(1, "a");
+        let b = run(2, "b");
+        for file in ["table1.json", "figure7.json", "manifest.json"] {
+            let fa = std::fs::read_to_string(a.join(file)).unwrap();
+            let fb = std::fs::read_to_string(b.join(file)).unwrap();
+            assert_eq!(fa, fb, "{file} differs between jobs=1 and jobs=2");
+            assert!(!fa.is_empty());
+        }
+        let manifest = std::fs::read_to_string(a.join("manifest.json")).unwrap();
+        assert!(manifest.contains("\"scenarios\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

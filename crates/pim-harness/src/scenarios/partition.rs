@@ -1,0 +1,382 @@
+//! Study-1 scenarios: the HWP/LWP partitioning figures, Table 1, validation,
+//! replication confidence intervals and the load-imbalance ablation.
+
+use super::sweep_threads;
+use crate::report::{ScenarioReport, Table};
+use crate::scenario::{Scenario, SeedPolicy};
+use pim_analytic::validate;
+use pim_core::prelude::*;
+use serde::{Serialize, Value};
+
+/// Operations actually simulated per design point (rescaled to the Table 1 total).
+const SIM_OPS: u64 = 400_000;
+/// Operations batched per simulation event.
+const OPS_PER_EVENT: u64 = 64;
+
+fn simulated_mode(seed: u64) -> EvalMode {
+    EvalMode::Simulated {
+        sim_ops: Some(SIM_OPS),
+        ops_per_event: OPS_PER_EVENT,
+        seed,
+    }
+}
+
+fn sweep_params(spec: &SweepSpec) -> Value {
+    Value::Map(vec![
+        ("spec".into(), spec.to_value()),
+        ("sim_ops".into(), Value::U64(SIM_OPS)),
+        ("ops_per_event".into(), Value::U64(OPS_PER_EVENT)),
+    ])
+}
+
+/// Point lookup that keeps full `f64` precision (the legacy CSV renderers round to a
+/// few decimals, which would quantize the artifact and blunt the golden tolerance).
+fn point_value(sweep: &SweepResult, n: usize, wl: f64, f: impl Fn(&TradeoffPoint) -> f64) -> f64 {
+    sweep.point(n, wl).map(f).unwrap_or(f64::NAN)
+}
+
+/// Figure 5's wide layout — one `%WL` row, one `gain_nN` column per node count — built
+/// directly from the sweep points.
+fn figure5_table(name: &str, sweep: &SweepResult) -> Table {
+    let spec = &sweep.spec;
+    let mut columns = vec!["pct_lwp_work".to_string()];
+    columns.extend(spec.node_counts.iter().map(|n| format!("gain_n{n}")));
+    let rows = spec
+        .lwp_fractions
+        .iter()
+        .map(|&wl| {
+            let mut row = vec![Value::F64(wl * 100.0)];
+            for &n in &spec.node_counts {
+                row.push(Value::F64(point_value(sweep, n, wl, |p| p.gain)));
+            }
+            row
+        })
+        .collect();
+    Table {
+        name: name.to_string(),
+        columns,
+        rows,
+    }
+}
+
+/// Figure 6's wide layout — one `nodes` row, one `rt_ns_wlP` column per `%WL` — built
+/// directly from the sweep points.
+fn figure6_table(name: &str, sweep: &SweepResult) -> Table {
+    let spec = &sweep.spec;
+    let mut columns = vec!["nodes".to_string()];
+    columns.extend(
+        spec.lwp_fractions
+            .iter()
+            .map(|wl| format!("rt_ns_wl{:.0}", wl * 100.0)),
+    );
+    let rows = spec
+        .node_counts
+        .iter()
+        .map(|&n| {
+            let mut row = vec![Value::U64(n as u64)];
+            for &wl in &spec.lwp_fractions {
+                row.push(Value::F64(point_value(sweep, n, wl, |p| p.test_ns)));
+            }
+            row
+        })
+        .collect();
+    Table {
+        name: name.to_string(),
+        columns,
+        rows,
+    }
+}
+
+/// Figure 5: performance gain of the PIM-augmented test system over the host-only
+/// control system versus the lightweight-work fraction, for 1–256 nodes.
+pub struct Figure5;
+
+impl Scenario for Figure5 {
+    fn name(&self) -> &'static str {
+        "figure5"
+    }
+
+    fn description(&self) -> &'static str {
+        "performance gain vs %LWP work, one column per PIM node count (simulation)"
+    }
+
+    fn params(&self) -> Value {
+        sweep_params(&SweepSpec::extended())
+    }
+
+    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+        let seed = seeds.scenario_seed(self.name());
+        let spec = SweepSpec::extended();
+        let sweep = run_sweep(
+            SystemConfig::table1(),
+            &spec,
+            simulated_mode(seed),
+            sweep_threads(),
+        );
+        ScenarioReport::new(self.name(), self.description(), seed, self.params())
+            .with_metric("max_gain", sweep.max_gain())
+            .with_table(figure5_table(self.name(), &sweep))
+    }
+}
+
+/// Figure 6: unnormalized single-thread/node response time versus the number of smart
+/// memory nodes, one curve per lightweight-work percentage.
+pub struct Figure6;
+
+impl Scenario for Figure6 {
+    fn name(&self) -> &'static str {
+        "figure6"
+    }
+
+    fn description(&self) -> &'static str {
+        "response time (ns) vs number of smart memory nodes, one column per %LWT (simulation)"
+    }
+
+    fn params(&self) -> Value {
+        sweep_params(&SweepSpec::figure5_6())
+    }
+
+    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+        let seed = seeds.scenario_seed(self.name());
+        let spec = SweepSpec::figure5_6();
+        let sweep = run_sweep(
+            SystemConfig::table1(),
+            &spec,
+            simulated_mode(seed),
+            sweep_threads(),
+        );
+        let worst = sweep.point(1, 1.0).map(|p| p.test_ns).unwrap_or(f64::NAN);
+        ScenarioReport::new(self.name(), self.description(), seed, self.params())
+            .with_metric("response_ns_n1_wl100", worst)
+            .with_table(figure6_table(self.name(), &sweep))
+    }
+}
+
+/// Table 1: the parametric assumptions, plus the derived per-operation expectations
+/// and the break-even parameter `NB` as metrics.
+pub struct Table1;
+
+impl Scenario for Table1 {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+
+    fn description(&self) -> &'static str {
+        "Table 1 parametric assumptions (plus derived constants)"
+    }
+
+    fn params(&self) -> Value {
+        SystemConfig::table1().to_value()
+    }
+
+    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+        let seed = seeds.scenario_seed(self.name());
+        let config = SystemConfig::table1();
+        let rows = config
+            .table1_rows()
+            .into_iter()
+            .map(|(p, d, v)| vec![Value::Str(p), Value::Str(d), Value::Str(v)])
+            .collect();
+        let table = Table {
+            name: self.name().to_string(),
+            columns: vec!["parameter".into(), "description".into(), "value".into()],
+            rows,
+        };
+        ScenarioReport::new(self.name(), self.description(), seed, self.params())
+            .with_metric("t_op_hwp_ns", config.hwp_op_time_ns())
+            .with_metric("t_op_lwp_ns", config.lwp_op_time_ns())
+            .with_metric("nb", config.nb())
+            .with_table(table)
+    }
+}
+
+/// Section 3.1.2 validation: the analytical model against the queuing simulation over
+/// the Figure 5/6 grid (the paper saw 5%–18% between its two models).
+pub struct Validation;
+
+impl Scenario for Validation {
+    fn name(&self) -> &'static str {
+        "validation"
+    }
+
+    fn description(&self) -> &'static str {
+        "analytical vs simulated test-system time per (N, %WL) point"
+    }
+
+    fn params(&self) -> Value {
+        sweep_params(&SweepSpec::figure5_6())
+    }
+
+    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+        let seed = seeds.scenario_seed(self.name());
+        let spec = SweepSpec::figure5_6();
+        let report = validate(
+            SystemConfig::table1(),
+            &spec,
+            simulated_mode(seed),
+            sweep_threads(),
+        );
+        let rows = report
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    Value::U64(r.nodes as u64),
+                    Value::F64(r.lwp_fraction * 100.0),
+                    Value::F64(r.simulated_ns),
+                    Value::F64(r.analytic_ns),
+                    Value::F64(r.relative_error * 100.0),
+                ]
+            })
+            .collect();
+        let table = Table {
+            name: self.name().to_string(),
+            columns: vec![
+                "nodes".into(),
+                "pct_lwp".into(),
+                "simulated_ns".into(),
+                "analytic_ns".into(),
+                "rel_error_pct".into(),
+            ],
+            rows,
+        };
+        ScenarioReport::new(self.name(), self.description(), seed, self.params())
+            .with_metric("mean_relative_error", report.mean_relative_error)
+            .with_metric("max_relative_error", report.max_relative_error)
+            .with_table(table)
+    }
+}
+
+/// E-X6: confidence intervals on the headline simulated gains via independent
+/// replications (output-analysis methodology the paper's figures omit).
+pub struct ReplicationCi;
+
+/// The `(nodes, %WL)` corners whose gains get replicated confidence intervals.
+const CI_CORNERS: [(usize, f64); 5] = [(4, 0.5), (8, 0.8), (32, 0.9), (32, 1.0), (64, 1.0)];
+
+impl Scenario for ReplicationCi {
+    fn name(&self) -> &'static str {
+        "replication_ci"
+    }
+
+    fn description(&self) -> &'static str {
+        "replicated simulated gains with 95% confidence intervals vs the closed form"
+    }
+
+    fn params(&self) -> Value {
+        Value::Map(vec![
+            ("replications".into(), Value::U64(24)),
+            ("sim_ops".into(), Value::U64(200_000)),
+            (
+                "corners".into(),
+                Value::Seq(
+                    CI_CORNERS
+                        .iter()
+                        .map(|&(n, wl)| Value::Seq(vec![Value::U64(n as u64), Value::F64(wl)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+        let seed = seeds.scenario_seed(self.name());
+        let config = SystemConfig {
+            total_ops: 1_000_000,
+            ..SystemConfig::table1()
+        };
+        let mut table = Table {
+            name: self.name().to_string(),
+            columns: vec![
+                "nodes".into(),
+                "pct_lwp".into(),
+                "replications".into(),
+                "mean_gain".into(),
+                "ci95_half_width".into(),
+                "analytic_gain".into(),
+            ],
+            rows: Vec::new(),
+        };
+        for &(nodes, wl) in &CI_CORNERS {
+            let summary = replicated_gain(config, nodes, wl, 24, 200_000, seed);
+            let analytic = 1.0 / (1.0 - wl * (1.0 - config.nb() / nodes as f64));
+            table.rows.push(vec![
+                Value::U64(nodes as u64),
+                Value::F64(wl * 100.0),
+                Value::U64(summary.replications),
+                Value::F64(summary.mean),
+                Value::F64(summary.half_width),
+                Value::F64(analytic),
+            ]);
+        }
+        ScenarioReport::new(self.name(), self.description(), seed, self.params()).with_table(table)
+    }
+}
+
+/// E-X4: sensitivity of the study-1 gains to load imbalance across the LWP threads
+/// (the paper assumes perfectly uniform thread lengths).
+pub struct AblationImbalance;
+
+/// Skew factors applied to the per-node thread lengths.
+const SKEWS: [f64; 9] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 0.95];
+/// The `(nodes, %WL)` corners the skew sweep is repeated at.
+const IMBALANCE_CORNERS: [(usize, f64); 3] = [(8, 0.8), (32, 0.9), (64, 1.0)];
+
+impl Scenario for AblationImbalance {
+    fn name(&self) -> &'static str {
+        "ablation_imbalance"
+    }
+
+    fn description(&self) -> &'static str {
+        "gain vs per-thread load skew (the paper assumes perfectly uniform threads)"
+    }
+
+    fn params(&self) -> Value {
+        Value::Map(vec![
+            (
+                "skews".into(),
+                Value::Seq(SKEWS.iter().map(|&s| Value::F64(s)).collect()),
+            ),
+            (
+                "corners".into(),
+                Value::Seq(
+                    IMBALANCE_CORNERS
+                        .iter()
+                        .map(|&(n, wl)| Value::Seq(vec![Value::U64(n as u64), Value::F64(wl)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+        let seed = seeds.scenario_seed(self.name());
+        let config = SystemConfig {
+            total_ops: 2_000_000,
+            ..SystemConfig::table1()
+        };
+        let mut table = Table {
+            name: self.name().to_string(),
+            columns: vec![
+                "nodes".into(),
+                "pct_lwp".into(),
+                "skew".into(),
+                "gain".into(),
+                "lwp_idle_fraction".into(),
+            ],
+            rows: Vec::new(),
+        };
+        for &(nodes, wl) in &IMBALANCE_CORNERS {
+            for row in imbalance_sensitivity(config, nodes, wl, &SKEWS, seed) {
+                table.rows.push(vec![
+                    Value::U64(nodes as u64),
+                    Value::F64(wl * 100.0),
+                    Value::F64(row.skew),
+                    Value::F64(row.gain),
+                    Value::F64(row.idle_fraction),
+                ]);
+            }
+        }
+        ScenarioReport::new(self.name(), self.description(), seed, self.params()).with_table(table)
+    }
+}

@@ -1,0 +1,92 @@
+//! Golden-file regression tests: pin the JSON artifacts of key scenarios at the
+//! default seed, so a behavioural change anywhere in `desim`/`pim-core`/`pim-parcels`/
+//! `pim-analytic` that moves the numbers fails loudly instead of silently corrupting
+//! every downstream figure.
+//!
+//! Numeric fields compare with a per-field relative tolerance (see
+//! [`pim_harness::golden`]); everything else must match exactly. To regenerate after
+//! an intentional change:
+//!
+//! ```text
+//! PIM_BLESS_GOLDENS=1 cargo test -p pim-harness --test golden
+//! ```
+
+use pim_harness::prelude::*;
+use std::path::PathBuf;
+
+/// Environment variable that switches the suite from *verify* to *regenerate*.
+const BLESS_ENV: &str = "PIM_BLESS_GOLDENS";
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn check_golden(name: &str) {
+    let registry = Registry::builtin();
+    let scenario = registry.get(name).expect("scenario is registered");
+    let report = scenario.run(&SeedPolicy::default());
+    let actual_json = report.to_json();
+    let path = golden_path(name);
+
+    if std::env::var_os(BLESS_ENV).is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual_json).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let golden_json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); run `{BLESS_ENV}=1 cargo test -p pim-harness \
+             --test golden` to create it",
+            path.display()
+        )
+    });
+    let expected = serde_json::value_from_str(&golden_json)
+        .unwrap_or_else(|e| panic!("golden file {} is not valid JSON: {e}", path.display()));
+    let actual = serde_json::value_from_str(&actual_json).expect("report JSON is valid");
+
+    // Deterministic scenarios normally match exactly; the relative tolerance absorbs
+    // last-ulp formatting differences without hiding real drift.
+    let tol = Tolerance {
+        rtol: 1e-6,
+        atol: 1e-9,
+    };
+    let diffs = diff_json(&expected, &actual, tol);
+    assert!(
+        diffs.is_empty(),
+        "scenario '{name}' drifted from {} ({} mismatching fields):\n{}\n\
+         if the change is intentional, re-bless with `{BLESS_ENV}=1 cargo test -p pim-harness \
+         --test golden`",
+        path.display(),
+        diffs.len(),
+        diffs
+            .iter()
+            .take(20)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn golden_figure5() {
+    check_golden("figure5");
+}
+
+#[test]
+fn golden_figure11() {
+    check_golden("figure11");
+}
+
+#[test]
+fn golden_table1() {
+    check_golden("table1");
+}
+
+#[test]
+fn golden_validation() {
+    check_golden("validation");
+}

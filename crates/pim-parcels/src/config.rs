@@ -61,6 +61,18 @@ impl ParcelConfig {
         if self.nodes == 0 {
             return Err("node count must be positive".into());
         }
+        for (name, value) in [
+            ("cycle_ns", self.cycle_ns),
+            ("local_memory_cycles", self.local_memory_cycles),
+            ("remote_fraction", self.remote_fraction),
+            ("latency_cycles", self.latency_cycles),
+            ("parcel_overhead_cycles", self.parcel_overhead_cycles),
+            ("horizon_cycles", self.horizon_cycles),
+        ] {
+            if !value.is_finite() {
+                return Err(format!("{name} must be finite, got {value}"));
+            }
+        }
         if self.cycle_ns <= 0.0 {
             return Err("cycle time must be positive".into());
         }
@@ -191,6 +203,13 @@ mod tests {
             |c: &mut ParcelConfig| c.horizon_cycles = 0.0,
             |c: &mut ParcelConfig| c.parcel_overhead_cycles = -2.0,
             |c: &mut ParcelConfig| c.local_memory_cycles = 0.0,
+            // NaN/∞ compare false against the range bounds, so they need explicit
+            // finiteness checks to be caught before a simulation spins forever.
+            |c: &mut ParcelConfig| c.latency_cycles = f64::NAN,
+            |c: &mut ParcelConfig| c.horizon_cycles = f64::NAN,
+            |c: &mut ParcelConfig| c.local_memory_cycles = f64::NAN,
+            |c: &mut ParcelConfig| c.parcel_overhead_cycles = f64::INFINITY,
+            |c: &mut ParcelConfig| c.cycle_ns = f64::NAN,
         ] {
             let mut c = ParcelConfig::default();
             f(&mut c);

@@ -1,17 +1,24 @@
 //! `pim-tradeoffs` — command-line front end to the PIM design-tradeoff models.
 //!
 //! ```text
+//! pim-tradeoffs list
+//! pim-tradeoffs run     figure5 table1 [--jobs N] [--out artifacts/] [--seed S]
+//! pim-tradeoffs run     --all [--jobs N] [--out artifacts/] [--seed S]
 //! pim-tradeoffs point   --nodes 32 --wl 0.8 [--pmiss 0.1] [--mix 0.3] [--simulate]
 //! pim-tradeoffs sweep   [--max-nodes 64] [--simulate]
 //! pim-tradeoffs nb      [--pmiss 0.1] [--mix 0.3] [--lwp-cycle 5] [--tml 30] [--tmh 90]
 //! pim-tradeoffs parcels --parallelism 16 --latency 1000 --remote 0.4 [--nodes 8] [--overhead 4]
 //! ```
 //!
-//! Argument parsing is intentionally hand-rolled (no CLI dependency): every flag is
-//! `--name value`, unknown flags are an error, and `--help` prints the grammar above.
+//! `list` and `run` front the scenario registry in `pim-harness`: `run --all --out
+//! artifacts/` regenerates every paper figure/table/ablation as versioned JSON in one
+//! deterministic batch. Argument parsing is intentionally hand-rolled (no CLI
+//! dependency): every flag is `--name value`, unknown flags are an error, and
+//! `--help` prints the grammar above.
 
 use pim_repro::pim_analytic::{AnalyticModel, ParcelAnalyticModel};
 use pim_repro::pim_core::prelude::*;
+use pim_repro::pim_harness::prelude::*;
 use pim_repro::pim_parcels::prelude::*;
 use pim_repro::pim_workload::InstructionMix;
 use std::collections::HashMap;
@@ -21,13 +28,20 @@ const USAGE: &str = "\
 pim-tradeoffs — PIM architecture design-tradeoff models (SC 2004 reproduction)
 
 USAGE:
+  pim-tradeoffs list
+  pim-tradeoffs run     SCENARIO... [--jobs N] [--out DIR] [--seed S]
+  pim-tradeoffs run     --all [--jobs N] [--out DIR] [--seed S]
   pim-tradeoffs point   --nodes N --wl FRACTION [--pmiss P] [--mix M] [--simulate]
   pim-tradeoffs sweep   [--max-nodes N] [--simulate]
   pim-tradeoffs nb      [--pmiss P] [--mix M] [--lwp-cycle NS] [--tml CYCLES] [--tmh CYCLES]
   pim-tradeoffs parcels --parallelism P --latency CYCLES --remote FRACTION
                         [--nodes N] [--overhead CYCLES]
 
-Run a subcommand with no arguments to use the paper's Table 1 defaults.";
+`list` names every registered scenario. `run` executes scenarios in parallel worker
+threads and either prints their JSON reports (no --out) or writes one artifact per
+scenario plus a manifest under DIR; artifacts are byte-identical for a given --seed
+whatever --jobs is. Run a model subcommand with no arguments to use the paper's
+Table 1 defaults.";
 
 /// Parsed `--flag value` arguments.
 struct Args {
@@ -35,16 +49,17 @@ struct Args {
 }
 
 impl Args {
-    fn parse(raw: &[String]) -> Result<Args, String> {
+    /// Parse `--flag value` pairs plus bare positional arguments (scenario names).
+    fn parse_mixed(raw: &[String]) -> Result<(Vec<String>, Args), String> {
         let mut flags = HashMap::new();
+        let mut positionals = Vec::new();
         let mut it = raw.iter();
         while let Some(arg) = it.next() {
             let Some(name) = arg.strip_prefix("--") else {
-                return Err(format!(
-                    "unexpected argument '{arg}' (flags are --name value)"
-                ));
+                positionals.push(arg.clone());
+                continue;
             };
-            if name == "simulate" || name == "help" {
+            if name == "simulate" || name == "help" || name == "all" {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
             }
@@ -53,7 +68,7 @@ impl Args {
             };
             flags.insert(name.to_string(), value.clone());
         }
-        Ok(Args { flags })
+        Ok((positionals, Args { flags }))
     }
 
     fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
@@ -74,6 +89,15 @@ impl Args {
         }
     }
 
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got '{v}'")),
+        }
+    }
+
     fn has(&self, name: &str) -> bool {
         self.flags.contains_key(name)
     }
@@ -86,6 +110,64 @@ impl Args {
         }
         Ok(())
     }
+}
+
+fn cmd_list(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[])?;
+    let registry = Registry::builtin();
+    for scenario in registry.iter() {
+        println!("{:<20} {}", scenario.name(), scenario.description());
+    }
+    Ok(())
+}
+
+fn cmd_run(scenarios: &[String], args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["all", "jobs", "out", "seed"])?;
+    let registry = Registry::builtin();
+    if args.has("all") && !scenarios.is_empty() {
+        return Err("pass scenario names or --all, not both".into());
+    }
+    let names: Vec<String> = if args.has("all") {
+        registry.names().iter().map(|s| s.to_string()).collect()
+    } else {
+        scenarios.to_vec()
+    };
+    if names.is_empty() {
+        return Err("run needs scenario names or --all (see `pim-tradeoffs list`)".into());
+    }
+    let opts = BatchOptions {
+        jobs: args.get_usize("jobs", 0)?,
+        seeds: SeedPolicy::new(args.get_u64("seed", DEFAULT_SEED)?),
+        out_dir: args.flags.get("out").map(std::path::PathBuf::from),
+    };
+    let outcome = run_batch(&registry, &names, &opts)?;
+    if opts.out_dir.is_some() {
+        for path in &outcome.written {
+            eprintln!("wrote {}", path.display());
+        }
+        for report in &outcome.reports {
+            let metrics: Vec<String> = report
+                .metrics
+                .iter()
+                .map(|m| format!("{}={:.6}", m.name, m.value))
+                .collect();
+            println!(
+                "{:<20} {} table(s){}{}",
+                report.scenario,
+                report.tables.len(),
+                if metrics.is_empty() { "" } else { "; " },
+                metrics.join(", ")
+            );
+        }
+    } else if let [report] = outcome.reports.as_slice() {
+        print!("{}", report.to_json());
+    } else {
+        let mut json = serde_json::to_string_pretty(&outcome.reports)
+            .map_err(|e| format!("could not serialize reports: {e}"))?;
+        json.push('\n');
+        print!("{json}");
+    }
+    Ok(())
 }
 
 fn study_config(args: &Args) -> Result<SystemConfig, String> {
@@ -238,12 +320,21 @@ fn run() -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     };
-    let args = Args::parse(&raw[1..])?;
+    let (positionals, args) = Args::parse_mixed(&raw[1..])?;
     if args.has("help") {
         println!("{USAGE}");
         return Ok(());
     }
+    if command != "run" {
+        if let Some(arg) = positionals.first() {
+            return Err(format!(
+                "unexpected argument '{arg}' (flags are --name value)"
+            ));
+        }
+    }
     match command.as_str() {
+        "list" => cmd_list(&args),
+        "run" => cmd_run(&positionals, &args),
         "point" => cmd_point(&args),
         "sweep" => cmd_sweep(&args),
         "nb" => cmd_nb(&args),

@@ -12,7 +12,9 @@
 //! * [`pim_parcels`] — study 2: parcel split-transaction latency hiding versus blocking
 //!   message passing (Figures 8-12);
 //! * [`pim_analytic`] — the closed-form models (`Time_relative`, `NB`, multithreading
-//!   efficiency) and their validation against the simulations.
+//!   efficiency) and their validation against the simulations;
+//! * [`pim_harness`] — the scenario registry and parallel batch harness that
+//!   regenerates every paper artifact as versioned JSON (`pim-tradeoffs list|run`).
 //!
 //! See the `examples/` directory for runnable walkthroughs and the `pim-bench` crate
 //! for the binaries that regenerate every table and figure in the paper.
@@ -23,6 +25,7 @@
 pub use desim;
 pub use pim_analytic;
 pub use pim_core;
+pub use pim_harness;
 pub use pim_mem;
 pub use pim_parcels;
 pub use pim_workload;

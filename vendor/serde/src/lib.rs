@@ -53,6 +53,30 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The numeric content of an `I64`/`U64`/`F64` value, widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(n) => Some(n as f64),
+            Value::U64(n) => Some(n as f64),
+            Value::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+}
+
+// A `Value` is its own serde representation, so fields typed `Value` (free-form
+// payloads such as scenario parameters) pass through both traits unchanged.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
 }
 
 /// Error type shared by deserialization front-ends.
