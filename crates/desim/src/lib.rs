@@ -17,8 +17,10 @@
 //!
 //! The engine is deliberately single-threaded per simulation instance (discrete-event
 //! causality is inherently sequential); throughput for the paper's parameter sweeps
-//! comes from running many independent simulations in parallel, which the `pim-core`
-//! and `pim-parcels` crates do with scoped threads.
+//! comes from running many independent simulations in parallel. The [`par`] module is
+//! the shared substrate for that: a work-stealing map over a flattened work list
+//! (shared atomic index) used by the `pim-core`/`pim-parcels` sweeps and by the
+//! `pim-harness` batch runner.
 //!
 //! ## Quick example: an M/M/1 queue
 //!
@@ -41,7 +43,9 @@
 
 pub mod engine;
 pub mod event;
+pub mod fxhash;
 pub mod monitor;
+pub mod par;
 pub mod qnet;
 pub mod random;
 pub mod replication;
@@ -53,8 +57,9 @@ pub mod trace;
 /// Convenient glob import for model authors.
 pub mod prelude {
     pub use crate::engine::{Model, RunReport, Scheduler, Simulation, StopReason};
-    pub use crate::event::{BinaryHeapQueue, CalendarQueue, EventId, EventQueue};
+    pub use crate::event::{BinaryHeapQueue, CalendarQueue, EventId, EventQueue, FifoBandQueue};
     pub use crate::monitor::Monitor;
+    pub use crate::par::{available_threads, resolve_threads, work_steal_map};
     pub use crate::qnet::{NodeId, QNetReport, QNetwork, Routing, Transaction};
     pub use crate::random::{Dist, RandomStream};
     pub use crate::replication::{replicate, replicate_to_precision, ReplicationSummary};

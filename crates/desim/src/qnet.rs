@@ -9,7 +9,7 @@
 
 use crate::engine::{Model, Scheduler, Simulation};
 use crate::random::{Dist, RandomStream};
-use crate::resource::{Acquire, Resource};
+use crate::resource::Resource;
 use crate::stats::{Tally, TimeWeighted};
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -344,15 +344,16 @@ impl QNetModel {
         node.population.add(now, 1.0);
         match &mut node.kind {
             NodeKind::Service { service, resource } => {
+                // The draw happens on every arrival (even ones that park) so the
+                // stream's consumption order stays independent of queue state; a
+                // parked transaction draws again when it is dequeued in `complete`.
                 let svc = SimDuration::from_ns_f64(self.net.stream.sample_nonneg(service));
-                match resource.acquire(now, txn.clone()) {
-                    Acquire::Granted => {
-                        sched.schedule_in(svc, QEvent::Complete(id, txn));
-                    }
-                    Acquire::Queued => {
-                        // Service time is drawn again when the transaction is dequeued,
-                        // in `complete`, to keep draw order independent of queue state.
-                    }
+                if resource.try_acquire(now) {
+                    sched.schedule_in(svc, QEvent::Complete(id, txn));
+                } else {
+                    // Park the transaction by value — no clone; it flows back out of
+                    // `release` when a server frees up.
+                    resource.park(now, txn);
                 }
             }
             NodeKind::Delay { delay } => {

@@ -30,6 +30,34 @@ pub struct ReplicationSummary {
 }
 
 impl ReplicationSummary {
+    /// Summarize already-collected replication outputs (one scalar per replication,
+    /// in replication order). This is the assembly half of [`replicate`], split out so
+    /// callers that evaluate replications elsewhere (e.g. a work-stealing scheduler
+    /// running one replication per unit) can still produce the standard summary.
+    ///
+    /// # Panics
+    /// Panics when fewer than two samples are given — a confidence interval needs an
+    /// estimate of the variance.
+    pub fn from_samples(samples: &[f64], level: ConfidenceLevel) -> ReplicationSummary {
+        assert!(
+            samples.len() >= 2,
+            "need at least two replications for an interval"
+        );
+        let mut tally = Tally::new();
+        for &s in samples {
+            tally.record(s);
+        }
+        ReplicationSummary {
+            replications: samples.len() as u64,
+            mean: tally.mean(),
+            std_dev: tally.std_dev(),
+            half_width: tally.confidence_half_width(level),
+            level,
+            min: tally.min().unwrap_or(0.0),
+            max: tally.max().unwrap_or(0.0),
+        }
+    }
+
     /// The confidence interval as `(low, high)`.
     pub fn interval(&self) -> (f64, f64) {
         (self.mean - self.half_width, self.mean + self.half_width)
@@ -52,6 +80,13 @@ impl ReplicationSummary {
     }
 }
 
+/// The seed of replication `index` of an experiment with the given base seed: a pure
+/// function of `(base_seed, index)`, so replications can be evaluated out of order
+/// (or on different threads) and still reproduce the sequential stream exactly.
+pub fn replication_seed(base_seed: u64, index: u64) -> u64 {
+    base_seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// Run `replications` independent replications of `experiment` (seeded with
 /// `0, 1, …, replications-1` offsets from `base_seed`) and summarize the scalar each
 /// replication returns.
@@ -68,20 +103,10 @@ where
         replications >= 2,
         "need at least two replications for an interval"
     );
-    let mut tally = Tally::new();
-    for r in 0..replications {
-        let seed = base_seed.wrapping_add(r.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        tally.record(experiment(seed));
-    }
-    ReplicationSummary {
-        replications,
-        mean: tally.mean(),
-        std_dev: tally.std_dev(),
-        half_width: tally.confidence_half_width(level),
-        level,
-        min: tally.min().unwrap_or(0.0),
-        max: tally.max().unwrap_or(0.0),
-    }
+    let samples: Vec<f64> = (0..replications)
+        .map(|r| experiment(replication_seed(base_seed, r)))
+        .collect();
+    ReplicationSummary::from_samples(&samples, level)
 }
 
 /// Keep adding replications (in batches of `batch`) until the relative precision of the
@@ -105,9 +130,7 @@ where
     while done < max_replications {
         let this_batch = batch.min(max_replications - done);
         for r in 0..this_batch {
-            let idx = done + r;
-            let seed = base_seed.wrapping_add(idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            tally.record(experiment(seed));
+            tally.record(experiment(replication_seed(base_seed, done + r)));
         }
         done += this_batch;
         if done >= 2 {
@@ -199,5 +222,27 @@ mod tests {
     #[should_panic(expected = "at least two replications")]
     fn single_replication_is_rejected() {
         replicate(1, 0, ConfidenceLevel::P95, |_| 0.0);
+    }
+
+    #[test]
+    fn from_samples_matches_inline_replication() {
+        let experiment = |seed: u64| {
+            let mut s = RandomStream::new(seed, 9);
+            s.uniform(0.0, 1.0)
+        };
+        let inline = replicate(12, 77, ConfidenceLevel::P95, experiment);
+        // Evaluate the same replications out of order via the exposed seed function.
+        let mut samples: Vec<(u64, f64)> = (0..12u64)
+            .rev()
+            .map(|r| (r, experiment(replication_seed(77, r))))
+            .collect();
+        samples.sort_by_key(|&(r, _)| r);
+        let values: Vec<f64> = samples.into_iter().map(|(_, v)| v).collect();
+        let assembled = ReplicationSummary::from_samples(&values, ConfidenceLevel::P95);
+        assert_eq!(assembled.replications, inline.replications);
+        assert_eq!(assembled.mean, inline.mean);
+        assert_eq!(assembled.half_width, inline.half_width);
+        assert_eq!(assembled.min, inline.min);
+        assert_eq!(assembled.max, inline.max);
     }
 }

@@ -1,7 +1,8 @@
 //! Passive resources (servers) with queuing, in the SES/Workbench sense.
 //!
 //! A [`Resource`] models `capacity` identical servers with a FIFO (or priority) wait
-//! queue. It is *passive*: it never schedules events itself. The owning [`crate::Model`]
+//! queue. It is *passive*: it never schedules events itself. The owning
+//! [`crate::engine::Model`]
 //! asks to acquire a unit; if none is free the request's token is parked, and a later
 //! `release` hands the token back so the model can schedule the waiter's continuation.
 //! Utilization, queue length and waiting time statistics are collected automatically.
@@ -118,6 +119,27 @@ impl<T> Resource<T> {
             self.queue_len.set(now, self.waiters.len() as f64);
             Acquire::Queued
         }
+    }
+
+    /// Park `token` in the wait queue without attempting an acquire, with default
+    /// priority 0. Combined with [`Resource::try_acquire`] this is the move-friendly
+    /// split of [`Resource::acquire`]: the caller keeps ownership of its token on the
+    /// granted path instead of cloning it into the resource.
+    pub fn park(&mut self, now: SimTime, token: T) {
+        let w = Waiter {
+            token,
+            priority: 0,
+            enqueued_at: now,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        let pos = self
+            .waiters
+            .iter()
+            .position(|x| (x.priority, x.seq) > (w.priority, w.seq))
+            .unwrap_or(self.waiters.len());
+        self.waiters.insert(pos, w);
+        self.queue_len.set(now, self.waiters.len() as f64);
     }
 
     /// Try to acquire without queueing. Returns `true` on success.
@@ -241,6 +263,18 @@ mod tests {
         // Busy for 40 of 100 ns.
         let u = r.utilization(SimTime::from_ns(100));
         assert!((u - 0.4).abs() < 1e-12, "utilization {u}");
+    }
+
+    #[test]
+    fn park_joins_the_fifo_queue_like_acquire() {
+        let mut r: Resource<u32> = Resource::new("cpu", 1, SimTime::ZERO);
+        assert!(r.try_acquire(SimTime::ZERO));
+        r.park(SimTime::from_ns(1), 20);
+        r.acquire(SimTime::from_ns(2), 30);
+        assert_eq!(r.queue_len(), 2);
+        assert_eq!(r.release(SimTime::from_ns(5)), Some(20));
+        assert_eq!(r.release(SimTime::from_ns(9)), Some(30));
+        assert_eq!(r.release(SimTime::from_ns(12)), None);
     }
 
     #[test]

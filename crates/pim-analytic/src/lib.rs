@@ -31,4 +31,4 @@ pub mod validation;
 pub use hwp_lwp::AnalyticModel;
 pub use parcels::ParcelAnalyticModel;
 pub use sweep::{nb_sensitivity, sensitivity_csv, SensitivityRow, SweepParameter};
-pub use validation::{validate, ValidationReport, ValidationRow};
+pub use validation::{validate, validation_from_sweep, ValidationReport, ValidationRow};

@@ -1,7 +1,7 @@
 //! Closed-form model of parcel latency hiding.
 //!
 //! The paper relates its parcel study to earlier analyses of multithreaded architectures
-//! (Saavedra-Barrera et al., cited as [27]). The same machine-repairman argument applies
+//! (Saavedra-Barrera et al., cited as \[27\]). The same machine-repairman argument applies
 //! directly to split-transaction parcels:
 //!
 //! * a blocking (control) processor is busy for `R + 1` cycles out of every

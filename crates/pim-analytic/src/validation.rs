@@ -70,8 +70,17 @@ pub fn validate(
     sim_mode: EvalMode,
     threads: usize,
 ) -> ValidationReport {
+    validation_from_sweep(config, &run_sweep(config, spec, sim_mode, threads))
+}
+
+/// The comparison half of [`validate`]: score an already-evaluated sweep against the
+/// closed form. Split out so callers that schedule the sweep's points themselves
+/// (e.g. the `pim-harness` batch runner) can reuse the identical error computation.
+pub fn validation_from_sweep(
+    config: SystemConfig,
+    sweep: &pim_core::experiment::SweepResult,
+) -> ValidationReport {
     let analytic = AnalyticModel::new(config);
-    let sweep = run_sweep(config, spec, sim_mode, threads);
     let mut rows = Vec::with_capacity(sweep.points.len());
     for p in &sweep.points {
         let a = analytic.test_time_ns(p.nodes as f64, p.lwp_fraction);

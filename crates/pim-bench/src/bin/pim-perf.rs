@@ -1,0 +1,103 @@
+//! `pim-perf` — run the fixed benchmark suite and emit a versioned `BENCH_<rev>.json`.
+//!
+//! ```text
+//! pim-perf [--out DIR] [--rev LABEL] [--jobs N] [--quick]
+//! ```
+//!
+//! * `--out DIR` — where to write `BENCH_<rev>.json` (default: current directory).
+//! * `--rev LABEL` — revision label; defaults to `$PIM_BENCH_REV`, then `$GITHUB_SHA`
+//!   (truncated), then `local`.
+//! * `--jobs N` — worker threads for the batch measurement (`0` = one per core).
+//! * `--quick` — the CI smoke variant: ~10× smaller microbenches, no per-scenario
+//!   timing pass.
+//!
+//! See `crates/pim-bench/src/perf.rs` for what is measured and the README's
+//! "Performance & benchmarking" section for how to compare two revisions.
+
+use pim_bench::perf::{run_suite, write_bench_file, PerfOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn default_rev() -> String {
+    if let Ok(rev) = std::env::var("PIM_BENCH_REV") {
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if sha.len() >= 8 {
+            return sha[..8].to_string();
+        }
+    }
+    "local".to_string()
+}
+
+fn run() -> Result<(), String> {
+    let mut out = PathBuf::from(".");
+    let mut opts = PerfOptions {
+        rev: default_rev(),
+        ..Default::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("--out needs a directory")?);
+            }
+            "--rev" => {
+                opts.rev = args.next().ok_or("--rev needs a label")?;
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a number")?;
+                opts.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs expects an integer, got '{v}'"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "pim-perf [--out DIR] [--rev LABEL] [--jobs N] [--quick]\n\
+                     Runs the fixed benchmark suite and writes BENCH_<rev>.json."
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument '{other}' (see --help)")),
+        }
+    }
+    if opts.rev.contains(['/', '\\']) {
+        return Err(format!(
+            "--rev '{}' must not contain path separators",
+            opts.rev
+        ));
+    }
+
+    eprintln!(
+        "pim-perf: running {} suite (rev {}, jobs {})…",
+        if opts.quick { "quick" } else { "full" },
+        opts.rev,
+        opts.jobs
+    );
+    let payload = run_suite(&opts);
+    let path = write_bench_file(&out, &opts.rev, &payload)?;
+    // Headline numbers on stderr for humans scanning CI logs.
+    if let Some(batch) = payload.get("scenarios") {
+        let wall = batch.get("wall_ms").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let rate = batch
+            .get("units_per_sec")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        eprintln!("pim-perf: batch {wall:.0} ms, {rate:.1} units/sec");
+    }
+    println!("{}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

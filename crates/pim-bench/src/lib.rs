@@ -15,3 +15,5 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+
+pub mod perf;

@@ -1,0 +1,333 @@
+//! The `pim-perf` suite: a fixed set of performance measurements emitting a
+//! schema-versioned `BENCH_<rev>.json`, the repo's performance trajectory format.
+//!
+//! Three layers are measured:
+//!
+//! 1. **Pending-event sets** — drain throughput (events/sec) of the three
+//!    [`desim::event::EventQueue`] implementations on a random-time workload and on
+//!    the monotone constant-delay workload the parcel models generate. This is the
+//!    evidence behind the engine's queue default (see
+//!    [`desim::engine::Simulation::new`]).
+//! 2. **End-to-end engine** — events/sec through a full M/M/1 queuing network and
+//!    through one saturated parcel test-system point, i.e. dispatch + model handler
+//!    + statistics, not just the data structure.
+//! 3. **Scenario batch** — wall-clock and units/sec for the full registry under the
+//!    work-stealing batch runner, plus (in full mode) per-scenario wall times.
+//!
+//! Comparing two revisions is a field-by-field diff of their `BENCH_*.json`; CI runs
+//! the quick suite on every push and uploads the artifact (non-gating).
+
+use desim::event::{BinaryHeapQueue, CalendarQueue, EventQueue, FifoBandQueue, ScheduledEvent};
+use desim::prelude::*;
+use pim_harness::prelude::*;
+use pim_parcels::prelude::*;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Version of the `BENCH_*.json` schema. Bump on incompatible shape changes so
+/// trajectory tooling can refuse to compare apples to oranges.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Options for one suite run.
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// Revision label recorded in the file name and payload (e.g. a git short SHA).
+    pub rev: String,
+    /// Quick mode: ~10× smaller microbenches and no per-scenario timing pass.
+    /// This is what CI runs as its non-gating smoke bench.
+    pub quick: bool,
+    /// Worker threads for the batch measurement (`0` = one per core).
+    pub jobs: usize,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            rev: "local".to_string(),
+            quick: false,
+            jobs: 0,
+        }
+    }
+}
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Events/sec of pushing `n` events and draining them through `queue`.
+fn drain_rate<Q: EventQueue<u64>>(mut queue: Q, times: &[u64]) -> f64 {
+    let start = Instant::now();
+    for (seq, &t) in times.iter().enumerate() {
+        queue.push(ScheduledEvent {
+            time: SimTime::from_ticks(t),
+            priority: 0,
+            seq: seq as u64,
+            id: EventId(seq as u64),
+            payload: seq as u64,
+        });
+    }
+    let mut drained = 0u64;
+    while queue.pop().is_some() {
+        drained += 1;
+    }
+    assert_eq!(drained as usize, times.len(), "queue lost events");
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    (2 * times.len()) as f64 / elapsed // one push + one pop per event
+}
+
+/// Uniform-random event times over a wide horizon.
+fn random_times(n: usize) -> Vec<u64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+    (0..n).map(|_| rng.gen_range(0..100_000_000u64)).collect()
+}
+
+/// The parcel-model shape: interleaved short service completions and
+/// constant-latency round trips from a monotonically advancing clock.
+fn monotone_times(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            let now = i / 2 * 100;
+            if i % 2 == 0 {
+                now + 2_000_000
+            } else {
+                now + 3_000
+            }
+        })
+        .collect()
+}
+
+/// Benchmark the three pending-event-set implementations.
+fn bench_event_queues(scale: usize) -> Value {
+    let random = random_times(scale);
+    let monotone = monotone_times(scale);
+    map(vec![
+        ("events", Value::U64(scale as u64)),
+        (
+            "heap_random_events_per_sec",
+            Value::F64(drain_rate(BinaryHeapQueue::new(), &random)),
+        ),
+        (
+            "calendar_random_events_per_sec",
+            Value::F64(drain_rate(CalendarQueue::new(50_000, 1024), &random)),
+        ),
+        (
+            "fifo_band_random_events_per_sec",
+            Value::F64(drain_rate(FifoBandQueue::new(), &random)),
+        ),
+        (
+            "heap_monotone_events_per_sec",
+            Value::F64(drain_rate(BinaryHeapQueue::new(), &monotone)),
+        ),
+        (
+            "calendar_monotone_events_per_sec",
+            Value::F64(drain_rate(CalendarQueue::new(50_000, 1024), &monotone)),
+        ),
+        (
+            "fifo_band_monotone_events_per_sec",
+            Value::F64(drain_rate(FifoBandQueue::new(), &monotone)),
+        ),
+    ])
+}
+
+/// Events/sec through a full M/M/1 queuing network run (engine + qnet layer).
+fn bench_mm1(horizon_us: u64) -> Value {
+    let mut net = QNetwork::new(7);
+    let src = net.add_source("src", Dist::Exponential { mean: 20.0 }, 0, None);
+    let cpu = net.add_service("cpu", 1, Dist::Exponential { mean: 10.0 });
+    let sink = net.add_sink("sink");
+    net.set_route(src, Routing::To(cpu));
+    net.set_route(cpu, Routing::To(sink));
+    let mut sim = net.into_simulation();
+    sim.set_horizon(SimTime::from_us(horizon_us));
+    let start = Instant::now();
+    sim.run();
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    map(vec![
+        ("horizon_us", Value::U64(horizon_us)),
+        ("events", Value::U64(sim.events_processed())),
+        (
+            "events_per_sec",
+            Value::F64(sim.events_processed() as f64 / elapsed),
+        ),
+    ])
+}
+
+/// Events/sec through one saturated parcel test-system point (engine + model).
+fn bench_parcel_point(horizon_cycles: f64) -> Value {
+    let config = ParcelConfig {
+        nodes: 16,
+        parallelism: 16,
+        latency_cycles: 1_000.0,
+        remote_fraction: 0.4,
+        horizon_cycles,
+        ..Default::default()
+    };
+    let model = TestSystem::new(config, 42);
+    let mut sim = desim::engine::Simulation::new(model);
+    sim.set_horizon(SimTime::from_ns_f64(config.horizon_ns()));
+    sim.init(|m, sched| m.start(sched));
+    let start = Instant::now();
+    sim.run();
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    map(vec![
+        ("horizon_cycles", Value::F64(horizon_cycles)),
+        ("events", Value::U64(sim.events_processed())),
+        (
+            "events_per_sec",
+            Value::F64(sim.events_processed() as f64 / elapsed),
+        ),
+    ])
+}
+
+/// Wall-clock the full scenario batch (and, in full mode, each scenario alone).
+fn bench_scenarios(opts: &PerfOptions) -> Value {
+    let registry = Registry::builtin();
+    let names = registry.names();
+    let seeds = SeedPolicy::default();
+
+    let units_total: usize = registry.iter().map(|s| s.plan(&seeds).unit_count()).sum();
+    let start = Instant::now();
+    let outcome = run_batch(
+        &registry,
+        &names,
+        &BatchOptions {
+            jobs: opts.jobs,
+            ..Default::default()
+        },
+    )
+    .expect("builtin batch runs");
+    let batch_secs = start.elapsed().as_secs_f64();
+    assert_eq!(outcome.reports.len(), registry.len());
+
+    let mut entries = vec![
+        ("jobs_requested", Value::U64(opts.jobs as u64)),
+        ("jobs_resolved", Value::U64(resolve_jobs(opts.jobs) as u64)),
+        ("units_total", Value::U64(units_total as u64)),
+        ("wall_ms", Value::F64(batch_secs * 1e3)),
+        (
+            "units_per_sec",
+            Value::F64(units_total as f64 / batch_secs.max(1e-9)),
+        ),
+    ];
+
+    let mut per_scenario = Vec::new();
+    if !opts.quick {
+        for scenario in registry.iter() {
+            let plan = scenario.plan(&seeds);
+            let units = plan.unit_count();
+            let start = Instant::now();
+            let report = run_plan(plan, opts.jobs);
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(report.scenario, scenario.name());
+            per_scenario.push(map(vec![
+                ("name", Value::Str(scenario.name().to_string())),
+                ("units", Value::U64(units as u64)),
+                ("wall_ms", Value::F64(secs * 1e3)),
+                ("units_per_sec", Value::F64(units as f64 / secs.max(1e-9))),
+            ]));
+        }
+    }
+    entries.push(("per_scenario", Value::Seq(per_scenario)));
+    map(entries)
+}
+
+/// Run the whole suite and return the `BENCH_*.json` payload.
+pub fn run_suite(opts: &PerfOptions) -> Value {
+    let scale = if opts.quick { 20_000 } else { 200_000 };
+    map(vec![
+        (
+            "schema_version",
+            Value::U64(u64::from(BENCH_SCHEMA_VERSION)),
+        ),
+        ("rev", Value::Str(opts.rev.clone())),
+        ("quick", Value::Bool(opts.quick)),
+        (
+            "host",
+            map(vec![(
+                "available_parallelism",
+                Value::U64(desim::par::available_threads() as u64),
+            )]),
+        ),
+        ("event_queues", bench_event_queues(scale)),
+        ("mm1_qnet", bench_mm1(if opts.quick { 200 } else { 2_000 })),
+        (
+            "parcel_point",
+            bench_parcel_point(if opts.quick { 20_000.0 } else { 200_000.0 }),
+        ),
+        ("scenarios", bench_scenarios(opts)),
+    ])
+}
+
+/// Write `payload` to `<dir>/BENCH_<rev>.json` (pretty JSON + trailing newline) and
+/// return the path.
+pub fn write_bench_file(
+    dir: &std::path::Path,
+    rev: &str,
+    payload: &Value,
+) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("BENCH_{rev}.json"));
+    let mut json =
+        serde_json::to_string_pretty(payload).expect("bench payload serialization is infallible");
+    json.push('\n');
+    std::fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_microbenches_report_positive_rates() {
+        let v = bench_event_queues(2_000);
+        for key in [
+            "heap_random_events_per_sec",
+            "calendar_random_events_per_sec",
+            "fifo_band_random_events_per_sec",
+            "fifo_band_monotone_events_per_sec",
+        ] {
+            let rate = v.get(key).and_then(|x| x.as_f64()).unwrap();
+            assert!(rate > 0.0, "{key} = {rate}");
+        }
+    }
+
+    #[test]
+    fn engine_benches_count_events() {
+        let mm1 = bench_mm1(50);
+        assert!(mm1.get("events").and_then(|x| x.as_f64()).unwrap() > 0.0);
+        let parcel = bench_parcel_point(5_000.0);
+        assert!(parcel.get("events").and_then(|x| x.as_f64()).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn quick_suite_emits_schema_versioned_payload_and_file() {
+        let opts = PerfOptions {
+            rev: "unit-test".into(),
+            quick: true,
+            jobs: 2,
+        };
+        let payload = run_suite(&opts);
+        assert_eq!(
+            payload.get("schema_version").and_then(|v| v.as_f64()),
+            Some(f64::from(BENCH_SCHEMA_VERSION))
+        );
+        assert!(payload.get("scenarios").is_some());
+        let batch = payload.get("scenarios").unwrap();
+        assert!(batch.get("units_total").and_then(|v| v.as_f64()).unwrap() > 100.0);
+
+        let dir = std::env::temp_dir().join(format!("pim-perf-test-{}", std::process::id()));
+        let path = write_bench_file(&dir, &opts.rev, &payload).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap() == "BENCH_unit-test.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"schema_version\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -2,9 +2,12 @@
 //!
 //! A [`SweepSpec`] names the node counts and lightweight-work fractions to evaluate;
 //! [`run_sweep`] evaluates every `(N, %WL)` point, spreading the work across OS threads
-//! (each point is an independent simulation, so the sweep is embarrassingly parallel —
-//! this is where the workspace gets its multi-core speedup, not inside a single
-//! discrete-event run).
+//! via the shared work-stealing map in [`desim::par`] (each point is an independent
+//! simulation, so the sweep is embarrassingly parallel — this is where the workspace
+//! gets its multi-core speedup, not inside a single discrete-event run). Callers that
+//! schedule points themselves (e.g. the `pim-harness` batch runner, which flattens
+//! every scenario's points into one global work list) use [`point_eval_mode`] to
+//! reproduce the per-point seed stream exactly.
 
 use crate::config::SystemConfig;
 use crate::system::{EvalMode, PartitionStudy, TradeoffPoint};
@@ -137,7 +140,12 @@ impl SweepResult {
     }
 }
 
-/// Evaluate every point of `spec` under `mode`, using up to `threads` worker threads.
+/// Evaluate every point of `spec` under `mode`, using up to `threads` worker threads
+/// (`0` = one per core) pulling points from a shared work-stealing index.
+///
+/// Results are identical for every thread count: each point's evaluation mode (and
+/// therefore its seed stream) is a pure function of the point's index via
+/// [`point_eval_mode`], and results are collected by index.
 pub fn run_sweep(
     config: SystemConfig,
     spec: &SweepSpec,
@@ -146,44 +154,21 @@ pub fn run_sweep(
 ) -> SweepResult {
     let study = PartitionStudy::new(config);
     let points = spec.points();
-    let threads = threads.max(1).min(points.len().max(1));
-    let mut results: Vec<Option<TradeoffPoint>> = vec![None; points.len()];
-
-    if threads <= 1 || points.len() <= 1 {
-        for (i, &(n, wl)) in points.iter().enumerate() {
-            results[i] = Some(study.evaluate(n, wl, point_mode(mode, i)));
-        }
-    } else {
-        // Static block partition of the point list over `threads` workers; each worker
-        // writes into its own disjoint slice of the result vector.
-        let chunk = points.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (worker, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-                let points = &points;
-                let study = &study;
-                scope.spawn(move || {
-                    let base = worker * chunk;
-                    for (offset, slot) in slot_chunk.iter_mut().enumerate() {
-                        let idx = base + offset;
-                        let (n, wl) = points[idx];
-                        *slot = Some(study.evaluate(n, wl, point_mode(mode, idx)));
-                    }
-                });
-            }
-        });
-    }
-
+    let results = desim::par::work_steal_map(&points, threads, |i, &(n, wl)| {
+        study.evaluate(n, wl, point_eval_mode(mode, i))
+    });
     SweepResult {
         spec: spec.clone(),
-        points: results
-            .into_iter()
-            .map(|p| p.expect("every point evaluated"))
-            .collect(),
+        points: results,
     }
 }
 
-/// Derive a per-point evaluation mode so that simulated points get decorrelated seeds.
-fn point_mode(mode: EvalMode, index: usize) -> EvalMode {
+/// The evaluation mode of sweep point `index` (row-major position in
+/// [`SweepSpec::points`]): simulated points get decorrelated per-point seeds derived
+/// purely from the sweep's base mode and the index, so any scheduler — the internal
+/// one in [`run_sweep`] or an external point-granular one — reproduces the same
+/// streams.
+pub fn point_eval_mode(mode: EvalMode, index: usize) -> EvalMode {
     match mode {
         EvalMode::Expected => EvalMode::Expected,
         EvalMode::Simulated {

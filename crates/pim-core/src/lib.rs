@@ -41,7 +41,7 @@ pub mod system;
 /// Convenient glob import for the study-1 API.
 pub mod prelude {
     pub use crate::config::SystemConfig;
-    pub use crate::experiment::{run_sweep, SweepResult, SweepSpec};
+    pub use crate::experiment::{point_eval_mode, run_sweep, SweepResult, SweepSpec};
     pub use crate::extensions::{
         imbalance_csv, imbalance_sensitivity, replicated_gain, run_phased, ImbalanceRow,
         PhasedOptions, PhasedResult,

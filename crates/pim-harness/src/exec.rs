@@ -1,0 +1,165 @@
+//! The work-stealing plan executor.
+//!
+//! [`run_plans`] flattens the units of every requested [`ScenarioPlan`] into one
+//! global work list and lets up to `jobs` workers claim units from a shared atomic
+//! index. Scheduling *units* (grid points) rather than whole scenarios is what keeps
+//! every worker busy to the end of a batch: under the old scenario-granular runner
+//! the slowest scenario (Figure 12's 56-point grid) serialized the batch tail on a
+//! single worker while the rest sat idle.
+//!
+//! Determinism: unit outputs are written back by flattened index and handed to each
+//! plan's assembly step in unit order, and every unit derives its randomness from
+//! plan-time values (scenario seed + grid index) — so reports are byte-identical for
+//! any `jobs` value, including `1`.
+
+use crate::report::ScenarioReport;
+use crate::scenario::{ScenarioPlan, UnitOutput};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a user-facing `jobs` knob: `0` means one worker per available core.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        desim::par::available_threads()
+    } else {
+        jobs
+    }
+}
+
+/// Execute one plan across up to `jobs` workers (`0` = one per core).
+pub fn run_plan(plan: ScenarioPlan<'_>, jobs: usize) -> ScenarioReport {
+    run_plans(vec![plan], jobs)
+        .pop()
+        .expect("one plan produces one report")
+}
+
+/// Execute every plan's units on a shared work-stealing pool and assemble one report
+/// per plan, in input order.
+pub fn run_plans(plans: Vec<ScenarioPlan<'_>>, jobs: usize) -> Vec<ScenarioReport> {
+    let mut assembles = Vec::with_capacity(plans.len());
+    let mut tasks = Vec::new();
+    let mut spans = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let (units, assemble) = plan.into_parts();
+        let start = tasks.len();
+        tasks.extend(units);
+        spans.push(start..tasks.len());
+        assembles.push(assemble);
+    }
+
+    let outputs = execute_units(tasks, jobs);
+
+    let mut outputs: Vec<Option<UnitOutput>> = outputs.into_iter().map(Some).collect();
+    assembles
+        .into_iter()
+        .zip(spans)
+        .map(|(assemble, span)| {
+            let plan_outputs: Vec<UnitOutput> = outputs[span]
+                .iter_mut()
+                .map(|slot| slot.take().expect("each unit output consumed once"))
+                .collect();
+            assemble(plan_outputs)
+        })
+        .collect()
+}
+
+/// Run the flattened unit list, returning outputs by unit index.
+#[allow(clippy::type_complexity)]
+fn execute_units(
+    tasks: Vec<Box<dyn FnOnce() -> UnitOutput + Send + '_>>,
+    jobs: usize,
+) -> Vec<UnitOutput> {
+    let total = tasks.len();
+    // Same jobs-resolution rules as every other work-stealing layer. The claim loop
+    // below is not `work_steal_map` itself only because plan units are `FnOnce`
+    // (consumed on execution), which that Fn-based API cannot express.
+    let jobs = desim::par::resolve_threads(jobs, total);
+    if jobs <= 1 || total <= 1 {
+        return tasks.into_iter().map(|task| task()).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let tasks: Mutex<Vec<Option<Box<dyn FnOnce() -> UnitOutput + Send + '_>>>> =
+        Mutex::new(tasks.into_iter().map(Some).collect());
+    let slots: Mutex<Vec<Option<UnitOutput>>> = Mutex::new((0..total).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let task = tasks.lock().expect("no worker panicked")[i]
+                    .take()
+                    .expect("each unit claimed once");
+                let output = task();
+                slots.lock().expect("no worker panicked")[i] = Some(output);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("no worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every unit ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ScenarioReport;
+    use serde::Value;
+
+    fn plan_squaring<'s>(name: &'s str, n: usize) -> ScenarioPlan<'s> {
+        let units: Vec<_> = (0..n).map(|i| move || i * i).collect();
+        ScenarioPlan::map_reduce(units, move |squares: Vec<usize>| {
+            let mut report = ScenarioReport::new(name, "squares", 0, Value::Map(vec![]));
+            for (i, sq) in squares.iter().enumerate() {
+                report = report.with_metric(&format!("sq{i}"), *sq as f64);
+            }
+            report
+        })
+    }
+
+    #[test]
+    fn outputs_arrive_in_unit_order_for_any_job_count() {
+        for jobs in [1, 2, 8] {
+            let report = run_plan(plan_squaring("sq", 40), jobs);
+            for i in 0..40 {
+                assert_eq!(
+                    report.metric(&format!("sq{i}")),
+                    Some((i * i) as f64),
+                    "jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plans_keep_their_outputs_separate() {
+        let reports = run_plans(vec![plan_squaring("a", 7), plan_squaring("b", 13)], 4);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].scenario, "a");
+        assert_eq!(reports[0].metrics.len(), 7);
+        assert_eq!(reports[1].scenario, "b");
+        assert_eq!(reports[1].metrics.len(), 13);
+    }
+
+    #[test]
+    fn single_plan_runs_whole_scenario_as_one_unit() {
+        let plan = ScenarioPlan::single(|| {
+            ScenarioReport::new("one", "single unit", 7, Value::Map(vec![])).with_metric("x", 1.0)
+        });
+        assert_eq!(plan.unit_count(), 1);
+        let report = run_plan(plan, 8);
+        assert_eq!(report.scenario, "one");
+        assert_eq!(report.metric("x"), Some(1.0));
+    }
+
+    #[test]
+    fn resolve_jobs_maps_zero_to_available_parallelism() {
+        assert_eq!(resolve_jobs(0), desim::par::available_threads());
+        assert_eq!(resolve_jobs(3), 3);
+    }
+}

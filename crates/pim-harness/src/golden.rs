@@ -1,11 +1,89 @@
-//! Tolerance-aware JSON diffing for the golden-file regression suite.
+//! Tolerance-aware JSON diffing and the verify-or-bless helper for the golden-file
+//! regression suite.
 //!
 //! Golden files pin each scenario's artifact at the default seed. Because every
 //! scenario is deterministic the comparison is normally exact, but numeric fields are
 //! compared with a per-field *relative* tolerance so a legitimate cross-platform
 //! difference in the last ulp (or a deliberately loosened golden) does not flake.
+//!
+//! The bless workflow: running the golden suite with [`BLESS_ENV`]
+//! (`PIM_BLESS_GOLDENS=1 cargo test -p pim-harness --test golden`) regenerates the
+//! files instead of verifying them — do this after an *intentional* model or grid
+//! change, and commit the result. [`verify_or_bless_file`] is that mechanism:
+//!
+//! ```
+//! use pim_harness::golden::{verify_or_bless_file, Tolerance};
+//!
+//! let dir = std::env::temp_dir().join(format!("pim-golden-doc-{}", std::process::id()));
+//! let path = dir.join("demo.json");
+//! let tol = Tolerance::default();
+//!
+//! // First run under PIM_BLESS_GOLDENS=1 (bless = true) writes the golden file…
+//! verify_or_bless_file(&path, "{\"gain\": 10.24}\n", true, tol).unwrap();
+//! // …later runs (bless = false) verify the artifact against it…
+//! verify_or_bless_file(&path, "{\"gain\": 10.24}\n", false, tol).unwrap();
+//! // …and a drifted value fails with a per-field diff.
+//! let err = verify_or_bless_file(&path, "{\"gain\": 99.0}\n", false, tol).unwrap_err();
+//! assert!(err[0].contains("$.gain"));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
 
 use serde::Value;
+use std::path::Path;
+
+/// Environment variable that switches the golden suite from *verify* to
+/// *regenerate*: `PIM_BLESS_GOLDENS=1 cargo test -p pim-harness --test golden`.
+pub const BLESS_ENV: &str = "PIM_BLESS_GOLDENS";
+
+/// True when the current process was asked to regenerate golden files ([`BLESS_ENV`]
+/// is set).
+pub fn bless_requested() -> bool {
+    std::env::var_os(BLESS_ENV).is_some()
+}
+
+/// Verify `actual_json` against the golden file at `path`, or (when `bless` is true)
+/// overwrite the golden file with `actual_json` and succeed.
+///
+/// On verification failure the returned lines name each mismatching field; a missing
+/// or unreadable golden file is reported as a single-line error suggesting the bless
+/// command.
+pub fn verify_or_bless_file(
+    path: &Path,
+    actual_json: &str,
+    bless: bool,
+    tol: Tolerance,
+) -> Result<(), Vec<String>> {
+    if bless {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| vec![format!("cannot create {}: {e}", parent.display())])?;
+        }
+        std::fs::write(path, actual_json)
+            .map_err(|e| vec![format!("cannot write {}: {e}", path.display())])?;
+        return Ok(());
+    }
+    let golden_json = std::fs::read_to_string(path).map_err(|e| {
+        vec![format!(
+            "cannot read golden file {} ({e}); run `{BLESS_ENV}=1 cargo test -p pim-harness \
+             --test golden` to create it",
+            path.display()
+        )]
+    })?;
+    let expected = serde_json::value_from_str(&golden_json).map_err(|e| {
+        vec![format!(
+            "golden file {} is not valid JSON: {e}",
+            path.display()
+        )]
+    })?;
+    let actual = serde_json::value_from_str(actual_json)
+        .map_err(|e| vec![format!("actual artifact is not valid JSON: {e}")])?;
+    let diffs = diff_json(&expected, &actual, tol);
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(diffs)
+    }
+}
 
 /// Numeric comparison tolerances.
 #[derive(Debug, Clone, Copy)]

@@ -29,6 +29,7 @@
 #![deny(unsafe_code)]
 
 pub mod bin_support;
+pub mod exec;
 pub mod golden;
 pub mod registry;
 pub mod report;
@@ -45,10 +46,11 @@ pub const DEFAULT_SEED: u64 = 0x5C_2004;
 
 /// Convenient glob import for the harness API.
 pub mod prelude {
+    pub use crate::exec::{resolve_jobs, run_plan, run_plans};
     pub use crate::golden::{diff_json, Tolerance};
     pub use crate::registry::Registry;
     pub use crate::report::{Metric, ScenarioReport, Table, ARTIFACT_SCHEMA_VERSION};
     pub use crate::runner::{run_batch, BatchOptions, BatchOutcome};
-    pub use crate::scenario::{Scenario, SeedPolicy};
+    pub use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
     pub use crate::DEFAULT_SEED;
 }

@@ -1,18 +1,22 @@
 //! The parallel batch runner: execute any subset of the registry across OS threads
 //! and write versioned JSON artifacts.
 //!
-//! Workers pull scenarios from a shared queue, but every scenario's seed comes from
-//! [`SeedPolicy::scenario_seed`] (a pure function of base seed + name) and results are
-//! collected by input position — so the artifacts are byte-identical whatever the job
-//! count or completion order.
+//! The runner schedules at **unit-of-work granularity**: every requested scenario is
+//! decomposed via [`crate::scenario::Scenario::plan`] and the flattened unit list
+//! (grid points, replications, cells) is executed by the work-stealing pool in
+//! [`crate::exec`]. A batch therefore finishes when the global point list drains,
+//! not when the slowest whole scenario happens to complete on one worker.
+//!
+//! Every scenario's seed comes from [`SeedPolicy::scenario_seed`] (a pure function of
+//! base seed + name), each unit's stream is derived from that seed plus the unit's
+//! grid index, and outputs are assembled by input position — so the artifacts are
+//! byte-identical whatever the job count or completion order.
 
 use crate::registry::Registry;
 use crate::report::ScenarioReport;
 use crate::scenario::SeedPolicy;
 use serde::Value;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Options for one batch run. The default runs with one worker per core at the
 /// [`SeedPolicy::default`] base seed and writes nothing.
@@ -64,7 +68,8 @@ pub fn resolve_names<'r, S: AsRef<str>>(
 
 /// Run `names` (already validated, e.g. via [`resolve_names`]) under `opts`.
 ///
-/// Scenarios execute across up to `opts.jobs` OS threads; reports come back in the
+/// Every scenario is decomposed into its plan's units, and the flattened unit list
+/// executes across up to `opts.jobs` work-stealing workers; reports come back in the
 /// order of `names` and, when `opts.out_dir` is set, are written as JSON artifacts.
 pub fn run_batch<S: AsRef<str>>(
     registry: &Registry,
@@ -72,39 +77,16 @@ pub fn run_batch<S: AsRef<str>>(
     opts: &BatchOptions,
 ) -> Result<BatchOutcome, String> {
     let names = resolve_names(registry, names)?;
-    let jobs = if opts.jobs == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        opts.jobs
-    }
-    .min(names.len())
-    .max(1);
-
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<ScenarioReport>>> = Mutex::new(vec![None; names.len()]);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= names.len() {
-                    break;
-                }
-                let scenario = registry
-                    .get(names[i])
-                    .expect("names were resolved against this registry");
-                let report = scenario.run(&opts.seeds);
-                slots.lock().expect("no worker panicked")[i] = Some(report);
-            });
-        }
-    });
-    let reports: Vec<ScenarioReport> = slots
-        .into_inner()
-        .expect("no worker panicked")
-        .into_iter()
-        .map(|r| r.expect("every scenario ran"))
+    let plans = names
+        .iter()
+        .map(|name| {
+            registry
+                .get(name)
+                .expect("names were resolved against this registry")
+                .plan(&opts.seeds)
+        })
         .collect();
+    let reports = crate::exec::run_plans(plans, opts.jobs);
 
     let written = match &opts.out_dir {
         Some(dir) => write_artifacts(dir, &opts.seeds, &reports)?,

@@ -1,8 +1,10 @@
-//! The [`Scenario`] trait and the deterministic per-scenario seed derivation.
+//! The [`Scenario`] trait, the unit-of-work decomposition ([`ScenarioPlan`]) and the
+//! deterministic per-scenario seed derivation.
 
 use crate::report::ScenarioReport;
 use crate::DEFAULT_SEED;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
 
 /// Derives each scenario's RNG stream from a single base seed.
 ///
@@ -44,11 +46,83 @@ impl SeedPolicy {
     }
 }
 
+/// Type-erased output of one [`ScenarioPlan`] work unit.
+pub type UnitOutput = Box<dyn Any + Send>;
+
+type UnitFn<'s> = Box<dyn FnOnce() -> UnitOutput + Send + 's>;
+type AssembleFn<'s> = Box<dyn FnOnce(Vec<UnitOutput>) -> ScenarioReport + Send + 's>;
+
+/// A scenario decomposed into independently runnable **units of work** plus an
+/// assembly step.
+///
+/// The units are the scheduling granularity of the whole harness: the batch runner
+/// flattens every requested scenario's units into one global list and lets workers
+/// steal from it, so a scenario with one expensive grid no longer serializes the tail
+/// of a batch behind a single thread. Units must be independent (no ordering between
+/// them) and derive any randomness from values captured at plan time — typically the
+/// unit's grid index mixed with the scenario seed — never from execution order.
+///
+/// `assemble` receives the unit outputs **in unit order**, whatever order they
+/// executed in, which is what keeps artifacts byte-identical across thread counts.
+pub struct ScenarioPlan<'s> {
+    units: Vec<UnitFn<'s>>,
+    assemble: AssembleFn<'s>,
+}
+
+impl<'s> ScenarioPlan<'s> {
+    /// A plan with one opaque unit: the whole scenario runs as a single task. The
+    /// right choice for scenarios that finish in milliseconds (closed forms, tables).
+    pub fn single(run: impl FnOnce() -> ScenarioReport + Send + 's) -> ScenarioPlan<'s> {
+        ScenarioPlan::map_reduce(vec![run], |mut reports: Vec<ScenarioReport>| {
+            reports.pop().expect("single-unit plan produced one output")
+        })
+    }
+
+    /// A plan of homogeneous units whose outputs `assemble` folds into the report.
+    ///
+    /// Each unit is typically one grid point of a parameter sweep. The unit closures
+    /// are type-erased internally; `assemble` gets the strongly-typed outputs back in
+    /// unit order.
+    pub fn map_reduce<U, F, A>(units: Vec<F>, assemble: A) -> ScenarioPlan<'s>
+    where
+        U: Send + 'static,
+        F: FnOnce() -> U + Send + 's,
+        A: FnOnce(Vec<U>) -> ScenarioReport + Send + 's,
+    {
+        ScenarioPlan {
+            units: units
+                .into_iter()
+                .map(|f| -> UnitFn<'s> { Box::new(move || Box::new(f()) as UnitOutput) })
+                .collect(),
+            assemble: Box::new(move |outputs| {
+                let typed: Vec<U> = outputs
+                    .into_iter()
+                    .map(|o| {
+                        *o.downcast::<U>()
+                            .expect("unit output type matches the plan")
+                    })
+                    .collect();
+                assemble(typed)
+            }),
+        }
+    }
+
+    /// Number of units in the plan.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Split the plan into its unit closures and assembly step (executor use).
+    pub(crate) fn into_parts(self) -> (Vec<UnitFn<'s>>, AssembleFn<'s>) {
+        (self.units, self.assemble)
+    }
+}
+
 /// One registered experiment: a paper figure, table, validation study or ablation.
 ///
 /// Implementations must be pure functions of `(self, seeds)`: two calls with the same
 /// policy must produce identical reports (the determinism suite enforces this
-/// byte-for-byte on the JSON rendering).
+/// byte-for-byte on the JSON rendering), whatever thread count executes the plan.
 pub trait Scenario: Send + Sync {
     /// Stable, unique scenario name (used for registry lookup, artifact file names
     /// and seed derivation).
@@ -63,8 +137,19 @@ pub trait Scenario: Send + Sync {
         serde::Value::Map(vec![])
     }
 
-    /// Run the experiment under the given seed policy.
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport;
+    /// Decompose the experiment into a [`ScenarioPlan`] under the given seed policy.
+    ///
+    /// Sweep-style scenarios should return one unit per grid point so batch workers
+    /// can interleave them with other scenarios' points; trivially cheap scenarios
+    /// return a [`ScenarioPlan::single`].
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s>;
+
+    /// Run the experiment under the given seed policy, executing the plan's units
+    /// across the available cores. The report is identical to executing the plan on
+    /// any other worker count.
+    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+        crate::exec::run_plan(self.plan(seeds), 0)
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Closed-form scenarios: Figure 7 and the `NB` sensitivity ablation.
 
 use crate::report::{ScenarioReport, Table};
-use crate::scenario::{Scenario, SeedPolicy};
+use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
 use pim_analytic::{nb_sensitivity, AnalyticModel, SweepParameter};
 use serde::Value;
 
@@ -28,8 +28,15 @@ impl Scenario for Figure7 {
         )])
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
+        ScenarioPlan::single(move || self.compute(seed))
+    }
+}
+
+impl Figure7 {
+    /// The closed-form evaluation (milliseconds of work — a single plan unit).
+    fn compute(&self, seed: u64) -> ScenarioReport {
         let model = AnalyticModel::table1();
         let wl_values: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
         let mut columns = vec!["nodes".to_string()];
@@ -125,8 +132,15 @@ impl Scenario for AblationNb {
         )
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
+        ScenarioPlan::single(move || self.compute(seed))
+    }
+}
+
+impl AblationNb {
+    /// The closed-form sweep (milliseconds of work — a single plan unit).
+    fn compute(&self, seed: u64) -> ScenarioReport {
         let mut report = ScenarioReport::new(self.name(), self.description(), seed, self.params());
         for (parameter, table_name, values) in nb_sweeps() {
             let rows = nb_sensitivity(parameter, &values)

@@ -2,7 +2,7 @@
 //! PIM, plus trace-calibrated host cache miss rates.
 
 use crate::report::{ScenarioReport, Table};
-use crate::scenario::{Scenario, SeedPolicy};
+use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
 use desim::random::RandomStream;
 use pim_mem::{CacheModel, DramTiming, PimChip, SetAssociativeCache};
 use pim_workload::ReuseProfile;
@@ -35,8 +35,16 @@ impl Scenario for BandwidthClaims {
         ])
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
+        ScenarioPlan::single(move || self.compute(seed))
+    }
+}
+
+impl BandwidthClaims {
+    /// The bandwidth table and trace-calibrated miss rates (a single plan unit —
+    /// the trace run takes ~30 ms).
+    fn compute(&self, seed: u64) -> ScenarioReport {
         let timing = DramTiming::default();
         let mut table = Table {
             name: self.name().to_string(),

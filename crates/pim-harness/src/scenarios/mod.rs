@@ -14,11 +14,3 @@ pub mod analytic;
 pub mod memory;
 pub mod parcels;
 pub mod partition;
-
-/// Worker threads for a scenario's *internal* sweep. Results never depend on this
-/// (each grid point derives its own seed), so scenarios are free to use every core.
-pub(crate) fn sweep_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-}

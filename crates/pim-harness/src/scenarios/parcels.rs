@@ -1,9 +1,13 @@
 //! Study-2 scenarios: parcel latency hiding (Figures 11 and 12) and the network and
 //! parcel-overhead ablations.
+//!
+//! The two figure scenarios decompose into one work unit per grid point, seeded
+//! exactly as `pim_parcels::run_latency_hiding`/`run_idle_time` seed their internal
+//! sweeps (via [`pim_parcels::experiment::point_seed`]); the ablations decompose per
+//! grid cell.
 
-use super::sweep_threads;
 use crate::report::{ScenarioReport, Table};
-use crate::scenario::{Scenario, SeedPolicy};
+use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
 use pim_parcels::prelude::*;
 use serde::{Serialize, Value};
 
@@ -33,43 +37,52 @@ impl Scenario for Figure11 {
         figure11_spec(0).to_value()
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        let points = run_latency_hiding(&figure11_spec(seed), sweep_threads());
-        let best = points.iter().map(|p| p.ops_ratio).fold(0.0, f64::max);
-        let worst = points
-            .iter()
-            .map(|p| p.ops_ratio)
-            .fold(f64::INFINITY, f64::min);
-        let rows = points
-            .iter()
-            .map(|p| {
-                vec![
-                    Value::U64(p.parallelism as u64),
-                    Value::F64(p.remote_fraction * 100.0),
-                    Value::F64(p.latency_cycles),
-                    Value::F64(p.ops_ratio),
-                    Value::F64(p.test_idle_fraction),
-                    Value::F64(p.control_idle_fraction),
-                ]
-            })
+        let (name, description, params) = (self.name(), self.description(), self.params());
+        let spec = figure11_spec(seed);
+        let units: Vec<_> = spec
+            .configs()
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| move || evaluate_point(c, point_seed(seed, i)))
             .collect();
-        let table = Table {
-            name: self.name().to_string(),
-            columns: vec![
-                "parallelism".into(),
-                "remote_pct".into(),
-                "latency_cycles".into(),
-                "ops_ratio".into(),
-                "test_idle_frac".into(),
-                "control_idle_frac".into(),
-            ],
-            rows,
-        };
-        ScenarioReport::new(self.name(), self.description(), seed, self.params())
-            .with_metric("max_ops_ratio", best)
-            .with_metric("min_ops_ratio", worst)
-            .with_table(table)
+        ScenarioPlan::map_reduce(units, move |points: Vec<LatencyHidingPoint>| {
+            let best = points.iter().map(|p| p.ops_ratio).fold(0.0, f64::max);
+            let worst = points
+                .iter()
+                .map(|p| p.ops_ratio)
+                .fold(f64::INFINITY, f64::min);
+            let rows = points
+                .iter()
+                .map(|p| {
+                    vec![
+                        Value::U64(p.parallelism as u64),
+                        Value::F64(p.remote_fraction * 100.0),
+                        Value::F64(p.latency_cycles),
+                        Value::F64(p.ops_ratio),
+                        Value::F64(p.test_idle_fraction),
+                        Value::F64(p.control_idle_fraction),
+                    ]
+                })
+                .collect();
+            let table = Table {
+                name: name.to_string(),
+                columns: vec![
+                    "parallelism".into(),
+                    "remote_pct".into(),
+                    "latency_cycles".into(),
+                    "ops_ratio".into(),
+                    "test_idle_frac".into(),
+                    "control_idle_frac".into(),
+                ],
+                rows,
+            };
+            ScenarioReport::new(name, description, seed, params)
+                .with_metric("max_ops_ratio", best)
+                .with_metric("min_ops_ratio", worst)
+                .with_table(table)
+        })
     }
 }
 
@@ -97,47 +110,56 @@ impl Scenario for Figure12 {
         figure12_spec(0).to_value()
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        let points = run_idle_time(&figure12_spec(seed), sweep_threads());
-        let max_test_idle_saturated = points
-            .iter()
-            .filter(|p| p.parallelism >= 64)
-            .map(|p| p.test_idle_fraction)
-            .fold(0.0, f64::max);
-        let min_control_idle = points
-            .iter()
-            .map(|p| p.control_idle_fraction)
-            .fold(f64::INFINITY, f64::min);
-        let rows = points
-            .iter()
-            .map(|p| {
-                vec![
-                    Value::U64(p.nodes as u64),
-                    Value::U64(p.parallelism as u64),
-                    Value::F64(p.test_idle_cycles),
-                    Value::F64(p.control_idle_cycles),
-                    Value::F64(p.test_idle_fraction),
-                    Value::F64(p.control_idle_fraction),
-                ]
-            })
+        let (name, description, params) = (self.name(), self.description(), self.params());
+        let spec = figure12_spec(seed);
+        let units: Vec<_> = spec
+            .configs()
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| move || evaluate_idle_point(c, point_seed(seed, i)))
             .collect();
-        let table = Table {
-            name: self.name().to_string(),
-            columns: vec![
-                "nodes".into(),
-                "parallelism".into(),
-                "test_idle_cycles".into(),
-                "control_idle_cycles".into(),
-                "test_idle_frac".into(),
-                "control_idle_frac".into(),
-            ],
-            rows,
-        };
-        ScenarioReport::new(self.name(), self.description(), seed, self.params())
-            .with_metric("max_test_idle_frac_saturated", max_test_idle_saturated)
-            .with_metric("min_control_idle_frac", min_control_idle)
-            .with_table(table)
+        ScenarioPlan::map_reduce(units, move |points: Vec<IdleTimePoint>| {
+            let max_test_idle_saturated = points
+                .iter()
+                .filter(|p| p.parallelism >= 64)
+                .map(|p| p.test_idle_fraction)
+                .fold(0.0, f64::max);
+            let min_control_idle = points
+                .iter()
+                .map(|p| p.control_idle_fraction)
+                .fold(f64::INFINITY, f64::min);
+            let rows = points
+                .iter()
+                .map(|p| {
+                    vec![
+                        Value::U64(p.nodes as u64),
+                        Value::U64(p.parallelism as u64),
+                        Value::F64(p.test_idle_cycles),
+                        Value::F64(p.control_idle_cycles),
+                        Value::F64(p.test_idle_fraction),
+                        Value::F64(p.control_idle_fraction),
+                    ]
+                })
+                .collect();
+            let table = Table {
+                name: name.to_string(),
+                columns: vec![
+                    "nodes".into(),
+                    "parallelism".into(),
+                    "test_idle_cycles".into(),
+                    "control_idle_cycles".into(),
+                    "test_idle_frac".into(),
+                    "control_idle_frac".into(),
+                ],
+                rows,
+            };
+            ScenarioReport::new(name, description, seed, params)
+                .with_metric("max_test_idle_frac_saturated", max_test_idle_saturated)
+                .with_metric("min_control_idle_frac", min_control_idle)
+                .with_table(table)
+        })
     }
 }
 
@@ -169,28 +191,53 @@ impl Scenario for AblationNetwork {
         ])
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        let nodes = 16;
-        let mut table = Table {
-            name: self.name().to_string(),
-            columns: vec![
-                "network".into(),
-                "parallelism".into(),
-                "remote_pct".into(),
-                "mean_latency_cycles".into(),
-                "ops_ratio".into(),
-                "test_idle_frac".into(),
-            ],
-            rows: Vec::new(),
-        };
-        let mut run_with = |config: ParcelConfig,
-                            kind: &str,
-                            network: Box<dyn NetworkModel + Send>,
-                            service: RemoteService| {
+        let (name, description, params) = (self.name(), self.description(), self.params());
+        // One unit per (parallelism, latency) cell; each produces the cell's four
+        // rows (flat, mesh, torus, flat+msg-driven) in the table's row order.
+        let mut units = Vec::with_capacity(6);
+        for &parallelism in &[2usize, 8, 32] {
+            for &latency in &[100.0, 1000.0] {
+                units.push(move || network_cell_rows(parallelism, latency, seed));
+            }
+        }
+        ScenarioPlan::map_reduce(units, move |cells: Vec<Vec<Vec<Value>>>| {
+            let table = Table {
+                name: name.to_string(),
+                columns: vec![
+                    "network".into(),
+                    "parallelism".into(),
+                    "remote_pct".into(),
+                    "mean_latency_cycles".into(),
+                    "ops_ratio".into(),
+                    "test_idle_frac".into(),
+                ],
+                rows: cells.into_iter().flatten().collect(),
+            };
+            ScenarioReport::new(name, description, seed, params).with_table(table)
+        })
+    }
+}
+
+/// The four `ablation_network` rows of one (parallelism, latency) cell: flat, mesh
+/// and torus networks with matched mean latency, plus message-driven servicing.
+fn network_cell_rows(parallelism: usize, latency: f64, seed: u64) -> Vec<Vec<Value>> {
+    let nodes = 16;
+    let config = ParcelConfig {
+        nodes,
+        parallelism,
+        latency_cycles: latency,
+        remote_fraction: 0.4,
+        horizon_cycles: 500_000.0,
+        ..Default::default()
+    };
+    let mut rows = Vec::with_capacity(4);
+    let mut run_with =
+        |kind: &str, network: Box<dyn NetworkModel + Send>, service: RemoteService| {
             let test = run_test_with_options(config, network, service, seed);
             let control = run_control(config, seed.wrapping_add(1));
-            table.rows.push(vec![
+            rows.push(vec![
                 Value::Str(kind.to_string()),
                 Value::U64(config.parallelism as u64),
                 Value::F64(config.remote_fraction * 100.0),
@@ -199,48 +246,30 @@ impl Scenario for AblationNetwork {
                 Value::F64(test.idle_fraction()),
             ]);
         };
-        for &parallelism in &[2usize, 8, 32] {
-            for &latency in &[100.0, 1000.0] {
-                let config = ParcelConfig {
-                    nodes,
-                    parallelism,
-                    latency_cycles: latency,
-                    remote_fraction: 0.4,
-                    horizon_cycles: 500_000.0,
-                    ..Default::default()
-                };
-                // Choose per-hop costs so mesh/torus mean latency equals the flat value.
-                let mesh_hops = MeshNetwork::for_nodes(nodes, 0.0, 1.0).mean_latency_cycles(nodes);
-                let torus_hops =
-                    TorusNetwork::for_nodes(nodes, 0.0, 1.0).mean_latency_cycles(nodes);
-                run_with(
-                    config,
-                    "flat",
-                    Box::new(FlatLatency::new(latency)),
-                    RemoteService::MemorySide,
-                );
-                run_with(
-                    config,
-                    "mesh",
-                    Box::new(MeshNetwork::for_nodes(nodes, 0.0, latency / mesh_hops)),
-                    RemoteService::MemorySide,
-                );
-                run_with(
-                    config,
-                    "torus",
-                    Box::new(TorusNetwork::for_nodes(nodes, 0.0, latency / torus_hops)),
-                    RemoteService::MemorySide,
-                );
-                run_with(
-                    config,
-                    "flat+msg-driven",
-                    Box::new(FlatLatency::new(latency)),
-                    RemoteService::OnCpu,
-                );
-            }
-        }
-        ScenarioReport::new(self.name(), self.description(), seed, self.params()).with_table(table)
-    }
+    // Choose per-hop costs so mesh/torus mean latency equals the flat value.
+    let mesh_hops = MeshNetwork::for_nodes(nodes, 0.0, 1.0).mean_latency_cycles(nodes);
+    let torus_hops = TorusNetwork::for_nodes(nodes, 0.0, 1.0).mean_latency_cycles(nodes);
+    run_with(
+        "flat",
+        Box::new(FlatLatency::new(latency)),
+        RemoteService::MemorySide,
+    );
+    run_with(
+        "mesh",
+        Box::new(MeshNetwork::for_nodes(nodes, 0.0, latency / mesh_hops)),
+        RemoteService::MemorySide,
+    );
+    run_with(
+        "torus",
+        Box::new(TorusNetwork::for_nodes(nodes, 0.0, latency / torus_hops)),
+        RemoteService::MemorySide,
+    );
+    run_with(
+        "flat+msg-driven",
+        Box::new(FlatLatency::new(latency)),
+        RemoteService::OnCpu,
+    );
+    rows
 }
 
 /// E-X5: sweeps the per-parcel handling overhead, showing where the split-transaction
@@ -283,40 +312,47 @@ impl Scenario for AblationOverhead {
         ])
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        let mut table = Table {
-            name: self.name().to_string(),
-            columns: vec![
-                "parallelism".into(),
-                "latency_cycles".into(),
-                "overhead_cycles".into(),
-                "ops_ratio".into(),
-            ],
-            rows: Vec::new(),
-        };
+        let (name, description, params) = (self.name(), self.description(), self.params());
+        // One unit per (parallelism, latency, overhead) point.
+        let mut units = Vec::with_capacity(3 * 3 * 5);
         for &parallelism in &[1usize, 4, 16] {
             for &latency in &[50.0, 500.0, 5_000.0] {
                 for &overhead in &[0.0, 2.0, 8.0, 32.0, 128.0] {
-                    let config = ParcelConfig {
-                        nodes: 4,
-                        parallelism,
-                        latency_cycles: latency,
-                        remote_fraction: 0.4,
-                        parcel_overhead_cycles: overhead,
-                        horizon_cycles: 600_000.0,
-                        ..Default::default()
-                    };
-                    let point = evaluate_point(config, seed);
-                    table.rows.push(vec![
-                        Value::U64(parallelism as u64),
-                        Value::F64(latency),
-                        Value::F64(overhead),
-                        Value::F64(point.ops_ratio),
-                    ]);
+                    units.push(move || {
+                        let config = ParcelConfig {
+                            nodes: 4,
+                            parallelism,
+                            latency_cycles: latency,
+                            remote_fraction: 0.4,
+                            parcel_overhead_cycles: overhead,
+                            horizon_cycles: 600_000.0,
+                            ..Default::default()
+                        };
+                        let point = evaluate_point(config, seed);
+                        vec![
+                            Value::U64(parallelism as u64),
+                            Value::F64(latency),
+                            Value::F64(overhead),
+                            Value::F64(point.ops_ratio),
+                        ]
+                    });
                 }
             }
         }
-        ScenarioReport::new(self.name(), self.description(), seed, self.params()).with_table(table)
+        ScenarioPlan::map_reduce(units, move |rows: Vec<Vec<Value>>| {
+            let table = Table {
+                name: name.to_string(),
+                columns: vec![
+                    "parallelism".into(),
+                    "latency_cycles".into(),
+                    "overhead_cycles".into(),
+                    "ops_ratio".into(),
+                ],
+                rows,
+            };
+            ScenarioReport::new(name, description, seed, params).with_table(table)
+        })
     }
 }

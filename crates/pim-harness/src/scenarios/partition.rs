@@ -1,10 +1,16 @@
 //! Study-1 scenarios: the HWP/LWP partitioning figures, Table 1, validation,
 //! replication confidence intervals and the load-imbalance ablation.
+//!
+//! The simulation-heavy scenarios decompose into one work unit per grid point (or per
+//! replication), reproducing exactly the seed streams the in-crate sweeps
+//! (`pim_core::run_sweep`, `desim::replication::replicate`) would use — the golden
+//! files pin this equivalence.
 
-use super::sweep_threads;
 use crate::report::{ScenarioReport, Table};
-use crate::scenario::{Scenario, SeedPolicy};
-use pim_analytic::validate;
+use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
+use desim::replication::{replication_seed, ReplicationSummary};
+use desim::stats::ConfidenceLevel;
+use pim_analytic::validation_from_sweep;
 use pim_core::prelude::*;
 use serde::{Serialize, Value};
 
@@ -19,6 +25,33 @@ fn simulated_mode(seed: u64) -> EvalMode {
         ops_per_event: OPS_PER_EVENT,
         seed,
     }
+}
+
+/// Build a per-point plan for a simulated `(N, %WL)` sweep: one unit per grid point
+/// (seeded exactly as `run_sweep` would via [`point_eval_mode`]), with `finish`
+/// turning the reassembled [`SweepResult`] into the scenario's report.
+fn sweep_plan<'s, F>(seed: u64, spec: SweepSpec, finish: F) -> ScenarioPlan<'s>
+where
+    F: FnOnce(SweepResult) -> ScenarioReport + Send + 's,
+{
+    let mode = simulated_mode(seed);
+    let units: Vec<_> = spec
+        .points()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (n, wl))| {
+            move || {
+                PartitionStudy::new(SystemConfig::table1()).evaluate(
+                    n,
+                    wl,
+                    point_eval_mode(mode, i),
+                )
+            }
+        })
+        .collect();
+    ScenarioPlan::map_reduce(units, move |points: Vec<TradeoffPoint>| {
+        finish(SweepResult { spec, points })
+    })
 }
 
 fn sweep_params(spec: &SweepSpec) -> Value {
@@ -104,18 +137,14 @@ impl Scenario for Figure5 {
         sweep_params(&SweepSpec::extended())
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        let spec = SweepSpec::extended();
-        let sweep = run_sweep(
-            SystemConfig::table1(),
-            &spec,
-            simulated_mode(seed),
-            sweep_threads(),
-        );
-        ScenarioReport::new(self.name(), self.description(), seed, self.params())
-            .with_metric("max_gain", sweep.max_gain())
-            .with_table(figure5_table(self.name(), &sweep))
+        let (name, description, params) = (self.name(), self.description(), self.params());
+        sweep_plan(seed, SweepSpec::extended(), move |sweep| {
+            ScenarioReport::new(name, description, seed, params)
+                .with_metric("max_gain", sweep.max_gain())
+                .with_table(figure5_table(name, &sweep))
+        })
     }
 }
 
@@ -136,19 +165,15 @@ impl Scenario for Figure6 {
         sweep_params(&SweepSpec::figure5_6())
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        let spec = SweepSpec::figure5_6();
-        let sweep = run_sweep(
-            SystemConfig::table1(),
-            &spec,
-            simulated_mode(seed),
-            sweep_threads(),
-        );
-        let worst = sweep.point(1, 1.0).map(|p| p.test_ns).unwrap_or(f64::NAN);
-        ScenarioReport::new(self.name(), self.description(), seed, self.params())
-            .with_metric("response_ns_n1_wl100", worst)
-            .with_table(figure6_table(self.name(), &sweep))
+        let (name, description, params) = (self.name(), self.description(), self.params());
+        sweep_plan(seed, SweepSpec::figure5_6(), move |sweep| {
+            let worst = sweep.point(1, 1.0).map(|p| p.test_ns).unwrap_or(f64::NAN);
+            ScenarioReport::new(name, description, seed, params)
+                .with_metric("response_ns_n1_wl100", worst)
+                .with_table(figure6_table(name, &sweep))
+        })
     }
 }
 
@@ -169,24 +194,26 @@ impl Scenario for Table1 {
         SystemConfig::table1().to_value()
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        let config = SystemConfig::table1();
-        let rows = config
-            .table1_rows()
-            .into_iter()
-            .map(|(p, d, v)| vec![Value::Str(p), Value::Str(d), Value::Str(v)])
-            .collect();
-        let table = Table {
-            name: self.name().to_string(),
-            columns: vec!["parameter".into(), "description".into(), "value".into()],
-            rows,
-        };
-        ScenarioReport::new(self.name(), self.description(), seed, self.params())
-            .with_metric("t_op_hwp_ns", config.hwp_op_time_ns())
-            .with_metric("t_op_lwp_ns", config.lwp_op_time_ns())
-            .with_metric("nb", config.nb())
-            .with_table(table)
+        ScenarioPlan::single(move || {
+            let config = SystemConfig::table1();
+            let rows = config
+                .table1_rows()
+                .into_iter()
+                .map(|(p, d, v)| vec![Value::Str(p), Value::Str(d), Value::Str(v)])
+                .collect();
+            let table = Table {
+                name: self.name().to_string(),
+                columns: vec!["parameter".into(), "description".into(), "value".into()],
+                rows,
+            };
+            ScenarioReport::new(self.name(), self.description(), seed, self.params())
+                .with_metric("t_op_hwp_ns", config.hwp_op_time_ns())
+                .with_metric("t_op_lwp_ns", config.lwp_op_time_ns())
+                .with_metric("nb", config.nb())
+                .with_table(table)
+        })
     }
 }
 
@@ -207,43 +234,40 @@ impl Scenario for Validation {
         sweep_params(&SweepSpec::figure5_6())
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        let spec = SweepSpec::figure5_6();
-        let report = validate(
-            SystemConfig::table1(),
-            &spec,
-            simulated_mode(seed),
-            sweep_threads(),
-        );
-        let rows = report
-            .rows
-            .iter()
-            .map(|r| {
-                vec![
-                    Value::U64(r.nodes as u64),
-                    Value::F64(r.lwp_fraction * 100.0),
-                    Value::F64(r.simulated_ns),
-                    Value::F64(r.analytic_ns),
-                    Value::F64(r.relative_error * 100.0),
-                ]
-            })
-            .collect();
-        let table = Table {
-            name: self.name().to_string(),
-            columns: vec![
-                "nodes".into(),
-                "pct_lwp".into(),
-                "simulated_ns".into(),
-                "analytic_ns".into(),
-                "rel_error_pct".into(),
-            ],
-            rows,
-        };
-        ScenarioReport::new(self.name(), self.description(), seed, self.params())
-            .with_metric("mean_relative_error", report.mean_relative_error)
-            .with_metric("max_relative_error", report.max_relative_error)
-            .with_table(table)
+        let (name, description, params) = (self.name(), self.description(), self.params());
+        sweep_plan(seed, SweepSpec::figure5_6(), move |sweep| {
+            let report = validation_from_sweep(SystemConfig::table1(), &sweep);
+            let rows = report
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        Value::U64(r.nodes as u64),
+                        Value::F64(r.lwp_fraction * 100.0),
+                        Value::F64(r.simulated_ns),
+                        Value::F64(r.analytic_ns),
+                        Value::F64(r.relative_error * 100.0),
+                    ]
+                })
+                .collect();
+            let table = Table {
+                name: name.to_string(),
+                columns: vec![
+                    "nodes".into(),
+                    "pct_lwp".into(),
+                    "simulated_ns".into(),
+                    "analytic_ns".into(),
+                    "rel_error_pct".into(),
+                ],
+                rows,
+            };
+            ScenarioReport::new(name, description, seed, params)
+                .with_metric("mean_relative_error", report.mean_relative_error)
+                .with_metric("max_relative_error", report.max_relative_error)
+                .with_table(table)
+        })
     }
 }
 
@@ -279,37 +303,63 @@ impl Scenario for ReplicationCi {
         ])
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
+        const REPLICATIONS: u64 = 24;
+        const SIM_OPS_CI: u64 = 200_000;
         let seed = seeds.scenario_seed(self.name());
+        let (name, description, params) = (self.name(), self.description(), self.params());
         let config = SystemConfig {
             total_ops: 1_000_000,
             ..SystemConfig::table1()
         };
-        let mut table = Table {
-            name: self.name().to_string(),
-            columns: vec![
-                "nodes".into(),
-                "pct_lwp".into(),
-                "replications".into(),
-                "mean_gain".into(),
-                "ci95_half_width".into(),
-                "analytic_gain".into(),
-            ],
-            rows: Vec::new(),
-        };
+        // One unit per (corner, replication), seeded exactly as `replicated_gain`
+        // (i.e. `desim::replication::replicate`) seeds its sequential replications.
+        let mut units = Vec::with_capacity(CI_CORNERS.len() * REPLICATIONS as usize);
         for &(nodes, wl) in &CI_CORNERS {
-            let summary = replicated_gain(config, nodes, wl, 24, 200_000, seed);
-            let analytic = 1.0 / (1.0 - wl * (1.0 - config.nb() / nodes as f64));
-            table.rows.push(vec![
-                Value::U64(nodes as u64),
-                Value::F64(wl * 100.0),
-                Value::U64(summary.replications),
-                Value::F64(summary.mean),
-                Value::F64(summary.half_width),
-                Value::F64(analytic),
-            ]);
+            for r in 0..REPLICATIONS {
+                units.push(move || {
+                    PartitionStudy::new(config)
+                        .evaluate(
+                            nodes,
+                            wl,
+                            EvalMode::Simulated {
+                                sim_ops: Some(SIM_OPS_CI),
+                                ops_per_event: 64,
+                                seed: replication_seed(seed, r),
+                            },
+                        )
+                        .gain
+                });
+            }
         }
-        ScenarioReport::new(self.name(), self.description(), seed, self.params()).with_table(table)
+        ScenarioPlan::map_reduce(units, move |gains: Vec<f64>| {
+            let mut table = Table {
+                name: name.to_string(),
+                columns: vec![
+                    "nodes".into(),
+                    "pct_lwp".into(),
+                    "replications".into(),
+                    "mean_gain".into(),
+                    "ci95_half_width".into(),
+                    "analytic_gain".into(),
+                ],
+                rows: Vec::new(),
+            };
+            for (c, &(nodes, wl)) in CI_CORNERS.iter().enumerate() {
+                let chunk = &gains[c * REPLICATIONS as usize..(c + 1) * REPLICATIONS as usize];
+                let summary = ReplicationSummary::from_samples(chunk, ConfidenceLevel::P95);
+                let analytic = 1.0 / (1.0 - wl * (1.0 - config.nb() / nodes as f64));
+                table.rows.push(vec![
+                    Value::U64(nodes as u64),
+                    Value::F64(wl * 100.0),
+                    Value::U64(summary.replications),
+                    Value::F64(summary.mean),
+                    Value::F64(summary.half_width),
+                    Value::F64(analytic),
+                ]);
+            }
+            ScenarioReport::new(name, description, seed, params).with_table(table)
+        })
     }
 }
 
@@ -349,25 +399,40 @@ impl Scenario for AblationImbalance {
         ])
     }
 
-    fn run(&self, seeds: &SeedPolicy) -> ScenarioReport {
+    fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
+        let (name, description, params) = (self.name(), self.description(), self.params());
         let config = SystemConfig {
             total_ops: 2_000_000,
             ..SystemConfig::table1()
         };
-        let mut table = Table {
-            name: self.name().to_string(),
-            columns: vec![
-                "nodes".into(),
-                "pct_lwp".into(),
-                "skew".into(),
-                "gain".into(),
-                "lwp_idle_fraction".into(),
-            ],
-            rows: Vec::new(),
-        };
+        // One unit per (corner, skew). Each row of `imbalance_sensitivity` is an
+        // independent run at the same seed, so a single-skew slice reproduces the
+        // full-sweep row exactly.
+        let mut units = Vec::with_capacity(IMBALANCE_CORNERS.len() * SKEWS.len());
         for &(nodes, wl) in &IMBALANCE_CORNERS {
-            for row in imbalance_sensitivity(config, nodes, wl, &SKEWS, seed) {
+            for &skew in &SKEWS {
+                units.push(move || {
+                    let row = imbalance_sensitivity(config, nodes, wl, &[skew], seed)
+                        .pop()
+                        .expect("one skew yields one row");
+                    (nodes, wl, row)
+                });
+            }
+        }
+        ScenarioPlan::map_reduce(units, move |rows: Vec<(usize, f64, ImbalanceRow)>| {
+            let mut table = Table {
+                name: name.to_string(),
+                columns: vec![
+                    "nodes".into(),
+                    "pct_lwp".into(),
+                    "skew".into(),
+                    "gain".into(),
+                    "lwp_idle_fraction".into(),
+                ],
+                rows: Vec::new(),
+            };
+            for (nodes, wl, row) in rows {
                 table.rows.push(vec![
                     Value::U64(nodes as u64),
                     Value::F64(wl * 100.0),
@@ -376,7 +441,7 @@ impl Scenario for AblationImbalance {
                     Value::F64(row.idle_fraction),
                 ]);
             }
-        }
-        ScenarioReport::new(self.name(), self.description(), seed, self.params()).with_table(table)
+            ScenarioReport::new(name, description, seed, params).with_table(table)
+        })
     }
 }

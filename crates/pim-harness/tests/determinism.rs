@@ -5,36 +5,64 @@
 use pim_harness::prelude::*;
 
 /// Every registered scenario, run twice with the same seed (once per batch, with
-/// different worker counts), must produce byte-identical JSON. This catches both
-/// plain nondeterminism (unseeded RNG, iteration-order dependence) and thread-order
-/// nondeterminism in the batch runner itself.
+/// different worker counts), must produce byte-identical artifacts — the equivalent
+/// of `pim-tradeoffs run --all --jobs 1` vs `--jobs 8`. Under the work-stealing
+/// runner the two batches execute their flattened unit lists in completely different
+/// interleavings, so this catches plain nondeterminism (unseeded RNG,
+/// iteration-order dependence), thread-order nondeterminism, and any unit whose
+/// stream depends on claim order rather than its grid index. The comparison covers
+/// the on-disk files (every `<scenario>.json` plus `manifest.json`), not just the
+/// in-memory reports.
 #[test]
-fn every_scenario_is_byte_identical_across_reruns_and_job_counts() {
+fn run_all_artifacts_are_byte_identical_across_job_counts() {
     let registry = Registry::builtin();
     let names = registry.names();
-    let run = |jobs: usize| {
-        run_batch(
+    let base = std::env::temp_dir().join(format!("pim-determinism-{}", std::process::id()));
+    let run = |jobs: usize, sub: &str| {
+        let dir = base.join(sub);
+        let outcome = run_batch(
             &registry,
             &names,
             &BatchOptions {
                 jobs,
+                out_dir: Some(dir.clone()),
                 ..Default::default()
             },
         )
-        .expect("batch runs")
+        .expect("batch runs");
+        assert_eq!(outcome.reports.len(), registry.len());
+        // One artifact per scenario plus the manifest.
+        assert_eq!(outcome.written.len(), registry.len() + 1);
+        dir
     };
-    let serial = run(1);
-    let parallel = run(8);
-    assert_eq!(serial.reports.len(), registry.len());
-    for (a, b) in serial.reports.iter().zip(&parallel.reports) {
-        assert_eq!(a.scenario, b.scenario);
+    let serial = run(1, "jobs1");
+    let parallel = run(8, "jobs8");
+    let mut files: Vec<String> = names.iter().map(|n| format!("{n}.json")).collect();
+    files.push("manifest.json".to_string());
+    for file in files {
+        let a = std::fs::read(serial.join(&file)).expect("jobs=1 artifact exists");
+        let b = std::fs::read(parallel.join(&file)).expect("jobs=8 artifact exists");
+        assert!(!a.is_empty());
         assert_eq!(
-            a.to_json(),
-            b.to_json(),
-            "scenario '{}' produced different JSON on rerun (jobs=1 vs jobs=8)",
-            a.scenario
+            a, b,
+            "artifact '{file}' differs between --jobs 1 and --jobs 8"
         );
     }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// `jobs: 0` (the [`BatchOptions`] default) must resolve to one worker per
+/// available core.
+#[test]
+fn jobs_zero_resolves_to_available_parallelism() {
+    assert_eq!(BatchOptions::default().jobs, 0);
+    assert_eq!(
+        resolve_jobs(BatchOptions::default().jobs),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    );
+    assert_eq!(resolve_jobs(5), 5);
 }
 
 /// A scenario's artifact must not depend on which other scenarios share the batch or

@@ -11,11 +11,9 @@
 //! PIM_BLESS_GOLDENS=1 cargo test -p pim-harness --test golden
 //! ```
 
+use pim_harness::golden::{bless_requested, verify_or_bless_file, BLESS_ENV};
 use pim_harness::prelude::*;
 use std::path::PathBuf;
-
-/// Environment variable that switches the suite from *verify* to *regenerate*.
-const BLESS_ENV: &str = "PIM_BLESS_GOLDENS";
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -27,26 +25,8 @@ fn check_golden(name: &str) {
     let registry = Registry::builtin();
     let scenario = registry.get(name).expect("scenario is registered");
     let report = scenario.run(&SeedPolicy::default());
-    let actual_json = report.to_json();
     let path = golden_path(name);
-
-    if std::env::var_os(BLESS_ENV).is_some() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &actual_json).unwrap();
-        eprintln!("blessed {}", path.display());
-        return;
-    }
-
-    let golden_json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "cannot read golden file {} ({e}); run `{BLESS_ENV}=1 cargo test -p pim-harness \
-             --test golden` to create it",
-            path.display()
-        )
-    });
-    let expected = serde_json::value_from_str(&golden_json)
-        .unwrap_or_else(|e| panic!("golden file {} is not valid JSON: {e}", path.display()));
-    let actual = serde_json::value_from_str(&actual_json).expect("report JSON is valid");
+    let bless = bless_requested();
 
     // Deterministic scenarios normally match exactly; the relative tolerance absorbs
     // last-ulp formatting differences without hiding real drift.
@@ -54,21 +34,26 @@ fn check_golden(name: &str) {
         rtol: 1e-6,
         atol: 1e-9,
     };
-    let diffs = diff_json(&expected, &actual, tol);
-    assert!(
-        diffs.is_empty(),
-        "scenario '{name}' drifted from {} ({} mismatching fields):\n{}\n\
-         if the change is intentional, re-bless with `{BLESS_ENV}=1 cargo test -p pim-harness \
-         --test golden`",
-        path.display(),
-        diffs.len(),
-        diffs
-            .iter()
-            .take(20)
-            .cloned()
-            .collect::<Vec<_>>()
-            .join("\n")
-    );
+    match verify_or_bless_file(&path, &report.to_json(), bless, tol) {
+        Ok(()) => {
+            if bless {
+                eprintln!("blessed {}", path.display());
+            }
+        }
+        Err(diffs) => panic!(
+            "scenario '{name}' drifted from {} ({} mismatching fields):\n{}\n\
+             if the change is intentional, re-bless with `{BLESS_ENV}=1 cargo test \
+             -p pim-harness --test golden`",
+            path.display(),
+            diffs.len(),
+            diffs
+                .iter()
+                .take(20)
+                .cloned()
+                .collect::<Vec<_>>()
+                .join("\n")
+        ),
+    }
 }
 
 #[test]

@@ -172,62 +172,44 @@ impl IdleTimeSpec {
     }
 }
 
-/// Run a closure over every configuration using up to `threads` worker threads,
-/// preserving input order in the output.
-fn parallel_map<T, F>(configs: &[ParcelConfig], threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize, ParcelConfig) -> T + Sync,
-{
-    let threads = threads.max(1).min(configs.len().max(1));
-    let mut results: Vec<Option<T>> = (0..configs.len()).map(|_| None).collect();
-    if threads <= 1 {
-        for (i, slot) in results.iter_mut().enumerate() {
-            *slot = Some(f(i, configs[i]));
-        }
-    } else {
-        let chunk = configs.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (worker, slots) in results.chunks_mut(chunk).enumerate() {
-                let f = &f;
-                scope.spawn(move || {
-                    for (offset, slot) in slots.iter_mut().enumerate() {
-                        let idx = worker * chunk + offset;
-                        *slot = Some(f(idx, configs[idx]));
-                    }
-                });
-            }
-        });
-    }
-    results
-        .into_iter()
-        .map(|r| r.expect("every point evaluated"))
-        .collect()
+/// The seed of grid point `index` in either study-2 sweep: a pure function of the
+/// spec's base seed and the point's position in `configs()`, so an external
+/// point-granular scheduler (the `pim-harness` batch runner) reproduces the sweep
+/// streams exactly.
+pub fn point_seed(base_seed: u64, index: usize) -> u64 {
+    base_seed.wrapping_add(index as u64 * 131)
 }
 
-/// Run the Figure 11 sweep.
+/// Evaluate one (node count, parallelism) point of the idle-time experiment by
+/// running both systems.
+pub fn evaluate_idle_point(config: ParcelConfig, seed: u64) -> IdleTimePoint {
+    let test = run_test(config, seed);
+    let control = run_control(config, seed.wrapping_add(0x5EED));
+    IdleTimePoint {
+        nodes: config.nodes,
+        parallelism: config.parallelism,
+        test_idle_cycles: test.total_idle_cycles(),
+        control_idle_cycles: control.total_idle_cycles(),
+        test_idle_fraction: test.idle_fraction(),
+        control_idle_fraction: control.idle_fraction(),
+    }
+}
+
+/// Run the Figure 11 sweep across up to `threads` work-stealing workers (`0` = one
+/// per core); results are in grid order and independent of the thread count.
 pub fn run_latency_hiding(spec: &LatencyHidingSpec, threads: usize) -> Vec<LatencyHidingPoint> {
     let configs = spec.configs();
-    parallel_map(&configs, threads, |i, c| {
-        evaluate_point(c, spec.seed.wrapping_add(i as u64 * 131))
+    desim::par::work_steal_map(&configs, threads, |i, &c| {
+        evaluate_point(c, point_seed(spec.seed, i))
     })
 }
 
-/// Run the Figure 12 sweep.
+/// Run the Figure 12 sweep across up to `threads` work-stealing workers (`0` = one
+/// per core); results are in grid order and independent of the thread count.
 pub fn run_idle_time(spec: &IdleTimeSpec, threads: usize) -> Vec<IdleTimePoint> {
     let configs = spec.configs();
-    parallel_map(&configs, threads, |i, c| {
-        let seed = spec.seed.wrapping_add(i as u64 * 131);
-        let test = run_test(c, seed);
-        let control = run_control(c, seed.wrapping_add(0x5EED));
-        IdleTimePoint {
-            nodes: c.nodes,
-            parallelism: c.parallelism,
-            test_idle_cycles: test.total_idle_cycles(),
-            control_idle_cycles: control.total_idle_cycles(),
-            test_idle_fraction: test.idle_fraction(),
-            control_idle_fraction: control.idle_fraction(),
-        }
+    desim::par::work_steal_map(&configs, threads, |i, &c| {
+        evaluate_idle_point(c, point_seed(spec.seed, i))
     })
 }
 

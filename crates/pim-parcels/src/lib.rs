@@ -49,8 +49,8 @@ pub mod prelude {
     pub use crate::config::ParcelConfig;
     pub use crate::control::{run_control, run_control_with_network, ControlSystem};
     pub use crate::experiment::{
-        evaluate_point, run_idle_time, run_latency_hiding, IdleTimePoint, IdleTimeSpec,
-        LatencyHidingPoint, LatencyHidingSpec,
+        evaluate_idle_point, evaluate_point, point_seed, run_idle_time, run_latency_hiding,
+        IdleTimePoint, IdleTimeSpec, LatencyHidingPoint, LatencyHidingSpec,
     };
     pub use crate::network::{FlatLatency, MeshNetwork, NetworkKind, NetworkModel, TorusNetwork};
     pub use crate::outcome::{NodeOutcome, SystemOutcome};

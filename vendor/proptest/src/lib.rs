@@ -4,14 +4,14 @@
 //! subset of the proptest API this workspace's property tests use, with one deliberate
 //! difference: **all runs are deterministic**. Real proptest seeds its RNG from the OS
 //! and persists failing cases to regression files; here every test function derives
-//! its seed from [`ProptestConfig::rng_seed`] (a fixed constant by default) mixed with
+//! its seed from [`test_runner::ProptestConfig`]'s `rng_seed` (a fixed constant by default) mixed with
 //! the test's own name, so CI failures always reproduce locally with no state files.
 //!
 //! Supported surface:
 //! * the [`proptest!`] macro, including `#![proptest_config(...)]`;
 //! * [`prop_assert!`] / [`prop_assert_eq!`];
 //! * range strategies (`0u64..100`, `0u32..=100`, `0.5f64..2.0`), tuples of
-//!   strategies, [`Strategy::prop_map`], [`collection::vec`] and [`any`];
+//!   strategies, [`strategy::Strategy::prop_map`], [`collection::vec`] and [`strategy::any`];
 //! * no shrinking — a failing case panics with the generated inputs' debug
 //!   representation via the standard assertion message instead.
 
@@ -246,7 +246,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// The admissible length specification for [`vec`]: a fixed size or a range.
+    /// The admissible length specification for [`vec()`]: a fixed size or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -326,7 +326,7 @@ macro_rules! prop_assert_eq {
 /// Define deterministic property tests (mirror of `proptest::proptest!`).
 ///
 /// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` that runs the
-/// body [`ProptestConfig::cases`] times with inputs generated from a seed derived
+/// body [`test_runner::ProptestConfig`]`::cases` times with inputs generated from a seed derived
 /// from the config's `rng_seed` and the test name.
 #[macro_export]
 macro_rules! proptest {
