@@ -26,7 +26,13 @@ pub struct RandomStream {
 }
 
 /// Mix a (seed, stream) pair into a single 64-bit seed using SplitMix64 steps.
-fn mix_seed(seed: u64, stream_id: u64) -> u64 {
+///
+/// Public because it is *the* seed-derivation primitive of the workspace: every
+/// layer that needs decorrelated streams from one base seed (per-stream RNGs here,
+/// scenario seeds in `pim-harness`, per-unit spec seeds) must use this exact
+/// function — hand-copied variants would have to be kept bit-identical forever or
+/// the byte-identity golden files break.
+pub fn mix_seed(seed: u64, stream_id: u64) -> u64 {
     let mut z = seed ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -9,6 +9,10 @@
 //! * [`registry::Registry`] — the catalog of every registered scenario;
 //! * [`runner::run_batch`] — executes any subset across OS threads with deterministic
 //!   per-scenario RNG streams and writes versioned JSON artifacts;
+//! * [`spec`] — declarative scenario specs (schema v1 JSON): user-defined scenarios
+//!   as data, compiled into the registry beside the builtins;
+//! * [`measure`] — the pim-workload → pim-mem bridge behind the `measured` spec
+//!   family (synthetic streams through the cache and DRAM-bank models);
 //! * [`golden`] — tolerance-aware JSON diffing used by the golden-file regression
 //!   tests (`tests/golden/*.json`).
 //!
@@ -31,11 +35,13 @@
 pub mod bin_support;
 pub mod exec;
 pub mod golden;
+pub mod measure;
 pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod scenarios;
+pub mod spec;
 
 /// Shared, documented base seed so every default run is reproducible. The value is
 /// carried over from the legacy `pim_bench::REPORT_SEED`, but scenarios derive their
@@ -48,9 +54,14 @@ pub const DEFAULT_SEED: u64 = 0x5C_2004;
 pub mod prelude {
     pub use crate::exec::{resolve_jobs, run_plan, run_plans};
     pub use crate::golden::{diff_json, Tolerance};
+    pub use crate::measure::{measure_stream, MeasureConfig, MeasuredStats};
     pub use crate::registry::Registry;
     pub use crate::report::{Metric, ScenarioReport, Table, ARTIFACT_SCHEMA_VERSION};
     pub use crate::runner::{run_batch, BatchOptions, BatchOutcome};
     pub use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
+    pub use crate::spec::{
+        load_spec_file, load_specs, parse_spec, register_specs, spec_files, ScenarioSpec,
+        SPEC_SCHEMA_VERSION,
+    };
     pub use crate::DEFAULT_SEED;
 }

@@ -20,34 +20,47 @@ impl Registry {
     /// the paper (one per legacy `pim-bench` report binary), sorted by name.
     pub fn builtin() -> Registry {
         let mut r = Registry::new();
-        r.register(Box::new(partition::Figure5));
-        r.register(Box::new(partition::Figure6));
-        r.register(Box::new(analytic::Figure7));
-        r.register(Box::new(parcels::Figure11));
-        r.register(Box::new(parcels::Figure12));
-        r.register(Box::new(partition::Table1));
-        r.register(Box::new(partition::Validation));
-        r.register(Box::new(partition::ReplicationCi));
-        r.register(Box::new(partition::AblationImbalance));
-        r.register(Box::new(analytic::AblationNb));
-        r.register(Box::new(parcels::AblationNetwork));
-        r.register(Box::new(parcels::AblationOverhead));
-        r.register(Box::new(memory::BandwidthClaims));
+        let builtins: Vec<Box<dyn Scenario>> = vec![
+            Box::new(partition::Figure5),
+            Box::new(partition::Figure6),
+            Box::new(analytic::Figure7),
+            Box::new(parcels::Figure11),
+            Box::new(parcels::Figure12),
+            Box::new(partition::Table1),
+            Box::new(partition::Validation),
+            Box::new(partition::ReplicationCi),
+            Box::new(partition::AblationImbalance),
+            Box::new(analytic::AblationNb),
+            Box::new(parcels::AblationNetwork),
+            Box::new(parcels::AblationOverhead),
+            Box::new(memory::BandwidthClaims),
+        ];
+        for scenario in builtins {
+            r.register(scenario)
+                .expect("builtin scenario names are unique");
+        }
         r
     }
 
     /// Add a scenario, keeping the catalog sorted by name.
     ///
-    /// # Panics
-    /// Panics if a scenario with the same name is already registered — duplicate
-    /// names would make artifact files and seed streams collide.
-    pub fn register(&mut self, scenario: Box<dyn Scenario>) {
+    /// Rejects duplicate names — they would make artifact files and seed streams
+    /// collide. User-defined spec scenarios ([`crate::spec`]) can collide with a
+    /// builtin or with each other, so this surfaces as an `Err` the caller (e.g.
+    /// `pim-tradeoffs run --spec`) reports, never as a panic.
+    pub fn register(&mut self, scenario: Box<dyn Scenario>) -> Result<(), String> {
         match self
             .scenarios
             .binary_search_by(|s| s.name().cmp(scenario.name()))
         {
-            Ok(_) => panic!("duplicate scenario name '{}'", scenario.name()),
-            Err(pos) => self.scenarios.insert(pos, scenario),
+            Ok(_) => Err(format!(
+                "duplicate scenario name '{}': already registered",
+                scenario.name()
+            )),
+            Err(pos) => {
+                self.scenarios.insert(pos, scenario);
+                Ok(())
+            }
         }
     }
 
@@ -60,7 +73,7 @@ impl Registry {
     }
 
     /// All scenario names, sorted.
-    pub fn names(&self) -> Vec<&'static str> {
+    pub fn names(&self) -> Vec<&str> {
         self.scenarios.iter().map(|s| s.name()).collect()
     }
 
@@ -115,7 +128,8 @@ mod tests {
 
     #[test]
     fn names_are_sorted_and_unique() {
-        let names = Registry::builtin().names();
+        let registry = Registry::builtin();
+        let names = registry.names();
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -128,9 +142,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate scenario name")]
-    fn duplicate_registration_panics() {
+    fn duplicate_registration_is_an_error_not_a_panic() {
         let mut r = Registry::builtin();
-        r.register(Box::new(crate::scenarios::partition::Table1));
+        let before = r.len();
+        let err = r
+            .register(Box::new(crate::scenarios::partition::Table1))
+            .unwrap_err();
+        assert!(err.contains("duplicate scenario name 'table1'"), "{err}");
+        // The rejected scenario must not have been inserted.
+        assert_eq!(r.len(), before);
+        // The registry stays usable after the rejection.
+        assert!(r.get("table1").is_some());
+        assert!(r
+            .register(Box::new(crate::scenarios::partition::Table1))
+            .is_err());
     }
 }

@@ -32,17 +32,15 @@ impl SeedPolicy {
     }
 
     /// The seed for one scenario: FNV-1a over the name, mixed with the base seed
-    /// through a splitmix64 finalizer so nearby base seeds still decorrelate.
+    /// through the workspace's shared SplitMix64 mixer so nearby base seeds still
+    /// decorrelate.
     pub fn scenario_seed(&self, name: &str) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in name.bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0100_0000_01b3);
         }
-        let mut z = h ^ self.base_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        desim::random::mix_seed(h, self.base_seed)
     }
 }
 
@@ -125,11 +123,13 @@ impl<'s> ScenarioPlan<'s> {
 /// byte-for-byte on the JSON rendering), whatever thread count executes the plan.
 pub trait Scenario: Send + Sync {
     /// Stable, unique scenario name (used for registry lookup, artifact file names
-    /// and seed derivation).
-    fn name(&self) -> &'static str;
+    /// and seed derivation). Built-in scenarios return a literal; spec-compiled
+    /// scenarios ([`crate::spec`]) return the user-chosen name from the spec file,
+    /// which is why the lifetime is tied to `self` rather than `'static`.
+    fn name(&self) -> &str;
 
     /// One-line description of what the scenario reproduces.
-    fn description(&self) -> &'static str;
+    fn description(&self) -> &str;
 
     /// The scenario's parameter grid / configuration as a free-form JSON tree,
     /// embedded in the report for provenance.

@@ -13,11 +13,11 @@ pub struct Figure7;
 const F7_NODES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 impl Scenario for Figure7 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "figure7"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "analytical normalized runtime vs node count, one column per %WL"
     }
 
@@ -110,11 +110,11 @@ fn parameter_column(parameter: SweepParameter) -> &'static str {
 }
 
 impl Scenario for AblationNb {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "ablation_nb"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "break-even node count NB vs each swept machine constant"
     }
 

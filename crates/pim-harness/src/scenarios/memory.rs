@@ -16,11 +16,11 @@ pub struct BandwidthClaims;
 const CHIP_NODES: [usize; 5] = [8, 16, 32, 64, 128];
 
 impl Scenario for BandwidthClaims {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "bandwidth_claims"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Section 2.1 DRAM bandwidth claims and trace-calibrated cache miss rates"
     }
 

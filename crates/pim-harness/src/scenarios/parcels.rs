@@ -23,11 +23,11 @@ fn figure11_spec(seed: u64) -> LatencyHidingSpec {
 }
 
 impl Scenario for Figure11 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "figure11"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "test/control work ratio vs latency, per (parallelism, remote%) curve"
     }
 
@@ -98,11 +98,11 @@ fn figure12_spec(seed: u64) -> IdleTimeSpec {
 }
 
 impl Scenario for Figure12 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "figure12"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "idle time of test and control systems vs parallelism, per node count"
     }
 
@@ -168,11 +168,11 @@ impl Scenario for Figure12 {
 pub struct AblationNetwork;
 
 impl Scenario for AblationNetwork {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "ablation_network"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "parcel latency hiding under flat vs mesh vs torus networks and message-driven servicing"
     }
 
@@ -277,11 +277,11 @@ fn network_cell_rows(parallelism: usize, latency: f64, seed: u64) -> Vec<Vec<Val
 pub struct AblationOverhead;
 
 impl Scenario for AblationOverhead {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "ablation_overhead"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "work ratio vs per-parcel handling overhead (efficient parcel handling is required)"
     }
 

@@ -125,11 +125,11 @@ fn figure6_table(name: &str, sweep: &SweepResult) -> Table {
 pub struct Figure5;
 
 impl Scenario for Figure5 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "figure5"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "performance gain vs %LWP work, one column per PIM node count (simulation)"
     }
 
@@ -153,11 +153,11 @@ impl Scenario for Figure5 {
 pub struct Figure6;
 
 impl Scenario for Figure6 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "figure6"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "response time (ns) vs number of smart memory nodes, one column per %LWT (simulation)"
     }
 
@@ -182,11 +182,11 @@ impl Scenario for Figure6 {
 pub struct Table1;
 
 impl Scenario for Table1 {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "table1"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "Table 1 parametric assumptions (plus derived constants)"
     }
 
@@ -222,11 +222,11 @@ impl Scenario for Table1 {
 pub struct Validation;
 
 impl Scenario for Validation {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "validation"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "analytical vs simulated test-system time per (N, %WL) point"
     }
 
@@ -279,11 +279,11 @@ pub struct ReplicationCi;
 const CI_CORNERS: [(usize, f64); 5] = [(4, 0.5), (8, 0.8), (32, 0.9), (32, 1.0), (64, 1.0)];
 
 impl Scenario for ReplicationCi {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "replication_ci"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "replicated simulated gains with 95% confidence intervals vs the closed form"
     }
 
@@ -373,11 +373,11 @@ const SKEWS: [f64; 9] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 0.95];
 const IMBALANCE_CORNERS: [(usize, f64); 3] = [(8, 0.8), (32, 0.9), (64, 1.0)];
 
 impl Scenario for AblationImbalance {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "ablation_imbalance"
     }
 
-    fn description(&self) -> &'static str {
+    fn description(&self) -> &str {
         "gain vs per-thread load skew (the paper assumes perfectly uniform threads)"
     }
 

@@ -51,6 +51,57 @@ fn run_all_artifacts_are_byte_identical_across_job_counts() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// Spec-defined scenarios (the shipped presets) honour the same contract: loading
+/// `examples/specs/` into the registry and running every spec at `--jobs 1` and
+/// `--jobs 8` produces byte-identical artifact files. This covers all three model
+/// families (analytic expected + simulated, parcels DES, measured streams) at
+/// unit granularity under completely different work-stealing interleavings.
+#[test]
+fn spec_scenarios_are_byte_identical_across_job_counts() {
+    let specs_dir =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs");
+    let build = || {
+        let mut registry = Registry::builtin();
+        let names = register_specs(&mut registry, load_specs(&specs_dir).expect("presets load"))
+            .expect("presets register");
+        (registry, names)
+    };
+    let (registry, names) = build();
+    assert!(
+        registry.len() >= 20,
+        "catalog with presets loaded should reach 20+, got {}",
+        registry.len()
+    );
+    let base = std::env::temp_dir().join(format!("pim-spec-determinism-{}", std::process::id()));
+    let run = |jobs: usize, sub: &str| {
+        let dir = base.join(sub);
+        run_batch(
+            &registry,
+            &names,
+            &BatchOptions {
+                jobs,
+                out_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("spec batch runs");
+        dir
+    };
+    let serial = run(1, "jobs1");
+    let parallel = run(8, "jobs8");
+    for name in &names {
+        let file = format!("{name}.json");
+        let a = std::fs::read(serial.join(&file)).expect("jobs=1 artifact exists");
+        let b = std::fs::read(parallel.join(&file)).expect("jobs=8 artifact exists");
+        assert!(!a.is_empty());
+        assert_eq!(
+            a, b,
+            "spec artifact '{file}' differs between --jobs 1 and --jobs 8"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// `jobs: 0` (the [`BatchOptions`] default) must resolve to one worker per
 /// available core.
 #[test]

@@ -56,6 +56,60 @@ fn check_golden(name: &str) {
     }
 }
 
+/// Every shipped preset spec (`examples/specs/*.json`) is pinned by a golden file
+/// under `tests/golden/specs/`, at the default seed. This is what makes the preset
+/// library a regression surface: a behavioural change in the spec compiler, the
+/// measure bridge or any underlying model fails here instead of silently shifting
+/// user-facing catalogs. Stale goldens (no matching preset) also fail.
+#[test]
+fn golden_spec_presets() {
+    let specs_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs");
+    let specs = pim_harness::spec::load_specs(&specs_dir).expect("presets load");
+    assert!(
+        specs.len() >= 7,
+        "preset library shrank: {} specs",
+        specs.len()
+    );
+    let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/specs");
+    let bless = bless_requested();
+    let tol = Tolerance {
+        rtol: 1e-6,
+        atol: 1e-9,
+    };
+    let mut names: Vec<String> = Vec::new();
+    let mut drifted: Vec<String> = Vec::new();
+    for spec in specs {
+        names.push(spec.name.clone());
+        let scenario = spec.into_scenario();
+        let report = scenario.run(&SeedPolicy::default());
+        let path = golden_dir.join(format!("{}.json", report.scenario));
+        if let Err(diffs) = verify_or_bless_file(&path, &report.to_json(), bless, tol) {
+            drifted.push(format!(
+                "{}: {} mismatching fields, e.g. {}",
+                report.scenario,
+                diffs.len(),
+                diffs.first().cloned().unwrap_or_default()
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "preset scenarios drifted from their goldens:\n{}\nif intentional, re-bless \
+         with `{BLESS_ENV}=1 cargo test -p pim-harness --test golden`",
+        drifted.join("\n")
+    );
+    // Every golden corresponds to a live preset — catch renamed/deleted specs.
+    for entry in std::fs::read_dir(&golden_dir).expect("golden spec dir exists") {
+        let path = entry.unwrap().path();
+        let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+        assert!(
+            names.contains(&stem),
+            "stale golden {} has no matching preset spec",
+            path.display()
+        );
+    }
+}
+
 #[test]
 fn golden_figure5() {
     check_golden("figure5");

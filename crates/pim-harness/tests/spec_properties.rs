@@ -1,0 +1,264 @@
+//! Property-based tests of the spec deserializer (vendored proptest, pinned seeds).
+//!
+//! Two families of properties:
+//!
+//! 1. **Round-trip**: any valid [`ScenarioSpec`] survives serialize → parse exactly
+//!    (the canonical JSON form is lossless, including shortest-round-trip floats);
+//! 2. **Rejection**: structured corruptions of a valid spec — bad schema versions,
+//!    unknown model families, empty grid axes, zero node counts, `NaN`/∞ fractions —
+//!    are rejected by the parser, whatever the surrounding spec looks like.
+
+use pim_core::prelude::SystemConfig;
+use pim_harness::spec::{
+    parse_spec, AnalyticMode, AnalyticSpec, MeasuredSpec, ModelSpec, ParcelsSpec, ScenarioSpec,
+    SeedMode,
+};
+use pim_workload::AddressPattern;
+use proptest::prelude::*;
+use serde::{Serialize, Value};
+
+fn fractions() -> impl Strategy<Value = Vec<f64>> {
+    collection::vec(0.0f64..1.0, 1..4)
+}
+
+fn counts() -> impl Strategy<Value = Vec<usize>> {
+    collection::vec(1usize..64, 1..4)
+}
+
+fn analytic_model() -> impl Strategy<Value = ModelSpec> {
+    (
+        counts(),
+        fractions(),
+        fractions(),
+        fractions(),
+        0u32..2,
+        1_000u64..10_000,
+    )
+        .prop_map(
+            |(node_counts, lwp_fractions, p_miss, memory_mix, mode_kind, sim_ops)| {
+                ModelSpec::Analytic(AnalyticSpec {
+                    base: SystemConfig::table1(),
+                    mode: if mode_kind == 0 {
+                        AnalyticMode::Expected
+                    } else {
+                        AnalyticMode::Simulated {
+                            sim_ops,
+                            ops_per_event: 64,
+                        }
+                    },
+                    node_counts,
+                    lwp_fractions,
+                    p_miss,
+                    memory_mix,
+                })
+            },
+        )
+}
+
+fn parcels_model() -> impl Strategy<Value = ModelSpec> {
+    (
+        counts(),
+        collection::vec(1usize..32, 1..3),
+        collection::vec(0.0f64..5_000.0, 1..3),
+        fractions(),
+        collection::vec(0.0f64..64.0, 1..3),
+    )
+        .prop_map(
+            |(node_counts, parallelisms, latencies, remote_fractions, overheads)| {
+                ModelSpec::Parcels(ParcelsSpec {
+                    base: ParcelsSpec_default_base(),
+                    memory_mix: 0.3,
+                    node_counts,
+                    parallelisms,
+                    latencies,
+                    remote_fractions,
+                    overheads,
+                })
+            },
+        )
+}
+
+/// The parcels base the parser resolves (`ParcelsSpec::default_base` is private, but
+/// its canonical serialization pins these fields): library defaults with the
+/// figure-11 horizon and the mix rebuilt from the default 0.3 memory-mix scalar.
+#[allow(non_snake_case)]
+fn ParcelsSpec_default_base() -> pim_parcels::prelude::ParcelConfig {
+    pim_parcels::prelude::ParcelConfig {
+        mix: pim_workload::InstructionMix::with_memory_fraction(0.3),
+        horizon_cycles: 500_000.0,
+        ..Default::default()
+    }
+}
+
+fn pattern() -> impl Strategy<Value = AddressPattern> {
+    (0u32..3, 1u64..256, 1u64..64, 0.0f64..2.0).prop_map(|(kind, stride, lines, exponent)| {
+        match kind {
+            0 => AddressPattern::Sequential { stride },
+            1 => AddressPattern::UniformRandom {
+                footprint: 64 * lines,
+                line: 64,
+            },
+            _ => AddressPattern::Zipf {
+                footprint: 64 * lines,
+                line: 64,
+                exponent,
+            },
+        }
+    })
+}
+
+fn measured_model() -> impl Strategy<Value = ModelSpec> {
+    (
+        1_000u64..50_000,
+        collection::vec(pattern(), 1..4),
+        fractions(),
+    )
+        .prop_map(|(ops, patterns, memory_fractions)| {
+            ModelSpec::Measured(MeasuredSpec {
+                ops,
+                cache_bytes: 64 * 1024,
+                cache_line_bytes: 64,
+                cache_ways: 4,
+                bank_rows: 1024,
+                patterns,
+                memory_fractions,
+            })
+        })
+}
+
+fn valid_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        0u64..1_000_000,
+        1usize..4,
+        (0u32..2, 0u64..1_000_000),
+        0u32..3,
+        (analytic_model(), parcels_model(), measured_model()),
+    )
+        .prop_map(
+            |(id, replications, (seed_kind, seed_value), family, models)| {
+                let model = match family {
+                    0 => models.0,
+                    1 => models.1,
+                    _ => models.2,
+                };
+                ScenarioSpec {
+                    name: format!("gen_spec_{id}"),
+                    description: format!("generated spec {id}"),
+                    replications,
+                    seed: if seed_kind == 0 {
+                        SeedMode::Derived
+                    } else {
+                        SeedMode::Fixed(seed_value)
+                    },
+                    columns: None,
+                    model,
+                }
+            },
+        )
+}
+
+/// Replace the value at `spec_value[key]` (and optionally a nested key) — panics if
+/// the path does not exist, which would mean the canonical form changed shape.
+fn with_field(spec: &ScenarioSpec, path: &[&str], replacement: Value) -> String {
+    fn set(v: &mut Value, path: &[&str], replacement: Value) {
+        let Value::Map(entries) = v else {
+            panic!("path walks through a non-map")
+        };
+        let slot = entries
+            .iter_mut()
+            .find(|(k, _)| k == path[0])
+            .unwrap_or_else(|| panic!("canonical spec form lost field '{}'", path[0]));
+        if path.len() == 1 {
+            slot.1 = replacement;
+        } else {
+            set(&mut slot.1, &path[1..], replacement);
+        }
+    }
+    let mut v = spec.to_value();
+    set(&mut v, path, replacement);
+    serde_json::to_string(&v).unwrap()
+}
+
+proptest! {
+    /// serialize → parse is the identity on valid specs.
+    #[test]
+    fn round_trip(spec in valid_spec()) {
+        prop_assert!(spec.validate().is_ok(), "generated spec invalid: {:?}", spec.validate());
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back = parse_spec(&json);
+        prop_assert!(back.is_ok(), "round-trip parse failed: {:?}\n{json}", back);
+        prop_assert_eq!(back.unwrap(), spec);
+    }
+
+    /// Any schema version other than 1 is rejected, whatever the rest says.
+    #[test]
+    fn bad_schema_versions_are_rejected(spec in valid_spec(), version in 2u64..1_000) {
+        let json = with_field(&spec, &["schema_version"], Value::U64(version));
+        let err = parse_spec(&json).unwrap_err();
+        prop_assert!(err.contains("schema_version"), "{err}");
+    }
+
+    /// Unknown model families are rejected with the list of known families.
+    #[test]
+    fn unknown_families_are_rejected(spec in valid_spec(), tag in 0u64..1_000) {
+        let json = with_field(&spec, &["model"], Value::Str(format!("family{tag}")));
+        let err = parse_spec(&json).unwrap_err();
+        prop_assert!(err.contains("unknown model family"), "{err}");
+    }
+
+    /// Emptying any grid axis is rejected (empty grids must never reach the runner).
+    #[test]
+    fn empty_grid_axes_are_rejected(spec in valid_spec()) {
+        let axes: &[&str] = match &spec.model {
+            ModelSpec::Analytic(_) => &["node_counts", "lwp_fractions", "p_miss", "memory_mix"],
+            ModelSpec::Parcels(_) => &[
+                "node_counts", "parallelisms", "latencies", "remote_fractions", "overheads",
+            ],
+            ModelSpec::Measured(_) => &["patterns", "memory_fractions"],
+        };
+        for axis in axes {
+            let json = with_field(&spec, &["grid", axis], Value::Seq(vec![]));
+            prop_assert!(parse_spec(&json).is_err(), "empty grid.{axis} accepted");
+        }
+    }
+
+    /// A zero node count anywhere in the axis is rejected.
+    #[test]
+    fn zero_node_counts_are_rejected(spec in valid_spec()) {
+        if matches!(spec.model, ModelSpec::Measured(_)) {
+            continue; // no node axis in the measured family
+        }
+        let json = with_field(
+            &spec,
+            &["grid", "node_counts"],
+            Value::Seq(vec![Value::U64(4), Value::U64(0)]),
+        );
+        let err = parse_spec(&json).unwrap_err();
+        prop_assert!(err.contains("node_counts"), "{err}");
+    }
+
+    /// NaN (JSON null) and ∞ fractions are rejected on every fraction axis.
+    #[test]
+    fn non_finite_fractions_are_rejected(spec in valid_spec()) {
+        let axis = match &spec.model {
+            ModelSpec::Analytic(_) => "lwp_fractions",
+            ModelSpec::Parcels(_) => "remote_fractions",
+            ModelSpec::Measured(_) => "memory_fractions",
+        };
+        // JSON spells NaN as null; 1e999 parses to +∞.
+        let nan = with_field(&spec, &["grid", axis], Value::Seq(vec![Value::Null]));
+        prop_assert!(parse_spec(&nan).is_err(), "NaN {axis} accepted");
+        let inf = with_field(&spec, &["grid", axis], Value::Seq(vec![Value::F64(f64::INFINITY)]));
+        prop_assert!(parse_spec(&inf).is_err(), "infinite {axis} accepted");
+        let oob = with_field(&spec, &["grid", axis], Value::Seq(vec![Value::F64(1.5)]));
+        prop_assert!(parse_spec(&oob).is_err(), "out-of-range {axis} accepted");
+    }
+
+    /// Zero replications are rejected whatever the family.
+    #[test]
+    fn zero_replications_are_rejected(spec in valid_spec()) {
+        let json = with_field(&spec, &["replications"], Value::U64(0));
+        let err = parse_spec(&json).unwrap_err();
+        prop_assert!(err.contains("replications"), "{err}");
+    }
+}

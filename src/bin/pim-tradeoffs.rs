@@ -1,9 +1,10 @@
 //! `pim-tradeoffs` — command-line front end to the PIM design-tradeoff models.
 //!
 //! ```text
-//! pim-tradeoffs list
+//! pim-tradeoffs list    [--spec FILE|DIR]
 //! pim-tradeoffs run     figure5 table1 [--jobs N] [--out artifacts/] [--seed S]
-//! pim-tradeoffs run     --all [--jobs N] [--out artifacts/] [--seed S]
+//! pim-tradeoffs run     --all [--spec FILE|DIR] [--jobs N] [--out artifacts/] [--seed S]
+//! pim-tradeoffs spec    check FILE|DIR...
 //! pim-tradeoffs point   --nodes 32 --wl 0.8 [--pmiss 0.1] [--mix 0.3] [--simulate]
 //! pim-tradeoffs sweep   [--max-nodes 64] [--simulate]
 //! pim-tradeoffs nb      [--pmiss 0.1] [--mix 0.3] [--lwp-cycle 5] [--tml 30] [--tmh 90]
@@ -12,9 +13,12 @@
 //!
 //! `list` and `run` front the scenario registry in `pim-harness`: `run --all --out
 //! artifacts/` regenerates every paper figure/table/ablation as versioned JSON in one
-//! deterministic batch. Argument parsing is intentionally hand-rolled (no CLI
-//! dependency): every flag is `--name value`, unknown flags are an error, and
-//! `--help` prints the grammar above.
+//! deterministic batch. `--spec` loads declarative scenario specs (schema v1 JSON,
+//! see `pim_harness::spec` and `examples/specs/`) into the registry beside the
+//! builtins; `spec check` validates spec files without running them. Argument
+//! parsing is intentionally hand-rolled (no CLI dependency): every flag is
+//! `--name value`, unknown flags are an error, and `--help` prints the grammar
+//! above.
 
 use pim_repro::pim_analytic::{AnalyticModel, ParcelAnalyticModel};
 use pim_repro::pim_core::prelude::*;
@@ -28,9 +32,11 @@ const USAGE: &str = "\
 pim-tradeoffs — PIM architecture design-tradeoff models (SC 2004 reproduction)
 
 USAGE:
-  pim-tradeoffs list
-  pim-tradeoffs run     SCENARIO... [--jobs N] [--out DIR] [--seed S]
-  pim-tradeoffs run     --all [--jobs N] [--out DIR] [--seed S]
+  pim-tradeoffs list    [--spec FILE|DIR]
+  pim-tradeoffs run     SCENARIO... [--spec FILE|DIR] [--jobs N] [--out DIR] [--seed S]
+  pim-tradeoffs run     --all [--spec FILE|DIR] [--jobs N] [--out DIR] [--seed S]
+  pim-tradeoffs run     --spec FILE|DIR [--jobs N] [--out DIR] [--seed S]
+  pim-tradeoffs spec    check FILE|DIR...
   pim-tradeoffs point   --nodes N --wl FRACTION [--pmiss P] [--mix M] [--simulate]
   pim-tradeoffs sweep   [--max-nodes N] [--simulate]
   pim-tradeoffs nb      [--pmiss P] [--mix M] [--lwp-cycle NS] [--tml CYCLES] [--tmh CYCLES]
@@ -40,8 +46,11 @@ USAGE:
 `list` names every registered scenario. `run` executes scenarios in parallel worker
 threads and either prints their JSON reports (no --out) or writes one artifact per
 scenario plus a manifest under DIR; artifacts are byte-identical for a given --seed
-whatever --jobs is. Run a model subcommand with no arguments to use the paper's
-Table 1 defaults.";
+whatever --jobs is. `--spec` loads user-defined scenario specs (schema v1 JSON; see
+examples/specs/) into the registry beside the 13 builtins; `run --spec DIR` with no
+scenario names runs exactly the spec-defined scenarios, and `spec check` validates
+spec files without running anything. Run a model subcommand with no arguments to use
+the paper's Table 1 defaults.";
 
 /// Parsed `--flag value` arguments.
 struct Args {
@@ -112,28 +121,43 @@ impl Args {
     }
 }
 
+/// The builtin registry, augmented with every spec named by `--spec` (a file or a
+/// directory of `*.json`). Returns the registry plus the spec-defined names.
+fn registry_with_specs(args: &Args) -> Result<(Registry, Vec<String>), String> {
+    let mut registry = Registry::builtin();
+    let mut spec_names = Vec::new();
+    if let Some(path) = args.flags.get("spec") {
+        let specs = load_specs(std::path::Path::new(path))?;
+        spec_names = register_specs(&mut registry, specs)?;
+    }
+    Ok((registry, spec_names))
+}
+
 fn cmd_list(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&[])?;
-    let registry = Registry::builtin();
+    args.reject_unknown(&["spec"])?;
+    let (registry, _) = registry_with_specs(args)?;
     for scenario in registry.iter() {
-        println!("{:<20} {}", scenario.name(), scenario.description());
+        println!("{:<24} {}", scenario.name(), scenario.description());
     }
     Ok(())
 }
 
 fn cmd_run(scenarios: &[String], args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["all", "jobs", "out", "seed"])?;
-    let registry = Registry::builtin();
+    args.reject_unknown(&["all", "jobs", "out", "seed", "spec"])?;
+    let (registry, spec_names) = registry_with_specs(args)?;
     if args.has("all") && !scenarios.is_empty() {
         return Err("pass scenario names or --all, not both".into());
     }
     let names: Vec<String> = if args.has("all") {
         registry.names().iter().map(|s| s.to_string()).collect()
-    } else {
+    } else if !scenarios.is_empty() {
         scenarios.to_vec()
+    } else {
+        // `run --spec DIR` with no names runs exactly the spec-defined scenarios.
+        spec_names
     };
     if names.is_empty() {
-        return Err("run needs scenario names or --all (see `pim-tradeoffs list`)".into());
+        return Err("run needs scenario names, --all, or --spec (see `pim-tradeoffs list`)".into());
     }
     let opts = BatchOptions {
         jobs: args.get_usize("jobs", 0)?,
@@ -168,6 +192,73 @@ fn cmd_run(scenarios: &[String], args: &Args) -> Result<(), String> {
         print!("{json}");
     }
     Ok(())
+}
+
+/// `spec check PATH...`: parse, validate and dry-compile every spec, reporting one
+/// line per spec and failing if any spec is invalid or collides with a registered
+/// name (builtin or another checked spec).
+fn cmd_spec(positionals: &[String], args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[])?;
+    let Some((sub, paths)) = positionals.split_first() else {
+        return Err("spec needs a subcommand: `spec check FILE|DIR...`".into());
+    };
+    if sub != "check" {
+        return Err(format!(
+            "unknown spec subcommand '{sub}' (expected 'check')"
+        ));
+    }
+    if paths.is_empty() {
+        return Err("spec check needs at least one file or directory".into());
+    }
+    let mut registry = Registry::builtin();
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for path in paths {
+        // Enumerate files first so one bad spec in a directory still lets every
+        // other spec in it get its own ok/FAIL line (and collision check).
+        let files = match spec_files(std::path::Path::new(path)) {
+            Ok(files) => files,
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                checked += 1;
+                failures += 1;
+                continue;
+            }
+        };
+        for file in files {
+            checked += 1;
+            let spec = match load_spec_file(&file) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("FAIL {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            let line = format!(
+                "{:<24} {}: {} points x {} replications = {} units, {} columns",
+                spec.name,
+                spec.family(),
+                spec.grid_points(),
+                spec.replications,
+                spec.units(),
+                spec.output_columns().len()
+            );
+            match register_specs(&mut registry, vec![spec]) {
+                Ok(_) => println!("ok   {line}"),
+                Err(e) => {
+                    eprintln!("FAIL {line}: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        Err(format!("{failures} of {checked} spec(s) failed"))
+    } else {
+        eprintln!("{checked} spec(s) ok");
+        Ok(())
+    }
 }
 
 fn study_config(args: &Args) -> Result<SystemConfig, String> {
@@ -325,7 +416,7 @@ fn run() -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     }
-    if command != "run" {
+    if command != "run" && command != "spec" {
         if let Some(arg) = positionals.first() {
             return Err(format!(
                 "unexpected argument '{arg}' (flags are --name value)"
@@ -335,6 +426,7 @@ fn run() -> Result<(), String> {
     match command.as_str() {
         "list" => cmd_list(&args),
         "run" => cmd_run(&positionals, &args),
+        "spec" => cmd_spec(&positionals, &args),
         "point" => cmd_point(&args),
         "sweep" => cmd_sweep(&args),
         "nb" => cmd_nb(&args),
