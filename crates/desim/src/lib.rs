@@ -50,6 +50,7 @@ pub mod qnet;
 pub mod random;
 pub mod replication;
 pub mod resource;
+pub mod stablehash;
 pub mod stats;
 pub mod time;
 pub mod trace;

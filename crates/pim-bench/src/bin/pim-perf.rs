@@ -88,6 +88,21 @@ fn run() -> Result<(), String> {
             .unwrap_or(0.0);
         eprintln!("pim-perf: batch {wall:.0} ms, {rate:.1} units/sec");
     }
+    if let Some(inc) = payload.get("incremental") {
+        let cold = inc
+            .get("cold_wall_ms")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let warm = inc
+            .get("warm_wall_ms")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let speedup = inc
+            .get("warm_speedup")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        eprintln!("pim-perf: cache cold {cold:.0} ms, warm {warm:.0} ms ({speedup:.0}x)");
+    }
     println!("{}", path.display());
     Ok(())
 }

@@ -13,6 +13,9 @@
 //!    + statistics, not just the data structure.
 //! 3. **Scenario batch** — wall-clock and units/sec for the full registry under the
 //!    work-stealing batch runner, plus (in full mode) per-scenario wall times.
+//! 4. **Incremental execution** — cold-vs-warm wall time of the full registry
+//!    through the content-addressed unit-result cache (`pim_harness::cache`): the
+//!    cold pass populates a fresh cache, the warm pass must serve every unit from it.
 //!
 //! Comparing two revisions is a field-by-field diff of their `BENCH_*.json`; CI runs
 //! the quick suite on every push and uploads the artifact (non-gating).
@@ -27,8 +30,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// Version of the `BENCH_*.json` schema. Bump on incompatible shape changes so
-/// trajectory tooling can refuse to compare apples to oranges.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// trajectory tooling can refuse to compare apples to oranges. v2 added the
+/// `incremental` section (cold/warm cache wall times).
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Options for one suite run.
 #[derive(Debug, Clone)]
@@ -238,6 +242,55 @@ fn bench_scenarios(opts: &PerfOptions) -> Value {
     map(entries)
 }
 
+/// Cold-vs-warm wall time of the full builtin registry through the unit-result
+/// cache. The cold pass populates a fresh cache directory (created under the
+/// system temp dir and removed afterwards); the warm pass re-runs the identical
+/// batch and must serve every unit from the cache.
+fn bench_incremental(opts: &PerfOptions) -> Value {
+    let registry = Registry::builtin();
+    let names = registry.names();
+    let cache_dir = std::env::temp_dir().join(format!(
+        "pim-perf-cache-{}-{}",
+        std::process::id(),
+        &opts.rev
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let run = || {
+        let start = Instant::now();
+        let outcome = run_batch(
+            &registry,
+            &names,
+            &BatchOptions {
+                jobs: opts.jobs,
+                cache_dir: Some(cache_dir.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("cached batch runs");
+        (start.elapsed().as_secs_f64(), outcome)
+    };
+    let (cold_secs, cold) = run();
+    let (warm_secs, warm) = run();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let count = |counts: &[pim_harness::prelude::CacheCounts]| {
+        counts.iter().fold((0u64, 0u64), |(h, m), c| {
+            (h + c.hits, m + c.misses + c.recomputed)
+        })
+    };
+    let (cold_hits, cold_computed) = count(&cold.cache_counts);
+    let (warm_hits, warm_computed) = count(&warm.cache_counts);
+    map(vec![
+        ("jobs_requested", Value::U64(opts.jobs as u64)),
+        ("cold_wall_ms", Value::F64(cold_secs * 1e3)),
+        ("warm_wall_ms", Value::F64(warm_secs * 1e3)),
+        ("warm_speedup", Value::F64(cold_secs / warm_secs.max(1e-9))),
+        ("cold_hits", Value::U64(cold_hits)),
+        ("cold_computed", Value::U64(cold_computed)),
+        ("warm_hits", Value::U64(warm_hits)),
+        ("warm_computed", Value::U64(warm_computed)),
+    ])
+}
+
 /// Run the whole suite and return the `BENCH_*.json` payload.
 pub fn run_suite(opts: &PerfOptions) -> Value {
     let scale = if opts.quick { 20_000 } else { 200_000 };
@@ -262,6 +315,7 @@ pub fn run_suite(opts: &PerfOptions) -> Value {
             bench_parcel_point(if opts.quick { 20_000.0 } else { 200_000.0 }),
         ),
         ("scenarios", bench_scenarios(opts)),
+        ("incremental", bench_incremental(opts)),
     ])
 }
 
@@ -322,6 +376,15 @@ mod tests {
         assert!(payload.get("scenarios").is_some());
         let batch = payload.get("scenarios").unwrap();
         assert!(batch.get("units_total").and_then(|v| v.as_f64()).unwrap() > 100.0);
+        // The incremental section must show a fully-cold then fully-warm pass.
+        let inc = payload.get("incremental").unwrap();
+        assert_eq!(inc.get("cold_hits").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(inc.get("warm_computed").and_then(|v| v.as_f64()), Some(0.0));
+        let warm_hits = inc.get("warm_hits").and_then(|v| v.as_f64()).unwrap();
+        let cold_computed = inc.get("cold_computed").and_then(|v| v.as_f64()).unwrap();
+        assert!(warm_hits > 100.0);
+        assert_eq!(warm_hits, cold_computed);
+        assert!(inc.get("warm_speedup").and_then(|v| v.as_f64()).unwrap() > 1.0);
 
         let dir = std::env::temp_dir().join(format!("pim-perf-test-{}", std::process::id()));
         let path = write_bench_file(&dir, &opts.rev, &payload).unwrap();

@@ -1,0 +1,740 @@
+//! The persistent, content-addressed unit-result cache behind incremental sweeps.
+//!
+//! Design-tradeoff studies are re-run endlessly with small deltas: one axis widened,
+//! one fraction nudged, one new scenario added to the batch. The determinism contract
+//! (a unit's output is a pure function of scenario name, resolved seed and grid
+//! index — never of thread count or claim order) makes every unit result safely
+//! cacheable, so a warm `run --all` collapses to assembly plus I/O.
+//!
+//! ## Key derivation
+//!
+//! Each cacheable plan unit carries a [`UnitKey`] naming everything its output
+//! depends on: the cache schema version, the scenario name, a **config fingerprint**
+//! (the stable hash of the scenario's canonical config JSON — the spec rendering for
+//! spec-defined scenarios, the `params()` serialization for builtins), the scenario's
+//! resolved seed, and the unit's grid/replication indices. The entry file name is the
+//! stable 128-bit digest of all those fields, so any single-field edit — an axis
+//! value, a fraction, a model family, a seed — addresses different entries and a
+//! stale result can never be served. Constants compiled into the models themselves
+//! are *not* part of the key; a semantic model change must bump
+//! [`CACHE_SCHEMA_VERSION`], which invalidates every prior entry at once.
+//!
+//! ## On-disk format and concurrency
+//!
+//! Entries live under `<root>/units/<digest>.json`, each a self-describing JSON
+//! document `{cache_schema, key, checksum, payload}` where `checksum` is the stable
+//! hash of the payload's canonical JSON. Reads verify the schema, the full key echo
+//! (collisions included) and the checksum; any mismatch — truncation, bit flips,
+//! format drift — evicts the entry and recomputes instead of poisoning artifacts.
+//! Writes go to a unique temp file followed by an atomic rename, so concurrent
+//! workers (`--jobs N`) and even concurrent processes sharing one cache directory
+//! never observe torn entries; last-writer-wins is harmless because entry content is
+//! deterministic.
+
+use crate::scenario::SeedPolicy;
+use desim::stablehash::{stable_hash_hex, StableHasher};
+use serde::{Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version of the cache entry format *and* of the semantic contract between unit
+/// keys and model code. Bump on any change that alters unit outputs without being
+/// visible in scenario configs (model constants, stream derivations, entry shape);
+/// the version participates in every [`UnitKey`] digest, so old entries become
+/// unreachable rather than wrong. Kept in lockstep with
+/// [`crate::report::MANIFEST_SCHEMA_VERSION`], which introduced cache accounting.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
+
+/// Name of the cache-format marker file at the cache root.
+const FORMAT_FILE: &str = "cache-format.json";
+/// Subdirectory holding the per-unit entry files.
+const UNITS_DIR: &str = "units";
+
+/// Wrap an I/O error with the operation and the offending path — every filesystem
+/// touch in the cache and the artifact writer reports through this, so a failure
+/// deep in a parallel batch still names exactly what could not be done where.
+pub fn io_err(op: &str, path: &Path, e: &std::io::Error) -> String {
+    format!("cannot {op} {}: {e}", path.display())
+}
+
+/// Probe that `dir` exists (creating it if needed) and is writable, by writing and
+/// removing a marker file. Called before a batch touches any unit so an unwritable
+/// `--out`/`--cache` directory fails fast instead of erroring mid-run.
+pub fn ensure_writable_dir(dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err("create directory", dir, &e))?;
+    let probe = dir.join(format!(".pim-probe-{}", std::process::id()));
+    std::fs::write(&probe, b"probe").map_err(|e| io_err("write to directory", dir, &e))?;
+    std::fs::remove_file(&probe).map_err(|e| io_err("remove probe file", &probe, &e))?;
+    Ok(())
+}
+
+/// The complete identity of one cacheable unit of work.
+///
+/// Two units with equal keys are guaranteed (by the determinism contract) to produce
+/// byte-identical payloads; two units differing in any field produce different
+/// digests and therefore different cache entries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitKey {
+    /// [`CACHE_SCHEMA_VERSION`] at write time.
+    pub cache_schema: u32,
+    /// Scenario name (registry identity).
+    pub scenario: String,
+    /// Stable hex digest of the scenario's canonical config JSON (spec rendering or
+    /// builtin `params()` serialization).
+    pub fingerprint: String,
+    /// The scenario's resolved seed (derived from the batch base seed and the name,
+    /// or a spec's fixed seed) — the root of every stream the unit draws from.
+    pub seed: u64,
+    /// Flattened grid-point index within the scenario's plan.
+    pub grid_index: u64,
+    /// Replication index within the grid point (0 for unreplicated scenarios).
+    pub replication_index: u64,
+}
+
+impl UnitKey {
+    /// The content address: a stable 128-bit digest over every field, as 32 hex
+    /// characters. Used as the entry file name.
+    pub fn digest(&self) -> String {
+        let mut h = StableHasher::new();
+        h.write_u32(self.cache_schema);
+        h.write_str(&self.scenario);
+        h.write_str(&self.fingerprint);
+        h.write_u64(self.seed);
+        h.write_u64(self.grid_index);
+        h.write_u64(self.replication_index);
+        h.finish_hex()
+    }
+}
+
+/// Precomputes the per-scenario parts of [`UnitKey`]s so a plan with thousands of
+/// units fingerprints its config exactly once.
+#[derive(Debug, Clone)]
+pub struct UnitKeyer {
+    scenario: String,
+    fingerprint: String,
+    seed: u64,
+}
+
+impl UnitKeyer {
+    /// A keyer for `scenario` whose units all share `config` (canonicalized and
+    /// fingerprinted here) and the scenario's resolved `seed`.
+    pub fn new(scenario: &str, config: &Value, seed: u64) -> UnitKeyer {
+        UnitKeyer {
+            scenario: scenario.to_string(),
+            fingerprint: fingerprint_value(config),
+            seed,
+        }
+    }
+
+    /// Convenience constructor for builtins: fingerprint the scenario's `params()`
+    /// and resolve the seed from the batch policy.
+    pub fn for_scenario(scenario: &dyn crate::scenario::Scenario, seeds: &SeedPolicy) -> UnitKeyer {
+        UnitKeyer::new(
+            scenario.name(),
+            &scenario.params(),
+            seeds.scenario_seed(scenario.name()),
+        )
+    }
+
+    /// The key of one unit.
+    pub fn key(&self, grid_index: usize, replication_index: usize) -> UnitKey {
+        UnitKey {
+            cache_schema: CACHE_SCHEMA_VERSION,
+            scenario: self.scenario.clone(),
+            fingerprint: self.fingerprint.clone(),
+            seed: self.seed,
+            grid_index: grid_index as u64,
+            replication_index: replication_index as u64,
+        }
+    }
+}
+
+/// Fingerprint a config tree: the stable hash of its canonical (compact) JSON.
+pub fn fingerprint_value(config: &Value) -> String {
+    let json = serde_json::to_string(config).expect("value serialization is infallible");
+    stable_hash_hex(&json)
+}
+
+/// How one unit's execution interacted with the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// No cache configured, or the unit carries no key.
+    Uncached,
+    /// Served from a verified cache entry; the unit closure never ran.
+    Hit,
+    /// No entry existed; the unit ran and its result was stored.
+    Miss,
+    /// An entry existed but failed verification (truncated, bit-flipped, stale
+    /// shape); it was evicted, the unit re-ran, and the result was re-stored.
+    Recomputed,
+}
+
+/// Per-scenario cache accounting, reported in the batch manifest (schema v2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounts {
+    /// Units served from verified cache entries.
+    pub hits: u64,
+    /// Units computed because no entry existed.
+    pub misses: u64,
+    /// Units recomputed after evicting a corrupt or stale entry.
+    pub recomputed: u64,
+}
+
+impl CacheCounts {
+    /// Fold one unit's event into the counts (uncached units are not counted).
+    pub fn record(&mut self, event: CacheEvent) {
+        match event {
+            CacheEvent::Uncached => {}
+            CacheEvent::Hit => self.hits += 1,
+            CacheEvent::Miss => self.misses += 1,
+            CacheEvent::Recomputed => self.recomputed += 1,
+        }
+    }
+}
+
+/// Result of a cache lookup.
+pub enum CacheLookup {
+    /// Entry verified; here is its payload.
+    Hit(Value),
+    /// No entry on disk.
+    Miss,
+    /// Entry failed verification and was evicted.
+    Corrupt,
+}
+
+/// A handle to an open cache directory.
+#[derive(Debug)]
+pub struct UnitCache {
+    units: PathBuf,
+}
+
+/// Distinguishes temp files from concurrent stores in the same process.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl UnitCache {
+    /// Open (creating if absent) the cache at `root`.
+    ///
+    /// Fails fast — with the offending path in the message — when the directory
+    /// cannot be created or written, or when it carries a different cache format
+    /// version (run `pim-tradeoffs cache clear` to discard it).
+    pub fn open(root: &Path) -> Result<UnitCache, String> {
+        let units = root.join(UNITS_DIR);
+        ensure_writable_dir(&units)?;
+        let format_path = root.join(FORMAT_FILE);
+        let marker = format!(
+            "{{\"format\": \"pim-unit-cache\", \"cache_schema\": {CACHE_SCHEMA_VERSION}}}\n"
+        );
+        match std::fs::read_to_string(&format_path) {
+            Ok(existing) => {
+                if existing != marker {
+                    return Err(format!(
+                        "cache directory {} was written by an incompatible version \
+                         (found {}, expected {}); run `pim-tradeoffs cache clear {}` to reset it",
+                        root.display(),
+                        existing.trim(),
+                        marker.trim(),
+                        root.display()
+                    ));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Temp-file + rename, like entry publication: a concurrent opener
+                // must see either no marker or the complete one, never a torn write
+                // it would misread as an incompatible version.
+                let tmp = root.join(format!(
+                    ".{FORMAT_FILE}.tmp-{}-{}",
+                    std::process::id(),
+                    TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::write(&tmp, &marker)
+                    .map_err(|e| io_err("write cache format marker", &tmp, &e))?;
+                std::fs::rename(&tmp, &format_path).map_err(|e| {
+                    let _ = std::fs::remove_file(&tmp);
+                    io_err("publish cache format marker", &format_path, &e)
+                })?;
+            }
+            Err(e) => return Err(io_err("read cache format marker", &format_path, &e)),
+        }
+        Ok(UnitCache { units })
+    }
+
+    fn entry_path(&self, key: &UnitKey) -> PathBuf {
+        self.units.join(format!("{}.json", key.digest()))
+    }
+
+    /// Look up `key`, verifying schema, key echo and checksum. Corrupt entries are
+    /// evicted so the caller's recomputation replaces them.
+    pub fn load(&self, key: &UnitKey) -> CacheLookup {
+        let path = self.entry_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheLookup::Miss,
+            // An unreadable entry is indistinguishable from a corrupt one.
+            Err(_) => {
+                self.evict(key);
+                return CacheLookup::Corrupt;
+            }
+        };
+        match verify_entry(&text, Some(key)) {
+            Some(payload) => CacheLookup::Hit(payload),
+            None => {
+                self.evict(key);
+                CacheLookup::Corrupt
+            }
+        }
+    }
+
+    /// Store `payload` under `key` via write-temp-then-rename, so readers (threads
+    /// or other processes) never observe a torn entry.
+    ///
+    /// Payloads containing non-finite floats are **not stored** (the JSON rendering
+    /// would turn `NaN`/`±∞` into `null` and a warm run would decode a different
+    /// value than the cold run computed — the one way a checksummed entry could
+    /// still poison byte-identity). Such units simply stay uncached and recompute
+    /// every run.
+    pub fn store(&self, key: &UnitKey, payload: &Value) -> Result<(), String> {
+        if !json_round_trips(payload) {
+            return Ok(());
+        }
+        let entry = Value::Map(vec![
+            (
+                "cache_schema".into(),
+                Value::U64(u64::from(CACHE_SCHEMA_VERSION)),
+            ),
+            ("key".into(), key.to_value()),
+            ("checksum".into(), Value::Str(payload_checksum(payload))),
+            ("payload".into(), payload.clone()),
+        ]);
+        let mut json = serde_json::to_string(&entry).expect("entry serialization is infallible");
+        json.push('\n');
+        let path = self.entry_path(key);
+        let tmp = self.units.join(format!(
+            ".{}.tmp-{}-{}",
+            key.digest(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &json).map_err(|e| io_err("write cache entry", &tmp, &e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            io_err("publish cache entry", &path, &e)
+        })
+    }
+
+    /// Remove `key`'s entry, ignoring a concurrent removal.
+    pub fn evict(&self, key: &UnitKey) {
+        let _ = std::fs::remove_file(self.entry_path(key));
+    }
+}
+
+/// True when `value` survives a JSON round trip losslessly. The vendored writer
+/// renders non-finite floats as `null`, so a payload containing one must never be
+/// persisted (see [`UnitCache::store`]).
+fn json_round_trips(value: &Value) -> bool {
+    match value {
+        Value::F64(x) => x.is_finite(),
+        Value::Seq(items) => items.iter().all(json_round_trips),
+        Value::Map(entries) => entries.iter().all(|(_, v)| json_round_trips(v)),
+        _ => true,
+    }
+}
+
+/// Checksum a payload: the stable hash of its canonical compact JSON.
+fn payload_checksum(payload: &Value) -> String {
+    stable_hash_hex(&serde_json::to_string(payload).expect("payload serialization is infallible"))
+}
+
+/// Parse and verify one entry document. `expect_key` additionally requires the
+/// embedded key to match (digest collisions and misfiled entries read as corrupt).
+/// Returns the payload on success.
+fn verify_entry(text: &str, expect_key: Option<&UnitKey>) -> Option<Value> {
+    let doc = serde_json::value_from_str(text).ok()?;
+    let schema = doc.get("cache_schema")?.as_f64()?;
+    if schema != f64::from(CACHE_SCHEMA_VERSION) {
+        return None;
+    }
+    let embedded = UnitKey::from_value(doc.get("key")?).ok()?;
+    if let Some(key) = expect_key {
+        if &embedded != key {
+            return None;
+        }
+    }
+    let checksum = match doc.get("checksum")? {
+        Value::Str(s) => s.clone(),
+        _ => return None,
+    };
+    let payload = doc.get("payload")?;
+    if payload_checksum(payload) != checksum {
+        return None;
+    }
+    Some(payload.clone())
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance: stats, gc, clear (the `pim-tradeoffs cache` subcommand)
+// ---------------------------------------------------------------------------
+
+/// Aggregate statistics of a cache directory.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct CacheStats {
+    /// Number of entry files.
+    pub entries: u64,
+    /// Total bytes across entry files.
+    pub bytes: u64,
+    /// Entries per scenario name (parsed from each entry's embedded key; entries
+    /// whose key cannot be parsed are counted under `"<unreadable>"`).
+    pub per_scenario: Vec<(String, u64)>,
+}
+
+/// Outcome of a [`cache_gc`] pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GcOutcome {
+    /// Entries scanned.
+    pub scanned: u64,
+    /// Corrupt entries, stale-schema entries and orphaned temp files removed.
+    pub removed_invalid: u64,
+    /// Valid entries removed (oldest first) to respect the size budget.
+    pub removed_for_size: u64,
+    /// Total entry bytes after the pass.
+    pub bytes_after: u64,
+}
+
+/// The classified contents of a cache's `units/` directory: real entry files plus
+/// any `.tmp-*` leftovers from stores interrupted mid-write (crash, SIGKILL).
+struct UnitsListing {
+    entries: Vec<(PathBuf, u64, std::time::SystemTime)>,
+    tmp_leftovers: Vec<PathBuf>,
+}
+
+fn list_units(root: &Path) -> Result<UnitsListing, String> {
+    // A nonexistent root is a caller error (most likely a mistyped path), not an
+    // empty cache: report it instead of silently claiming zero entries.
+    std::fs::metadata(root).map_err(|e| io_err("access cache directory", root, &e))?;
+    let units = root.join(UNITS_DIR);
+    let mut listing = UnitsListing {
+        entries: Vec::new(),
+        tmp_leftovers: Vec::new(),
+    };
+    let dir = match std::fs::read_dir(&units) {
+        Ok(dir) => dir,
+        // Root exists but was never opened as a cache (or was cleared): empty.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(listing),
+        Err(e) => return Err(io_err("read cache directory", &units, &e)),
+    };
+    for entry in dir {
+        let entry = entry.map_err(|e| io_err("read cache directory", &units, &e))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if name.to_string_lossy().contains(".tmp-") {
+            listing.tmp_leftovers.push(path);
+        } else if path.extension().is_some_and(|e| e == "json") {
+            let meta =
+                std::fs::metadata(&path).map_err(|e| io_err("stat cache entry", &path, &e))?;
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            listing.entries.push((path, meta.len(), mtime));
+        }
+    }
+    // Stable order for deterministic reporting.
+    listing.entries.sort();
+    listing.tmp_leftovers.sort();
+    Ok(listing)
+}
+
+/// Summarize the cache at `root`.
+pub fn cache_stats(root: &Path) -> Result<CacheStats, String> {
+    let mut stats = CacheStats::default();
+    let mut per: Vec<(String, u64)> = Vec::new();
+    for (path, len, _) in list_units(root)?.entries {
+        stats.entries += 1;
+        stats.bytes += len;
+        let scenario = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| {
+                let doc = serde_json::value_from_str(&text).ok()?;
+                UnitKey::from_value(doc.get("key")?).ok()
+            })
+            .map(|k| k.scenario)
+            .unwrap_or_else(|| "<unreadable>".to_string());
+        match per.iter_mut().find(|(name, _)| *name == scenario) {
+            Some((_, n)) => *n += 1,
+            None => per.push((scenario, 1)),
+        }
+    }
+    per.sort();
+    stats.per_scenario = per;
+    Ok(stats)
+}
+
+/// Remove every entry, stray temp file and the format marker under `root`,
+/// keeping the directory itself.
+pub fn cache_clear(root: &Path) -> Result<u64, String> {
+    let listing = list_units(root)?;
+    let mut removed = 0;
+    for (path, _, _) in listing.entries {
+        std::fs::remove_file(&path).map_err(|e| io_err("remove cache entry", &path, &e))?;
+        removed += 1;
+    }
+    for path in listing.tmp_leftovers {
+        std::fs::remove_file(&path).map_err(|e| io_err("remove cache temp file", &path, &e))?;
+        removed += 1;
+    }
+    let marker = root.join(FORMAT_FILE);
+    if marker.exists() {
+        std::fs::remove_file(&marker).map_err(|e| io_err("remove cache marker", &marker, &e))?;
+    }
+    Ok(removed)
+}
+
+/// Garbage-collect `root`: drop corrupt and stale-schema entries plus any temp
+/// files orphaned by interrupted stores, then — when `max_bytes` is set — drop the
+/// oldest valid entries until the total fits.
+pub fn cache_gc(root: &Path, max_bytes: Option<u64>) -> Result<GcOutcome, String> {
+    let mut outcome = GcOutcome::default();
+    let listing = list_units(root)?;
+    for path in listing.tmp_leftovers {
+        std::fs::remove_file(&path).map_err(|e| io_err("remove cache temp file", &path, &e))?;
+        outcome.removed_invalid += 1;
+    }
+    let mut valid: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+    for (path, len, mtime) in listing.entries {
+        outcome.scanned += 1;
+        let ok = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| verify_entry(&text, None))
+            .is_some();
+        if ok {
+            valid.push((path, len, mtime));
+        } else {
+            std::fs::remove_file(&path).map_err(|e| io_err("remove cache entry", &path, &e))?;
+            outcome.removed_invalid += 1;
+        }
+    }
+    let mut total: u64 = valid.iter().map(|(_, len, _)| *len).sum();
+    if let Some(budget) = max_bytes {
+        // Oldest first; ties broken by path for determinism.
+        valid.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut doomed = 0;
+        while total > budget && doomed < valid.len() {
+            let (path, len, _) = &valid[doomed];
+            std::fs::remove_file(path).map_err(|e| io_err("remove cache entry", path, &e))?;
+            total -= len;
+            outcome.removed_for_size += 1;
+            doomed += 1;
+        }
+    }
+    outcome.bytes_after = total;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pim-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn demo_key(grid: usize) -> UnitKey {
+        UnitKeyer::new("demo", &Value::Map(vec![]), 7).key(grid, 0)
+    }
+
+    #[test]
+    fn store_load_round_trips_and_counts() {
+        let root = tmp_root("roundtrip");
+        let cache = UnitCache::open(&root).unwrap();
+        let key = demo_key(0);
+        assert!(matches!(cache.load(&key), CacheLookup::Miss));
+        let payload = Value::Seq(vec![Value::F64(1.5), Value::U64(2)]);
+        cache.store(&key, &payload).unwrap();
+        match cache.load(&key) {
+            CacheLookup::Hit(back) => assert_eq!(back, payload),
+            _ => panic!("expected hit"),
+        }
+        let stats = cache_stats(&root).unwrap();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.per_scenario, vec![("demo".to_string(), 1)]);
+        assert!(stats.bytes > 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_and_bitflipped_entries_are_evicted() {
+        let root = tmp_root("corrupt");
+        let cache = UnitCache::open(&root).unwrap();
+        let (ka, kb) = (demo_key(0), demo_key(1));
+        cache.store(&ka, &Value::F64(1.0)).unwrap();
+        cache.store(&kb, &Value::F64(2.0)).unwrap();
+
+        // Truncate one entry, flip a payload byte in the other.
+        let pa = cache.entry_path(&ka);
+        let text = std::fs::read_to_string(&pa).unwrap();
+        std::fs::write(&pa, &text[..text.len() / 2]).unwrap();
+        let pb = cache.entry_path(&kb);
+        let flipped = std::fs::read_to_string(&pb).unwrap().replace("2.0", "3.0");
+        std::fs::write(&pb, flipped).unwrap();
+
+        assert!(matches!(cache.load(&ka), CacheLookup::Corrupt));
+        assert!(matches!(cache.load(&kb), CacheLookup::Corrupt));
+        // Both corrupt entries were evicted: the next lookups are clean misses.
+        assert!(matches!(cache.load(&ka), CacheLookup::Miss));
+        assert!(matches!(cache.load(&kb), CacheLookup::Miss));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn misfiled_entry_with_wrong_key_reads_as_corrupt() {
+        let root = tmp_root("misfiled");
+        let cache = UnitCache::open(&root).unwrap();
+        let (ka, kb) = (demo_key(0), demo_key(1));
+        cache.store(&ka, &Value::F64(1.0)).unwrap();
+        // Copy a's entry into b's slot: intact checksum, wrong key echo.
+        std::fs::copy(cache.entry_path(&ka), cache.entry_path(&kb)).unwrap();
+        assert!(matches!(cache.load(&kb), CacheLookup::Corrupt));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn gc_drops_invalid_entries_and_respects_budget() {
+        let root = tmp_root("gc");
+        let cache = UnitCache::open(&root).unwrap();
+        for i in 0..4 {
+            cache.store(&demo_key(i), &Value::U64(i as u64)).unwrap();
+        }
+        // Corrupt one entry outright.
+        std::fs::write(cache.entry_path(&demo_key(0)), "garbage").unwrap();
+        let out = cache_gc(&root, None).unwrap();
+        assert_eq!(out.scanned, 4);
+        assert_eq!(out.removed_invalid, 1);
+        assert_eq!(out.removed_for_size, 0);
+
+        // A zero budget evicts every remaining (valid) entry.
+        let out = cache_gc(&root, Some(0)).unwrap();
+        assert_eq!(out.removed_for_size, 3);
+        assert_eq!(out.bytes_after, 0);
+        assert_eq!(cache_stats(&root).unwrap().entries, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn non_finite_payloads_are_never_stored() {
+        // The JSON rendering would turn NaN/∞ into null, so a warm run would decode
+        // a different value than the cold run computed — such payloads must stay
+        // uncached rather than silently mutate.
+        let root = tmp_root("nonfinite");
+        let cache = UnitCache::open(&root).unwrap();
+        for (grid, payload) in [
+            (0, Value::F64(f64::NAN)),
+            (1, Value::Seq(vec![Value::F64(f64::INFINITY)])),
+            (
+                2,
+                Value::Map(vec![("x".into(), Value::F64(f64::NEG_INFINITY))]),
+            ),
+        ] {
+            let key = demo_key(grid);
+            cache.store(&key, &payload).unwrap();
+            assert!(
+                matches!(cache.load(&key), CacheLookup::Miss),
+                "non-finite payload was persisted"
+            );
+        }
+        assert_eq!(cache_stats(&root).unwrap().entries, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn orphaned_temp_files_are_swept_by_gc_and_clear() {
+        let root = tmp_root("tmpfiles");
+        let cache = UnitCache::open(&root).unwrap();
+        cache.store(&demo_key(0), &Value::U64(1)).unwrap();
+        // Simulate a store killed between write and rename.
+        let orphan = root.join("units").join(".deadbeef.tmp-123-0");
+        std::fs::write(&orphan, "partial entry").unwrap();
+
+        // Stats sees only real entries; gc removes the orphan.
+        assert_eq!(cache_stats(&root).unwrap().entries, 1);
+        let out = cache_gc(&root, None).unwrap();
+        assert_eq!(out.removed_invalid, 1);
+        assert!(!orphan.exists());
+
+        // clear sweeps orphans too.
+        std::fs::write(&orphan, "partial entry").unwrap();
+        assert_eq!(cache_clear(&root).unwrap(), 2);
+        assert!(!orphan.exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn maintenance_on_a_nonexistent_directory_is_an_error() {
+        let root = tmp_root("missing");
+        for result in [
+            cache_stats(&root).map(|_| ()),
+            cache_gc(&root, None).map(|_| ()),
+            cache_clear(&root).map(|_| ()),
+        ] {
+            let err = result.unwrap_err();
+            assert!(err.contains("cannot access cache directory"), "{err}");
+            assert!(err.contains("missing"), "{err}");
+        }
+    }
+
+    #[test]
+    fn clear_then_reopen_works() {
+        let root = tmp_root("clear");
+        let cache = UnitCache::open(&root).unwrap();
+        cache.store(&demo_key(0), &Value::Null).unwrap();
+        assert_eq!(cache_clear(&root).unwrap(), 1);
+        // Marker is gone too, so reopen re-initializes the format.
+        let cache = UnitCache::open(&root).unwrap();
+        assert!(matches!(cache.load(&demo_key(0)), CacheLookup::Miss));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn incompatible_format_marker_is_rejected_with_guidance() {
+        let root = tmp_root("format");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(
+            root.join(FORMAT_FILE),
+            "{\"format\": \"pim-unit-cache\", \"cache_schema\": 1}\n",
+        )
+        .unwrap();
+        let err = UnitCache::open(&root).unwrap_err();
+        assert!(err.contains("incompatible"), "{err}");
+        assert!(err.contains("cache clear"), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unwritable_dir_fails_fast_with_path_and_operation() {
+        let root = tmp_root("unwritable");
+        std::fs::create_dir_all(&root).unwrap();
+        // A regular file where a directory must go: create_dir_all fails even for
+        // root-privileged test runners (where permission bits would not).
+        let file = root.join("blocker");
+        std::fs::write(&file, "x").unwrap();
+        let err = UnitCache::open(&file.join("cache")).unwrap_err();
+        assert!(err.contains("cannot create directory"), "{err}");
+        assert!(err.contains("blocker"), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn digest_distinguishes_every_field() {
+        let base = demo_key(0);
+        let mut other = base.clone();
+        other.seed += 1;
+        assert_ne!(base.digest(), other.digest());
+        let mut other = base.clone();
+        other.replication_index += 1;
+        assert_ne!(base.digest(), other.digest());
+        let mut other = base.clone();
+        other.scenario.push('x');
+        assert_ne!(base.digest(), other.digest());
+        let mut other = base.clone();
+        other.fingerprint = fingerprint_value(&Value::U64(1));
+        assert_ne!(base.digest(), other.digest());
+        assert_eq!(base.digest(), demo_key(0).digest());
+    }
+}

@@ -11,9 +11,17 @@
 //! plan's assembly step in unit order, and every unit derives its randomness from
 //! plan-time values (scenario seed + grid index) — so reports are byte-identical for
 //! any `jobs` value, including `1`.
+//!
+//! Incremental execution: [`run_plans_cached`] additionally consults a persistent
+//! [`UnitCache`] *before* a worker runs a claimed unit and writes the result back on
+//! completion. Because a unit's cache key is derived entirely from plan-time values
+//! and entry publication is an atomic rename, hit/miss behaviour is independent of
+//! claim order and worker count — a warm batch produces byte-identical artifacts at
+//! any `--jobs`, only faster.
 
+use crate::cache::{CacheCounts, CacheEvent, CacheLookup, UnitCache};
 use crate::report::ScenarioReport;
-use crate::scenario::{ScenarioPlan, UnitOutput};
+use crate::scenario::{PlanUnit, ScenarioPlan, UnitOutput};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -26,6 +34,14 @@ pub fn resolve_jobs(jobs: usize) -> usize {
     }
 }
 
+/// A plan's report plus its cache accounting (all-zero when uncached).
+pub struct PlanOutcome {
+    /// The assembled scenario report.
+    pub report: ScenarioReport,
+    /// How the plan's units interacted with the unit cache.
+    pub cache: CacheCounts,
+}
+
 /// Execute one plan across up to `jobs` workers (`0` = one per core).
 pub fn run_plan(plan: ScenarioPlan<'_>, jobs: usize) -> ScenarioReport {
     run_plans(vec![plan], jobs)
@@ -34,8 +50,27 @@ pub fn run_plan(plan: ScenarioPlan<'_>, jobs: usize) -> ScenarioReport {
 }
 
 /// Execute every plan's units on a shared work-stealing pool and assemble one report
-/// per plan, in input order.
+/// per plan, in input order. No cache is consulted.
 pub fn run_plans(plans: Vec<ScenarioPlan<'_>>, jobs: usize) -> Vec<ScenarioReport> {
+    run_plans_cached(plans, jobs, None)
+        .expect("uncached execution performs no fallible cache I/O")
+        .into_iter()
+        .map(|outcome| outcome.report)
+        .collect()
+}
+
+/// [`run_plans`] with an optional unit-result cache: workers consult `cache` before
+/// running a claimed unit and store results back on completion. Returns one
+/// [`PlanOutcome`] per plan, in input order.
+///
+/// Cache *reads* never fail the batch (a corrupt entry is evicted and recomputed);
+/// cache *writes* do — an unwritable cache directory mid-run is an environment
+/// error the user must see, not a silent performance cliff.
+pub fn run_plans_cached(
+    plans: Vec<ScenarioPlan<'_>>,
+    jobs: usize,
+    cache: Option<&UnitCache>,
+) -> Result<Vec<PlanOutcome>, String> {
     let mut assembles = Vec::with_capacity(plans.len());
     let mut tasks = Vec::new();
     let mut spans = Vec::with_capacity(plans.len());
@@ -47,41 +82,87 @@ pub fn run_plans(plans: Vec<ScenarioPlan<'_>>, jobs: usize) -> Vec<ScenarioRepor
         assembles.push(assemble);
     }
 
-    let outputs = execute_units(tasks, jobs);
+    let executed = execute_units(tasks, jobs, cache)?;
 
-    let mut outputs: Vec<Option<UnitOutput>> = outputs.into_iter().map(Some).collect();
-    assembles
+    let mut executed: Vec<Option<(UnitOutput, CacheEvent)>> =
+        executed.into_iter().map(Some).collect();
+    Ok(assembles
         .into_iter()
         .zip(spans)
         .map(|(assemble, span)| {
-            let plan_outputs: Vec<UnitOutput> = outputs[span]
+            let mut counts = CacheCounts::default();
+            let plan_outputs: Vec<UnitOutput> = executed[span]
                 .iter_mut()
-                .map(|slot| slot.take().expect("each unit output consumed once"))
+                .map(|slot| {
+                    let (output, event) = slot.take().expect("each unit output consumed once");
+                    counts.record(event);
+                    output
+                })
                 .collect();
-            assemble(plan_outputs)
+            PlanOutcome {
+                report: assemble(plan_outputs),
+                cache: counts,
+            }
         })
-        .collect()
+        .collect())
 }
 
-/// Run the flattened unit list, returning outputs by unit index.
-#[allow(clippy::type_complexity)]
+/// Run one claimed unit, consulting the cache when both a cache and a unit key are
+/// present. Returns the output, the cache event, and any store error.
+fn run_unit(
+    unit: PlanUnit<'_>,
+    cache: Option<&UnitCache>,
+) -> (UnitOutput, CacheEvent, Option<String>) {
+    let (Some(cache), Some((key, codec))) = (cache, unit.cache) else {
+        return ((unit.run)(), CacheEvent::Uncached, None);
+    };
+    let mut event = CacheEvent::Miss;
+    match cache.load(&key) {
+        CacheLookup::Hit(payload) => match (codec.decode)(&payload) {
+            Some(output) => return (output, CacheEvent::Hit, None),
+            None => {
+                // Checksum-intact but shape-incompatible payload (e.g. a unit output
+                // type changed without a schema bump): evict and recompute.
+                cache.evict(&key);
+                event = CacheEvent::Recomputed;
+            }
+        },
+        CacheLookup::Corrupt => event = CacheEvent::Recomputed,
+        CacheLookup::Miss => {}
+    }
+    let output = (unit.run)();
+    let store_err = cache.store(&key, &(codec.encode)(&*output)).err();
+    (output, event, store_err)
+}
+
+/// Run the flattened unit list, returning (output, cache event) by unit index.
 fn execute_units(
-    tasks: Vec<Box<dyn FnOnce() -> UnitOutput + Send + '_>>,
+    tasks: Vec<PlanUnit<'_>>,
     jobs: usize,
-) -> Vec<UnitOutput> {
+    cache: Option<&UnitCache>,
+) -> Result<Vec<(UnitOutput, CacheEvent)>, String> {
     let total = tasks.len();
     // Same jobs-resolution rules as every other work-stealing layer. The claim loop
     // below is not `work_steal_map` itself only because plan units are `FnOnce`
     // (consumed on execution), which that Fn-based API cannot express.
     let jobs = desim::par::resolve_threads(jobs, total);
     if jobs <= 1 || total <= 1 {
-        return tasks.into_iter().map(|task| task()).collect();
+        let mut out = Vec::with_capacity(total);
+        for unit in tasks {
+            let (output, event, store_err) = run_unit(unit, cache);
+            if let Some(err) = store_err {
+                return Err(err);
+            }
+            out.push((output, event));
+        }
+        return Ok(out);
     }
 
     let next = AtomicUsize::new(0);
-    let tasks: Mutex<Vec<Option<Box<dyn FnOnce() -> UnitOutput + Send + '_>>>> =
-        Mutex::new(tasks.into_iter().map(Some).collect());
-    let slots: Mutex<Vec<Option<UnitOutput>>> = Mutex::new((0..total).map(|_| None).collect());
+    let tasks: Mutex<Vec<Option<PlanUnit<'_>>>> = Mutex::new(tasks.into_iter().map(Some).collect());
+    let slots: Mutex<Vec<Option<(UnitOutput, CacheEvent)>>> =
+        Mutex::new((0..total).map(|_| None).collect());
+    let store_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
@@ -89,31 +170,72 @@ fn execute_units(
                 if i >= total {
                     break;
                 }
-                let task = tasks.lock().expect("no worker panicked")[i]
+                let unit = tasks.lock().expect("no worker panicked")[i]
                     .take()
                     .expect("each unit claimed once");
-                let output = task();
-                slots.lock().expect("no worker panicked")[i] = Some(output);
+                let (output, event, store_err) = run_unit(unit, cache);
+                if let Some(err) = store_err {
+                    store_errors.lock().expect("no worker panicked").push(err);
+                    // The batch is already doomed (its outputs will be discarded):
+                    // exhaust the claim counter so no worker pays for more units.
+                    next.store(total, Ordering::Relaxed);
+                }
+                slots.lock().expect("no worker panicked")[i] = Some((output, event));
             });
         }
     });
-    slots
+    if let Some(err) = store_errors
+        .into_inner()
+        .expect("no worker panicked")
+        .into_iter()
+        .next()
+    {
+        return Err(err);
+    }
+    Ok(slots
         .into_inner()
         .expect("no worker panicked")
         .into_iter()
         .map(|slot| slot.expect("every unit ran"))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::UnitKeyer;
     use crate::report::ScenarioReport;
     use serde::Value;
+    use std::sync::atomic::AtomicUsize;
 
     fn plan_squaring<'s>(name: &'s str, n: usize) -> ScenarioPlan<'s> {
         let units: Vec<_> = (0..n).map(|i| move || i * i).collect();
         ScenarioPlan::map_reduce(units, move |squares: Vec<usize>| {
+            let mut report = ScenarioReport::new(name, "squares", 0, Value::Map(vec![]));
+            for (i, sq) in squares.iter().enumerate() {
+                report = report.with_metric(&format!("sq{i}"), *sq as f64);
+            }
+            report
+        })
+    }
+
+    /// Like `plan_squaring` but cacheable: every unit carries a key, and executions
+    /// are counted so tests can prove which units actually ran.
+    fn plan_squaring_cached<'s>(
+        name: &'s str,
+        n: usize,
+        runs: &'s AtomicUsize,
+    ) -> ScenarioPlan<'s> {
+        let keyer = UnitKeyer::new(name, &Value::Map(vec![]), 1);
+        let units: Vec<_> = (0..n)
+            .map(|i| {
+                (keyer.key(i, 0), move || {
+                    runs.fetch_add(1, Ordering::Relaxed);
+                    i * i
+                })
+            })
+            .collect();
+        ScenarioPlan::cached_map_reduce(units, move |squares: Vec<usize>| {
             let mut report = ScenarioReport::new(name, "squares", 0, Value::Map(vec![]));
             for (i, sq) in squares.iter().enumerate() {
                 report = report.with_metric(&format!("sq{i}"), *sq as f64);
@@ -152,6 +274,7 @@ mod tests {
             ScenarioReport::new("one", "single unit", 7, Value::Map(vec![])).with_metric("x", 1.0)
         });
         assert_eq!(plan.unit_count(), 1);
+        assert_eq!(plan.cacheable_unit_count(), 0);
         let report = run_plan(plan, 8);
         assert_eq!(report.scenario, "one");
         assert_eq!(report.metric("x"), Some(1.0));
@@ -161,5 +284,95 @@ mod tests {
     fn resolve_jobs_maps_zero_to_available_parallelism() {
         assert_eq!(resolve_jobs(0), desim::par::available_threads());
         assert_eq!(resolve_jobs(3), 3);
+    }
+
+    #[test]
+    fn warm_plan_is_served_from_cache_without_running_units() {
+        let root = std::env::temp_dir().join(format!("pim-exec-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = UnitCache::open(&root).unwrap();
+        let runs = AtomicUsize::new(0);
+
+        let cold = run_plans_cached(vec![plan_squaring_cached("sq", 20, &runs)], 4, Some(&cache))
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(runs.load(Ordering::Relaxed), 20);
+        assert_eq!(
+            cold.cache,
+            CacheCounts {
+                hits: 0,
+                misses: 20,
+                recomputed: 0
+            }
+        );
+
+        // Warm: every unit hits, no closure runs, report is identical — at a
+        // different job count, so hit behaviour is claim-order independent.
+        for jobs in [1, 8] {
+            let warm = run_plans_cached(
+                vec![plan_squaring_cached("sq", 20, &runs)],
+                jobs,
+                Some(&cache),
+            )
+            .unwrap()
+            .pop()
+            .unwrap();
+            assert_eq!(
+                runs.load(Ordering::Relaxed),
+                20,
+                "jobs={jobs}: units re-ran"
+            );
+            assert_eq!(
+                warm.cache,
+                CacheCounts {
+                    hits: 20,
+                    misses: 0,
+                    recomputed: 0
+                }
+            );
+            assert_eq!(warm.report.to_json(), cold.report.to_json(), "jobs={jobs}");
+        }
+
+        // Without the cache handle the same plan runs everything again.
+        let uncached = run_plans_cached(vec![plan_squaring_cached("sq", 20, &runs)], 2, None)
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(runs.load(Ordering::Relaxed), 40);
+        assert_eq!(uncached.cache, CacheCounts::default());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn changed_key_fields_miss_instead_of_hitting() {
+        let root = std::env::temp_dir().join(format!("pim-exec-keys-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = UnitCache::open(&root).unwrap();
+        let runs = AtomicUsize::new(0);
+        fn plan_with_seed(seed: u64, runs: &AtomicUsize) -> ScenarioPlan<'_> {
+            let keyer = UnitKeyer::new("sq", &Value::Map(vec![]), seed);
+            let units: Vec<_> = (0..4usize)
+                .map(|i| {
+                    (keyer.key(i, 0), move || {
+                        runs.fetch_add(1, Ordering::Relaxed);
+                        i
+                    })
+                })
+                .collect();
+            ScenarioPlan::cached_map_reduce(units, |_: Vec<usize>| {
+                ScenarioReport::new("sq", "d", 0, Value::Map(vec![]))
+            })
+        }
+        run_plans_cached(vec![plan_with_seed(1, &runs)], 2, Some(&cache)).unwrap();
+        assert_eq!(runs.load(Ordering::Relaxed), 4);
+        // A different seed addresses different entries: all units run again.
+        let other = run_plans_cached(vec![plan_with_seed(2, &runs)], 2, Some(&cache))
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(runs.load(Ordering::Relaxed), 8);
+        assert_eq!(other.cache.misses, 4);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -33,6 +33,7 @@
 #![deny(unsafe_code)]
 
 pub mod bin_support;
+pub mod cache;
 pub mod exec;
 pub mod golden;
 pub mod measure;
@@ -52,11 +53,17 @@ pub const DEFAULT_SEED: u64 = 0x5C_2004;
 
 /// Convenient glob import for the harness API.
 pub mod prelude {
-    pub use crate::exec::{resolve_jobs, run_plan, run_plans};
+    pub use crate::cache::{
+        cache_clear, cache_gc, cache_stats, CacheCounts, UnitCache, UnitKey, UnitKeyer,
+        CACHE_SCHEMA_VERSION,
+    };
+    pub use crate::exec::{resolve_jobs, run_plan, run_plans, run_plans_cached, PlanOutcome};
     pub use crate::golden::{diff_json, Tolerance};
     pub use crate::measure::{measure_stream, MeasureConfig, MeasuredStats};
     pub use crate::registry::Registry;
-    pub use crate::report::{Metric, ScenarioReport, Table, ARTIFACT_SCHEMA_VERSION};
+    pub use crate::report::{
+        Metric, ScenarioReport, Table, ARTIFACT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION,
+    };
     pub use crate::runner::{run_batch, BatchOptions, BatchOutcome};
     pub use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
     pub use crate::spec::{

@@ -11,6 +11,11 @@ use serde::{Deserialize, Serialize, Value};
 /// changes incompatibly, and re-bless the golden files.
 pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
 
+/// Version of the batch `manifest.json` schema. v2 added the `cache` block
+/// (enabled flag plus per-scenario hit/miss/recomputed counts from the unit-result
+/// cache); per-scenario artifacts remain at [`ARTIFACT_SCHEMA_VERSION`].
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+
 /// A named headline number (e.g. `max_gain`), surfaced in batch summaries and pinned
 /// by the golden files alongside the full tables.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

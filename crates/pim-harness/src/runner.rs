@@ -11,7 +11,14 @@
 //! base seed + name), each unit's stream is derived from that seed plus the unit's
 //! grid index, and outputs are assembled by input position — so the artifacts are
 //! byte-identical whatever the job count or completion order.
+//!
+//! With [`BatchOptions::cache_dir`] set, the batch runs **incrementally**: workers
+//! consult the content-addressed unit-result cache ([`crate::cache`]) before running
+//! each unit and store results back on completion. A warm batch therefore collapses
+//! to assembly plus I/O while producing byte-identical artifacts; the manifest
+//! (schema v2) records per-scenario hit/miss/recomputed counts.
 
+use crate::cache::{ensure_writable_dir, io_err, CacheCounts, UnitCache};
 use crate::registry::Registry;
 use crate::report::ScenarioReport;
 use crate::scenario::SeedPolicy;
@@ -19,7 +26,7 @@ use serde::Value;
 use std::path::{Path, PathBuf};
 
 /// Options for one batch run. The default runs with one worker per core at the
-/// [`SeedPolicy::default`] base seed and writes nothing.
+/// [`SeedPolicy::default`] base seed, writes nothing, and uses no cache.
 #[derive(Debug, Clone, Default)]
 pub struct BatchOptions {
     /// Worker threads; `0` means one per available core.
@@ -29,12 +36,21 @@ pub struct BatchOptions {
     /// When set, each report is written to `<out_dir>/<scenario>.json` plus a
     /// `manifest.json` naming the batch.
     pub out_dir: Option<PathBuf>,
+    /// When set, unit results are served from and stored to the content-addressed
+    /// cache at this directory (created on first use).
+    pub cache_dir: Option<PathBuf>,
 }
 
 /// The result of a batch run.
+#[derive(Debug)]
 pub struct BatchOutcome {
     /// One report per requested scenario, in request order.
     pub reports: Vec<ScenarioReport>,
+    /// Per-scenario cache accounting, aligned with `reports` (all zero when no cache
+    /// directory was configured).
+    pub cache_counts: Vec<CacheCounts>,
+    /// Whether a unit cache was consulted.
+    pub cache_enabled: bool,
     /// Paths written (artifacts then manifest), empty when no `out_dir` was given.
     pub written: Vec<PathBuf>,
 }
@@ -71,12 +87,22 @@ pub fn resolve_names<'r, S: AsRef<str>>(
 /// Every scenario is decomposed into its plan's units, and the flattened unit list
 /// executes across up to `opts.jobs` work-stealing workers; reports come back in the
 /// order of `names` and, when `opts.out_dir` is set, are written as JSON artifacts.
+///
+/// Output and cache directories are probed for writability **before** any unit
+/// runs, so a bad `--out`/`--cache` fails fast instead of erroring mid-batch.
 pub fn run_batch<S: AsRef<str>>(
     registry: &Registry,
     names: &[S],
     opts: &BatchOptions,
 ) -> Result<BatchOutcome, String> {
     let names = resolve_names(registry, names)?;
+    if let Some(dir) = &opts.out_dir {
+        ensure_writable_dir(dir)?;
+    }
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(UnitCache::open(dir)?),
+        None => None,
+    };
     let plans = names
         .iter()
         .map(|name| {
@@ -86,34 +112,55 @@ pub fn run_batch<S: AsRef<str>>(
                 .plan(&opts.seeds)
         })
         .collect();
-    let reports = crate::exec::run_plans(plans, opts.jobs);
+    let outcomes = crate::exec::run_plans_cached(plans, opts.jobs, cache.as_ref())?;
+    let mut reports = Vec::with_capacity(outcomes.len());
+    let mut cache_counts = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        reports.push(outcome.report);
+        cache_counts.push(outcome.cache);
+    }
 
     let written = match &opts.out_dir {
-        Some(dir) => write_artifacts(dir, &opts.seeds, &reports)?,
+        Some(dir) => write_artifacts(dir, &opts.seeds, &reports, cache.is_some(), &cache_counts)?,
         None => Vec::new(),
     };
-    Ok(BatchOutcome { reports, written })
+    Ok(BatchOutcome {
+        reports,
+        cache_counts,
+        cache_enabled: cache.is_some(),
+        written,
+    })
 }
 
-/// Write each report to `<dir>/<scenario>.json` plus a `manifest.json`. All content is
-/// a pure function of the reports, so repeated batches produce byte-identical files.
-pub fn write_artifacts(
-    dir: &Path,
+/// Render the manifest (schema v2) for a batch: batch identity plus the cache
+/// accounting block.
+pub fn manifest_json(
     seeds: &SeedPolicy,
     reports: &[ScenarioReport],
-) -> Result<Vec<PathBuf>, String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-    let mut written = Vec::with_capacity(reports.len() + 1);
-    for report in reports {
-        let path = dir.join(format!("{}.json", report.scenario));
-        std::fs::write(&path, report.to_json())
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-        written.push(path);
-    }
+    cache_enabled: bool,
+    cache_counts: &[CacheCounts],
+) -> String {
+    assert_eq!(
+        reports.len(),
+        cache_counts.len(),
+        "one cache-count record per report"
+    );
+    let per_scenario = reports
+        .iter()
+        .zip(cache_counts)
+        .map(|(r, c)| {
+            Value::Map(vec![
+                ("scenario".into(), Value::Str(r.scenario.clone())),
+                ("hits".into(), Value::U64(c.hits)),
+                ("misses".into(), Value::U64(c.misses)),
+                ("recomputed".into(), Value::U64(c.recomputed)),
+            ])
+        })
+        .collect();
     let manifest = Value::Map(vec![
         (
             "schema_version".into(),
-            Value::U64(u64::from(crate::report::ARTIFACT_SCHEMA_VERSION)),
+            Value::U64(u64::from(crate::report::MANIFEST_SCHEMA_VERSION)),
         ),
         ("base_seed".into(), Value::U64(seeds.base_seed)),
         (
@@ -125,12 +172,44 @@ pub fn write_artifacts(
                     .collect(),
             ),
         ),
+        (
+            "cache".into(),
+            Value::Map(vec![
+                ("enabled".into(), Value::Bool(cache_enabled)),
+                ("per_scenario".into(), Value::Seq(per_scenario)),
+            ]),
+        ),
     ]);
-    let path = dir.join("manifest.json");
     let mut json =
         serde_json::to_string_pretty(&manifest).expect("manifest serialization is infallible");
     json.push('\n');
-    std::fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    json
+}
+
+/// Write each report to `<dir>/<scenario>.json` plus a `manifest.json`. The artifact
+/// files are a pure function of the reports, so repeated batches produce
+/// byte-identical files; the manifest additionally records the batch's cache
+/// accounting (all-miss on a cold cache, all-hit on a warm one).
+pub fn write_artifacts(
+    dir: &Path,
+    seeds: &SeedPolicy,
+    reports: &[ScenarioReport],
+    cache_enabled: bool,
+    cache_counts: &[CacheCounts],
+) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err("create directory", dir, &e))?;
+    let mut written = Vec::with_capacity(reports.len() + 1);
+    for report in reports {
+        let path = dir.join(format!("{}.json", report.scenario));
+        std::fs::write(&path, report.to_json()).map_err(|e| io_err("write artifact", &path, &e))?;
+        written.push(path);
+    }
+    let path = dir.join("manifest.json");
+    std::fs::write(
+        &path,
+        manifest_json(seeds, reports, cache_enabled, cache_counts),
+    )
+    .map_err(|e| io_err("write manifest", &path, &e))?;
     written.push(path);
     Ok(written)
 }
@@ -167,6 +246,8 @@ mod tests {
         let order: Vec<&str> = out.reports.iter().map(|r| r.scenario.as_str()).collect();
         assert_eq!(order, vec!["figure7", "table1", "ablation_nb"]);
         assert!(out.written.is_empty());
+        assert!(!out.cache_enabled);
+        assert_eq!(out.cache_counts, vec![CacheCounts::default(); 3]);
     }
 
     #[test]
@@ -199,6 +280,42 @@ mod tests {
         }
         let manifest = std::fs::read_to_string(a.join("manifest.json")).unwrap();
         assert!(manifest.contains("\"scenarios\""));
+        assert!(manifest.contains("\"cache\""));
+        assert!(manifest.contains("\"schema_version\": 2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_out_dir_fails_before_any_unit_runs() {
+        let r = Registry::builtin();
+        let dir = std::env::temp_dir().join(format!("pim-runner-badout-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("file");
+        std::fs::write(&blocker, "x").unwrap();
+        // `--out` under a regular file can never be created — even for root, so the
+        // test holds in privileged CI containers.
+        let err = run_batch(
+            &r,
+            &["table1"],
+            &BatchOptions {
+                out_dir: Some(blocker.join("sub")),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot create directory"), "{err}");
+        assert!(err.contains("file"), "{err}");
+        // Same contract for the cache directory.
+        let err = run_batch(
+            &r,
+            &["table1"],
+            &BatchOptions {
+                cache_dir: Some(blocker.join("cache")),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot create directory"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

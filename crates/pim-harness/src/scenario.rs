@@ -1,9 +1,10 @@
 //! The [`Scenario`] trait, the unit-of-work decomposition ([`ScenarioPlan`]) and the
 //! deterministic per-scenario seed derivation.
 
+use crate::cache::UnitKey;
 use crate::report::ScenarioReport;
 use crate::DEFAULT_SEED;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::any::Any;
 
 /// Derives each scenario's RNG stream from a single base seed.
@@ -49,6 +50,39 @@ pub type UnitOutput = Box<dyn Any + Send>;
 
 type UnitFn<'s> = Box<dyn FnOnce() -> UnitOutput + Send + 's>;
 type AssembleFn<'s> = Box<dyn FnOnce(Vec<UnitOutput>) -> ScenarioReport + Send + 's>;
+type EncodeFn = Box<dyn Fn(&dyn Any) -> Value + Send>;
+type DecodeFn = Box<dyn Fn(&Value) -> Option<UnitOutput> + Send>;
+
+/// The serde bridge that lets the executor persist one unit's type-erased output and
+/// resurrect it on a later run. Built generically by the `cached_*` plan
+/// constructors; the unit output type stays invisible to the executor.
+pub(crate) struct UnitCodec {
+    /// Serialize a produced output (downcast internally) into a cache payload.
+    pub(crate) encode: EncodeFn,
+    /// Rebuild an output from a verified cache payload; `None` means the payload's
+    /// shape does not match the unit's type (stale entry → recompute).
+    pub(crate) decode: DecodeFn,
+}
+
+impl UnitCodec {
+    fn for_type<U: Serialize + Deserialize + Send + 'static>() -> UnitCodec {
+        UnitCodec {
+            encode: Box::new(|any| {
+                any.downcast_ref::<U>()
+                    .expect("unit output type matches the plan")
+                    .to_value()
+            }),
+            decode: Box::new(|value| U::from_value(value).ok().map(|u| Box::new(u) as UnitOutput)),
+        }
+    }
+}
+
+/// One schedulable unit of work: the closure, plus — for cacheable units — the
+/// content-address identity and serde codec the unit-result cache needs.
+pub(crate) struct PlanUnit<'s> {
+    pub(crate) run: UnitFn<'s>,
+    pub(crate) cache: Option<(UnitKey, UnitCodec)>,
+}
 
 /// A scenario decomposed into independently runnable **units of work** plus an
 /// assembly step.
@@ -62,8 +96,13 @@ type AssembleFn<'s> = Box<dyn FnOnce(Vec<UnitOutput>) -> ScenarioReport + Send +
 ///
 /// `assemble` receives the unit outputs **in unit order**, whatever order they
 /// executed in, which is what keeps artifacts byte-identical across thread counts.
+///
+/// Plans built with [`ScenarioPlan::cached_map_reduce`]/[`ScenarioPlan::cached_single`]
+/// additionally tag every unit with a [`UnitKey`], making its output persistable in
+/// the content-addressed unit cache (see [`crate::cache`]): on a warm batch the
+/// executor serves such units from disk instead of running them.
 pub struct ScenarioPlan<'s> {
-    units: Vec<UnitFn<'s>>,
+    units: Vec<PlanUnit<'s>>,
     assemble: AssembleFn<'s>,
 }
 
@@ -76,11 +115,24 @@ impl<'s> ScenarioPlan<'s> {
         })
     }
 
+    /// [`ScenarioPlan::single`] with a cache identity: the whole-report unit becomes
+    /// persistable in the unit-result cache under `key`.
+    pub fn cached_single(
+        key: UnitKey,
+        run: impl FnOnce() -> ScenarioReport + Send + 's,
+    ) -> ScenarioPlan<'s> {
+        ScenarioPlan::cached_map_reduce(vec![(key, run)], |mut reports: Vec<ScenarioReport>| {
+            reports.pop().expect("single-unit plan produced one output")
+        })
+    }
+
     /// A plan of homogeneous units whose outputs `assemble` folds into the report.
     ///
     /// Each unit is typically one grid point of a parameter sweep. The unit closures
     /// are type-erased internally; `assemble` gets the strongly-typed outputs back in
-    /// unit order.
+    /// unit order. Units built this way carry no cache identity and always execute;
+    /// prefer [`ScenarioPlan::cached_map_reduce`] for deterministic units with
+    /// serializable outputs.
     pub fn map_reduce<U, F, A>(units: Vec<F>, assemble: A) -> ScenarioPlan<'s>
     where
         U: Send + 'static,
@@ -90,19 +142,53 @@ impl<'s> ScenarioPlan<'s> {
         ScenarioPlan {
             units: units
                 .into_iter()
-                .map(|f| -> UnitFn<'s> { Box::new(move || Box::new(f()) as UnitOutput) })
+                .map(|f| PlanUnit {
+                    run: Box::new(move || Box::new(f()) as UnitOutput),
+                    cache: None,
+                })
                 .collect(),
-            assemble: Box::new(move |outputs| {
-                let typed: Vec<U> = outputs
-                    .into_iter()
-                    .map(|o| {
-                        *o.downcast::<U>()
-                            .expect("unit output type matches the plan")
-                    })
-                    .collect();
-                assemble(typed)
-            }),
+            assemble: Self::erase_assemble(assemble),
         }
+    }
+
+    /// [`ScenarioPlan::map_reduce`] where every unit carries a [`UnitKey`] and a
+    /// serializable output, making it eligible for the unit-result cache. The key
+    /// must identify everything the unit's output depends on — build it with
+    /// [`crate::cache::UnitKeyer`] so the scenario config fingerprint, resolved seed
+    /// and grid/replication indices are all folded in.
+    pub fn cached_map_reduce<U, F, A>(units: Vec<(UnitKey, F)>, assemble: A) -> ScenarioPlan<'s>
+    where
+        U: Serialize + Deserialize + Send + 'static,
+        F: FnOnce() -> U + Send + 's,
+        A: FnOnce(Vec<U>) -> ScenarioReport + Send + 's,
+    {
+        ScenarioPlan {
+            units: units
+                .into_iter()
+                .map(|(key, f)| PlanUnit {
+                    run: Box::new(move || Box::new(f()) as UnitOutput),
+                    cache: Some((key, UnitCodec::for_type::<U>())),
+                })
+                .collect(),
+            assemble: Self::erase_assemble(assemble),
+        }
+    }
+
+    fn erase_assemble<U, A>(assemble: A) -> AssembleFn<'s>
+    where
+        U: Send + 'static,
+        A: FnOnce(Vec<U>) -> ScenarioReport + Send + 's,
+    {
+        Box::new(move |outputs| {
+            let typed: Vec<U> = outputs
+                .into_iter()
+                .map(|o| {
+                    *o.downcast::<U>()
+                        .expect("unit output type matches the plan")
+                })
+                .collect();
+            assemble(typed)
+        })
     }
 
     /// Number of units in the plan.
@@ -110,8 +196,13 @@ impl<'s> ScenarioPlan<'s> {
         self.units.len()
     }
 
-    /// Split the plan into its unit closures and assembly step (executor use).
-    pub(crate) fn into_parts(self) -> (Vec<UnitFn<'s>>, AssembleFn<'s>) {
+    /// Number of units carrying a cache identity.
+    pub fn cacheable_unit_count(&self) -> usize {
+        self.units.iter().filter(|u| u.cache.is_some()).count()
+    }
+
+    /// Split the plan into its units and assembly step (executor use).
+    pub(crate) fn into_parts(self) -> (Vec<PlanUnit<'s>>, AssembleFn<'s>) {
         (self.units, self.assemble)
     }
 }

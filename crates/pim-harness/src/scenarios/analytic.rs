@@ -1,5 +1,6 @@
 //! Closed-form scenarios: Figure 7 and the `NB` sensitivity ablation.
 
+use crate::cache::UnitKeyer;
 use crate::report::{ScenarioReport, Table};
 use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
 use pim_analytic::{nb_sensitivity, AnalyticModel, SweepParameter};
@@ -30,7 +31,8 @@ impl Scenario for Figure7 {
 
     fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        ScenarioPlan::single(move || self.compute(seed))
+        let keyer = UnitKeyer::for_scenario(self, seeds);
+        ScenarioPlan::cached_single(keyer.key(0, 0), move || self.compute(seed))
     }
 }
 
@@ -134,7 +136,8 @@ impl Scenario for AblationNb {
 
     fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        ScenarioPlan::single(move || self.compute(seed))
+        let keyer = UnitKeyer::for_scenario(self, seeds);
+        ScenarioPlan::cached_single(keyer.key(0, 0), move || self.compute(seed))
     }
 }
 

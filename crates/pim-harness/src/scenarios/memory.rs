@@ -1,6 +1,7 @@
 //! Memory-technology scenario: the Section 2.1 DRAM bandwidth claims that motivate
 //! PIM, plus trace-calibrated host cache miss rates.
 
+use crate::cache::UnitKeyer;
 use crate::report::{ScenarioReport, Table};
 use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
 use desim::random::RandomStream;
@@ -37,7 +38,8 @@ impl Scenario for BandwidthClaims {
 
     fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        ScenarioPlan::single(move || self.compute(seed))
+        let keyer = UnitKeyer::for_scenario(self, seeds);
+        ScenarioPlan::cached_single(keyer.key(0, 0), move || self.compute(seed))
     }
 }
 

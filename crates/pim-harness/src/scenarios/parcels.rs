@@ -6,6 +6,7 @@
 //! sweeps (via [`pim_parcels::experiment::point_seed`]); the ablations decompose per
 //! grid cell.
 
+use crate::cache::UnitKeyer;
 use crate::report::{ScenarioReport, Table};
 use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
 use pim_parcels::prelude::*;
@@ -40,14 +41,19 @@ impl Scenario for Figure11 {
     fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
         let (name, description, params) = (self.name(), self.description(), self.params());
+        let keyer = UnitKeyer::for_scenario(self, seeds);
         let spec = figure11_spec(seed);
         let units: Vec<_> = spec
             .configs()
             .into_iter()
             .enumerate()
-            .map(|(i, c)| move || evaluate_point(c, point_seed(seed, i)))
+            .map(|(i, c)| {
+                (keyer.key(i, 0), move || {
+                    evaluate_point(c, point_seed(seed, i))
+                })
+            })
             .collect();
-        ScenarioPlan::map_reduce(units, move |points: Vec<LatencyHidingPoint>| {
+        ScenarioPlan::cached_map_reduce(units, move |points: Vec<LatencyHidingPoint>| {
             let best = points.iter().map(|p| p.ops_ratio).fold(0.0, f64::max);
             let worst = points
                 .iter()
@@ -113,14 +119,19 @@ impl Scenario for Figure12 {
     fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
         let (name, description, params) = (self.name(), self.description(), self.params());
+        let keyer = UnitKeyer::for_scenario(self, seeds);
         let spec = figure12_spec(seed);
         let units: Vec<_> = spec
             .configs()
             .into_iter()
             .enumerate()
-            .map(|(i, c)| move || evaluate_idle_point(c, point_seed(seed, i)))
+            .map(|(i, c)| {
+                (keyer.key(i, 0), move || {
+                    evaluate_idle_point(c, point_seed(seed, i))
+                })
+            })
             .collect();
-        ScenarioPlan::map_reduce(units, move |points: Vec<IdleTimePoint>| {
+        ScenarioPlan::cached_map_reduce(units, move |points: Vec<IdleTimePoint>| {
             let max_test_idle_saturated = points
                 .iter()
                 .filter(|p| p.parallelism >= 64)
@@ -196,13 +207,15 @@ impl Scenario for AblationNetwork {
         let (name, description, params) = (self.name(), self.description(), self.params());
         // One unit per (parallelism, latency) cell; each produces the cell's four
         // rows (flat, mesh, torus, flat+msg-driven) in the table's row order.
+        let keyer = UnitKeyer::for_scenario(self, seeds);
         let mut units = Vec::with_capacity(6);
         for &parallelism in &[2usize, 8, 32] {
             for &latency in &[100.0, 1000.0] {
-                units.push(move || network_cell_rows(parallelism, latency, seed));
+                let key = keyer.key(units.len(), 0);
+                units.push((key, move || network_cell_rows(parallelism, latency, seed)));
             }
         }
-        ScenarioPlan::map_reduce(units, move |cells: Vec<Vec<Vec<Value>>>| {
+        ScenarioPlan::cached_map_reduce(units, move |cells: Vec<Vec<Vec<Value>>>| {
             let table = Table {
                 name: name.to_string(),
                 columns: vec![
@@ -316,11 +329,13 @@ impl Scenario for AblationOverhead {
         let seed = seeds.scenario_seed(self.name());
         let (name, description, params) = (self.name(), self.description(), self.params());
         // One unit per (parallelism, latency, overhead) point.
+        let keyer = UnitKeyer::for_scenario(self, seeds);
         let mut units = Vec::with_capacity(3 * 3 * 5);
         for &parallelism in &[1usize, 4, 16] {
             for &latency in &[50.0, 500.0, 5_000.0] {
                 for &overhead in &[0.0, 2.0, 8.0, 32.0, 128.0] {
-                    units.push(move || {
+                    let key = keyer.key(units.len(), 0);
+                    units.push((key, move || {
                         let config = ParcelConfig {
                             nodes: 4,
                             parallelism,
@@ -337,11 +352,11 @@ impl Scenario for AblationOverhead {
                             Value::F64(overhead),
                             Value::F64(point.ops_ratio),
                         ]
-                    });
+                    }));
                 }
             }
         }
-        ScenarioPlan::map_reduce(units, move |rows: Vec<Vec<Value>>| {
+        ScenarioPlan::cached_map_reduce(units, move |rows: Vec<Vec<Value>>| {
             let table = Table {
                 name: name.to_string(),
                 columns: vec![

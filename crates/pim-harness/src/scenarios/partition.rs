@@ -6,6 +6,7 @@
 //! (`pim_core::run_sweep`, `desim::replication::replicate`) would use — the golden
 //! files pin this equivalence.
 
+use crate::cache::UnitKeyer;
 use crate::report::{ScenarioReport, Table};
 use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
 use desim::replication::{replication_seed, ReplicationSummary};
@@ -29,8 +30,10 @@ fn simulated_mode(seed: u64) -> EvalMode {
 
 /// Build a per-point plan for a simulated `(N, %WL)` sweep: one unit per grid point
 /// (seeded exactly as `run_sweep` would via [`point_eval_mode`]), with `finish`
-/// turning the reassembled [`SweepResult`] into the scenario's report.
-fn sweep_plan<'s, F>(seed: u64, spec: SweepSpec, finish: F) -> ScenarioPlan<'s>
+/// turning the reassembled [`SweepResult`] into the scenario's report. Units are
+/// keyed by grid index under `keyer`, so batches with a `--cache` serve unchanged
+/// points from the unit-result cache.
+fn sweep_plan<'s, F>(keyer: UnitKeyer, seed: u64, spec: SweepSpec, finish: F) -> ScenarioPlan<'s>
 where
     F: FnOnce(SweepResult) -> ScenarioReport + Send + 's,
 {
@@ -40,16 +43,16 @@ where
         .into_iter()
         .enumerate()
         .map(|(i, (n, wl))| {
-            move || {
+            (keyer.key(i, 0), move || {
                 PartitionStudy::new(SystemConfig::table1()).evaluate(
                     n,
                     wl,
                     point_eval_mode(mode, i),
                 )
-            }
+            })
         })
         .collect();
-    ScenarioPlan::map_reduce(units, move |points: Vec<TradeoffPoint>| {
+    ScenarioPlan::cached_map_reduce(units, move |points: Vec<TradeoffPoint>| {
         finish(SweepResult { spec, points })
     })
 }
@@ -139,8 +142,9 @@ impl Scenario for Figure5 {
 
     fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
+        let keyer = UnitKeyer::for_scenario(self, seeds);
         let (name, description, params) = (self.name(), self.description(), self.params());
-        sweep_plan(seed, SweepSpec::extended(), move |sweep| {
+        sweep_plan(keyer, seed, SweepSpec::extended(), move |sweep| {
             ScenarioReport::new(name, description, seed, params)
                 .with_metric("max_gain", sweep.max_gain())
                 .with_table(figure5_table(name, &sweep))
@@ -167,8 +171,9 @@ impl Scenario for Figure6 {
 
     fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
+        let keyer = UnitKeyer::for_scenario(self, seeds);
         let (name, description, params) = (self.name(), self.description(), self.params());
-        sweep_plan(seed, SweepSpec::figure5_6(), move |sweep| {
+        sweep_plan(keyer, seed, SweepSpec::figure5_6(), move |sweep| {
             let worst = sweep.point(1, 1.0).map(|p| p.test_ns).unwrap_or(f64::NAN);
             ScenarioReport::new(name, description, seed, params)
                 .with_metric("response_ns_n1_wl100", worst)
@@ -196,7 +201,8 @@ impl Scenario for Table1 {
 
     fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
-        ScenarioPlan::single(move || {
+        let keyer = UnitKeyer::for_scenario(self, seeds);
+        ScenarioPlan::cached_single(keyer.key(0, 0), move || {
             let config = SystemConfig::table1();
             let rows = config
                 .table1_rows()
@@ -236,8 +242,9 @@ impl Scenario for Validation {
 
     fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = seeds.scenario_seed(self.name());
+        let keyer = UnitKeyer::for_scenario(self, seeds);
         let (name, description, params) = (self.name(), self.description(), self.params());
-        sweep_plan(seed, SweepSpec::figure5_6(), move |sweep| {
+        sweep_plan(keyer, seed, SweepSpec::figure5_6(), move |sweep| {
             let report = validation_from_sweep(SystemConfig::table1(), &sweep);
             let rows = report
                 .rows
@@ -314,10 +321,11 @@ impl Scenario for ReplicationCi {
         };
         // One unit per (corner, replication), seeded exactly as `replicated_gain`
         // (i.e. `desim::replication::replicate`) seeds its sequential replications.
+        let keyer = UnitKeyer::for_scenario(self, seeds);
         let mut units = Vec::with_capacity(CI_CORNERS.len() * REPLICATIONS as usize);
-        for &(nodes, wl) in &CI_CORNERS {
+        for (c, &(nodes, wl)) in CI_CORNERS.iter().enumerate() {
             for r in 0..REPLICATIONS {
-                units.push(move || {
+                units.push((keyer.key(c, r as usize), move || {
                     PartitionStudy::new(config)
                         .evaluate(
                             nodes,
@@ -329,10 +337,10 @@ impl Scenario for ReplicationCi {
                             },
                         )
                         .gain
-                });
+                }));
             }
         }
-        ScenarioPlan::map_reduce(units, move |gains: Vec<f64>| {
+        ScenarioPlan::cached_map_reduce(units, move |gains: Vec<f64>| {
             let mut table = Table {
                 name: name.to_string(),
                 columns: vec![
@@ -409,18 +417,19 @@ impl Scenario for AblationImbalance {
         // One unit per (corner, skew). Each row of `imbalance_sensitivity` is an
         // independent run at the same seed, so a single-skew slice reproduces the
         // full-sweep row exactly.
+        let keyer = UnitKeyer::for_scenario(self, seeds);
         let mut units = Vec::with_capacity(IMBALANCE_CORNERS.len() * SKEWS.len());
-        for &(nodes, wl) in &IMBALANCE_CORNERS {
-            for &skew in &SKEWS {
-                units.push(move || {
+        for (c, &(nodes, wl)) in IMBALANCE_CORNERS.iter().enumerate() {
+            for (s, &skew) in SKEWS.iter().enumerate() {
+                units.push((keyer.key(c * SKEWS.len() + s, 0), move || {
                     let row = imbalance_sensitivity(config, nodes, wl, &[skew], seed)
                         .pop()
                         .expect("one skew yields one row");
                     (nodes, wl, row)
-                });
+                }));
             }
         }
-        ScenarioPlan::map_reduce(units, move |rows: Vec<(usize, f64, ImbalanceRow)>| {
+        ScenarioPlan::cached_map_reduce(units, move |rows: Vec<(usize, f64, ImbalanceRow)>| {
             let mut table = Table {
                 name: name.to_string(),
                 columns: vec![

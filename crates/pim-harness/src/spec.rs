@@ -58,6 +58,7 @@
 //! ([`unit_seed`]), never of thread scheduling — artifacts are byte-identical across
 //! `--jobs` settings.
 
+use crate::cache::UnitKeyer;
 use crate::measure::{measure_stream, pattern_label, validate_pattern, MeasureConfig};
 use crate::registry::Registry;
 use crate::report::{ScenarioReport, Table};
@@ -340,6 +341,14 @@ impl ScenarioSpec {
     pub fn into_scenario(self) -> Box<dyn Scenario> {
         let params = self.to_value();
         Box::new(SpecScenario { spec: self, params })
+    }
+
+    /// The spec's cache fingerprint: the stable hash of its canonical JSON
+    /// rendering. Any single-field edit — an axis value, a fraction, the model
+    /// family, the replication count — changes this, which re-addresses every unit
+    /// of the compiled scenario in the unit-result cache.
+    pub fn fingerprint(&self) -> String {
+        crate::cache::fingerprint_value(&self.to_value())
     }
 }
 
@@ -1035,6 +1044,10 @@ impl Scenario for SpecScenario {
     fn plan<'s>(&'s self, seeds: &SeedPolicy) -> ScenarioPlan<'s> {
         let seed = self.scenario_seed(seeds);
         let (name, description, params) = (self.name(), self.description(), self.params());
+        // Keyed on the canonical spec rendering: any single-field edit re-addresses
+        // every unit. The resolved seed (not the batch base seed) goes into the key,
+        // so a fixed-seed spec legitimately shares entries across base seeds.
+        let keyer = UnitKeyer::new(name, &params, seed);
         let selected = self.selected_indices();
         let reps = self.spec.replications;
         match &self.spec.model {
@@ -1048,7 +1061,7 @@ impl Scenario for SpecScenario {
                     let mode = a.mode;
                     for rep in 0..reps {
                         let i = pi * reps + rep;
-                        units.push(move || {
+                        units.push((keyer.key(pi, rep), move || {
                             let eval = match mode {
                                 AnalyticMode::Expected => EvalMode::Expected,
                                 AnalyticMode::Simulated {
@@ -1072,10 +1085,10 @@ impl Scenario for SpecScenario {
                                 Value::F64(p.control_ns),
                                 Value::F64(p.test_ns),
                             ]
-                        });
+                        }));
                     }
                 }
-                ScenarioPlan::map_reduce(units, move |rows: Vec<Vec<Value>>| {
+                ScenarioPlan::cached_map_reduce(units, move |rows: Vec<Vec<Value>>| {
                     assemble_spec_report(
                         name,
                         description,
@@ -1094,7 +1107,7 @@ impl Scenario for SpecScenario {
                 for (pi, config) in configs.into_iter().enumerate() {
                     for rep in 0..reps {
                         let i = pi * reps + rep;
-                        units.push(move || {
+                        units.push((keyer.key(pi, rep), move || {
                             let point = evaluate_point(config, unit_seed(seed, i));
                             vec![
                                 Value::U64(point.nodes as u64),
@@ -1107,10 +1120,10 @@ impl Scenario for SpecScenario {
                                 Value::F64(point.test_idle_fraction),
                                 Value::F64(point.control_idle_fraction),
                             ]
-                        });
+                        }));
                     }
                 }
-                ScenarioPlan::map_reduce(units, move |rows: Vec<Vec<Value>>| {
+                ScenarioPlan::cached_map_reduce(units, move |rows: Vec<Vec<Value>>| {
                     assemble_spec_report(
                         name,
                         description,
@@ -1134,7 +1147,7 @@ impl Scenario for SpecScenario {
                             let i = pi * reps + rep;
                             let config = config.clone();
                             let label = label.clone();
-                            units.push(move || {
+                            units.push((keyer.key(pi, rep), move || {
                                 let s = measure_stream(&config, unit_seed(seed, i));
                                 vec![
                                     Value::Str(label),
@@ -1146,11 +1159,11 @@ impl Scenario for SpecScenario {
                                     Value::F64(s.mean_dram_latency_ns),
                                     Value::F64(s.achieved_gbit_per_s),
                                 ]
-                            });
+                            }));
                         }
                     }
                 }
-                ScenarioPlan::map_reduce(units, move |rows: Vec<Vec<Value>>| {
+                ScenarioPlan::cached_map_reduce(units, move |rows: Vec<Vec<Value>>| {
                     assemble_spec_report(
                         name,
                         description,

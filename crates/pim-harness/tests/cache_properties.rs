@@ -1,0 +1,233 @@
+//! Property suite for the unit-result cache's key derivation (vendored proptest,
+//! pinned seeds — the same deterministic harness as `spec_properties.rs`).
+//!
+//! Three families of properties:
+//!
+//! 1. **Stability & distinctness** — a [`UnitKey`] digest is a pure function of its
+//!    fields; keys differ whenever base seeds, grid indices, replication indices,
+//!    scenario names or fingerprints differ.
+//! 2. **Claim-order independence** — the set of cache entries a batch writes is
+//!    identical at `--jobs 1` and `--jobs 8`: worker count and steal order never
+//!    reach the key derivation or the entry contents.
+//! 3. **Spec sensitivity** — any single-field edit to a scenario spec (an axis
+//!    value, a fraction, the model family, the replication count, the seed mode)
+//!    changes the spec fingerprint, re-addressing every unit; invalid edits are
+//!    rejected at parse time and never reach fingerprinting at all.
+
+use pim_harness::prelude::*;
+use pim_harness::spec::parse_spec;
+use proptest::prelude::*;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn key(scenario: &str, config: &Value, seed: u64, grid: usize, rep: usize) -> UnitKey {
+    UnitKeyer::new(scenario, config, seed).key(grid, rep)
+}
+
+proptest! {
+    /// Same fields, same digest — whatever order keys are minted in.
+    #[test]
+    fn digests_are_pure_functions_of_the_fields(
+        seed in 0u64..1_000_000,
+        grid in 0usize..4_096,
+        rep in 0usize..64,
+    ) {
+        let config = Value::Map(vec![("x".into(), Value::U64(seed))]);
+        let a = key("scenario", &config, seed, grid, rep);
+        // Mint a decoy in between: keyers share no mutable state.
+        let _ = key("other", &Value::Null, seed ^ 1, grid + 1, rep + 1);
+        let b = key("scenario", &config, seed, grid, rep);
+        prop_assert_eq!(a.digest(), b.digest());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Distinct base seeds, grid indices or replication indices always produce
+    /// distinct digests (the cache can never serve one unit's result for another).
+    #[test]
+    fn distinct_fields_produce_distinct_digests(
+        seed_a in 0u64..1_000_000,
+        seed_delta in 1u64..1_000,
+        grid_a in 0usize..2_048,
+        grid_delta in 1usize..100,
+        rep_a in 0usize..32,
+        rep_delta in 1usize..32,
+    ) {
+        let config = Value::Map(vec![]);
+        let base = key("s", &config, seed_a, grid_a, rep_a);
+        prop_assert_ne!(
+            base.digest(),
+            key("s", &config, seed_a + seed_delta, grid_a, rep_a).digest()
+        );
+        prop_assert_ne!(
+            base.digest(),
+            key("s", &config, seed_a, grid_a + grid_delta, rep_a).digest()
+        );
+        prop_assert_ne!(
+            base.digest(),
+            key("s", &config, seed_a, grid_a, rep_a + rep_delta).digest()
+        );
+        prop_assert_ne!(base.digest(), key("t", &config, seed_a, grid_a, rep_a).digest());
+    }
+
+    /// Any change to the config tree changes the fingerprint and hence the digest.
+    #[test]
+    fn config_edits_change_the_fingerprint(
+        nodes in 1u64..512,
+        delta in 1u64..512,
+        fraction in 0.0f64..1.0,
+    ) {
+        let config = |n: u64, f: f64| {
+            Value::Map(vec![
+                ("node_counts".into(), Value::Seq(vec![Value::U64(n)])),
+                ("remote_fraction".into(), Value::F64(f)),
+            ])
+        };
+        let base = key("s", &config(nodes, fraction), 1, 0, 0);
+        let widened = key("s", &config(nodes + delta, fraction), 1, 0, 0);
+        prop_assert_ne!(base.digest(), widened.digest());
+        let nudged = key("s", &config(nodes, fraction + 1.5), 1, 0, 0);
+        prop_assert_ne!(base.digest(), nudged.digest());
+    }
+
+    /// Spec-level sensitivity: editing an axis value, a fraction, the replication
+    /// count or the seed changes `ScenarioSpec::fingerprint`; editing the family
+    /// does too (here: the same grid under `parcels` vs a rejected family tag).
+    #[test]
+    fn single_field_spec_edits_change_the_fingerprint(
+        nodes in 1usize..256,
+        delta in 1usize..256,
+        fraction in 0.0f64..0.5,
+        nudge in 0.01f64..0.5,
+        reps in 1usize..8,
+    ) {
+        let spec_json = |n: usize, f: f64, reps: usize, seed: &str| format!(
+            r#"{{
+                "schema_version": 1,
+                "name": "prop_spec",
+                "description": "cache property spec",
+                "model": "parcels",
+                "replications": {reps},
+                "seed": {seed},
+                "grid": {{
+                    "node_counts": [{n}],
+                    "parallelisms": [4],
+                    "latencies": [100.0],
+                    "remote_fractions": [{f:?}]
+                }}
+            }}"#
+        );
+        let base = parse_spec(&spec_json(nodes, fraction, reps, "\"derived\"")).unwrap();
+        let fp = base.fingerprint();
+        // Same spec re-parsed: same fingerprint (it is content-addressed, not
+        // identity-addressed).
+        prop_assert_eq!(
+            &fp,
+            &parse_spec(&spec_json(nodes, fraction, reps, "\"derived\"")).unwrap().fingerprint()
+        );
+        // Axis value widened.
+        let widened = parse_spec(&spec_json(nodes + delta, fraction, reps, "\"derived\"")).unwrap();
+        prop_assert_ne!(&fp, &widened.fingerprint());
+        // Fraction nudged.
+        let nudged = parse_spec(&spec_json(nodes, fraction + nudge, reps, "\"derived\"")).unwrap();
+        prop_assert_ne!(&fp, &nudged.fingerprint());
+        // Replications changed.
+        let replicated = parse_spec(&spec_json(nodes, fraction, reps + 1, "\"derived\"")).unwrap();
+        prop_assert_ne!(&fp, &replicated.fingerprint());
+        // Seed mode changed.
+        let fixed = parse_spec(&spec_json(nodes, fraction, reps, "{\"fixed\": 7}")).unwrap();
+        prop_assert_ne!(&fp, &fixed.fingerprint());
+    }
+
+    /// Rejection: an invalid edit (empty axis, unknown family) fails at parse time —
+    /// there is no such thing as a fingerprint for a spec the runner would refuse.
+    #[test]
+    fn invalid_spec_edits_are_rejected_before_fingerprinting(tag in 0u64..1_000) {
+        let empty_axis = r#"{
+            "schema_version": 1, "name": "x", "description": "d", "model": "parcels",
+            "grid": {"node_counts": [], "parallelisms": [4], "latencies": [100.0],
+                     "remote_fractions": [0.4]}
+        }"#;
+        prop_assert!(parse_spec(empty_axis).is_err());
+        let bad_family = format!(
+            r#"{{
+                "schema_version": 1, "name": "x", "description": "d",
+                "model": "family{tag}",
+                "grid": {{"node_counts": [2], "parallelisms": [4], "latencies": [100.0],
+                          "remote_fractions": [0.4]}}
+            }}"#
+        );
+        prop_assert!(parse_spec(&bad_family).is_err());
+    }
+}
+
+/// The family edit, concretely: an analytic and a parcels spec sharing every common
+/// field still fingerprint differently.
+#[test]
+fn family_change_changes_the_fingerprint() {
+    let parcels = parse_spec(
+        r#"{
+            "schema_version": 1, "name": "fam", "description": "d", "model": "parcels",
+            "grid": {"node_counts": [4], "parallelisms": [4], "latencies": [100.0],
+                     "remote_fractions": [0.4]}
+        }"#,
+    )
+    .unwrap();
+    let analytic = parse_spec(
+        r#"{
+            "schema_version": 1, "name": "fam", "description": "d", "model": "analytic",
+            "grid": {"node_counts": [4], "lwp_fractions": [0.4]}
+        }"#,
+    )
+    .unwrap();
+    assert_ne!(parcels.fingerprint(), analytic.fingerprint());
+}
+
+/// Claim-order independence, end to end: the *entry files* a cold batch writes —
+/// names and bytes — are identical whether one worker runs every unit in order or
+/// eight workers steal them in arbitrary interleavings.
+#[test]
+fn cache_entry_files_are_independent_of_job_count() {
+    let registry = Registry::builtin();
+    // A mix of multi-unit scenarios so stealing actually interleaves.
+    let names = ["figure7", "ablation_network", "ablation_imbalance"];
+    let base = std::env::temp_dir().join(format!("pim-cache-order-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let run = |jobs: usize, sub: &str| {
+        let cache = base.join(sub);
+        run_batch(
+            &registry,
+            &names,
+            &BatchOptions {
+                jobs,
+                cache_dir: Some(cache.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("cached batch runs");
+        cache
+    };
+    let serial = run(1, "jobs1");
+    let parallel = run(8, "jobs8");
+    let listing = |cache: &Path| -> BTreeMap<String, Vec<u8>> {
+        std::fs::read_dir(cache.join("units"))
+            .expect("units dir exists")
+            .map(|e| {
+                let path = e.unwrap().path();
+                (
+                    path.file_name().unwrap().to_string_lossy().to_string(),
+                    std::fs::read(&path).unwrap(),
+                )
+            })
+            .collect()
+    };
+    let a = listing(&serial);
+    let b = listing(&parallel);
+    assert!(
+        a.len() >= 1 + 6 + 27,
+        "expected every unit persisted, got {}",
+        a.len()
+    );
+    assert_eq!(a, b, "cache entries differ between --jobs 1 and --jobs 8");
+    let _ = std::fs::remove_dir_all(&base);
+}

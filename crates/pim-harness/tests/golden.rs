@@ -110,6 +110,65 @@ fn golden_spec_presets() {
     }
 }
 
+/// The batch manifest (schema v2: batch identity plus the cache accounting block) is
+/// pinned by a golden file of its own. A deterministic fixture — two single-unit
+/// scenarios, default seed, cold cache — exercises every field: schema version, base
+/// seed, scenario list, and per-scenario hit/miss/recomputed counts (a cold cache
+/// reports exactly one miss per unit). Stale-golden detection: the golden's
+/// `schema_version` must equal the live `MANIFEST_SCHEMA_VERSION`, so bumping the
+/// constant without re-blessing fails here by construction.
+#[test]
+fn golden_manifest_v2() {
+    let registry = Registry::builtin();
+    let base = std::env::temp_dir().join(format!("pim-golden-manifest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let out = run_batch(
+        &registry,
+        &["table1", "figure7"],
+        &BatchOptions {
+            jobs: 2,
+            out_dir: Some(base.join("artifacts")),
+            cache_dir: Some(base.join("cache")),
+            ..Default::default()
+        },
+    )
+    .expect("fixture batch runs");
+    let manifest_path = out
+        .written
+        .last()
+        .expect("manifest is written last")
+        .clone();
+    assert!(manifest_path.ends_with("manifest.json"));
+    let actual = std::fs::read_to_string(&manifest_path).unwrap();
+    let _ = std::fs::remove_dir_all(&base);
+
+    let path = golden_path("manifest_v2");
+    let bless = bless_requested();
+    let tol = Tolerance {
+        rtol: 1e-6,
+        atol: 1e-9,
+    };
+    if let Err(diffs) = verify_or_bless_file(&path, &actual, bless, tol) {
+        panic!(
+            "manifest drifted from {} ({} mismatching fields):\n{}\n\
+             if the change is intentional, re-bless with `{BLESS_ENV}=1 cargo test \
+             -p pim-harness --test golden`",
+            path.display(),
+            diffs.len(),
+            diffs.join("\n")
+        );
+    }
+    // Stale-golden detection: the pinned file must carry the live schema version.
+    let golden: serde::Value =
+        serde_json::value_from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(
+        golden.get("schema_version").and_then(|v| v.as_f64()),
+        Some(f64::from(MANIFEST_SCHEMA_VERSION)),
+        "golden manifest pins a different schema version than MANIFEST_SCHEMA_VERSION; \
+         re-bless it"
+    );
+}
+
 #[test]
 fn golden_figure5() {
     check_golden("figure5");

@@ -4,6 +4,8 @@
 //! pim-tradeoffs list    [--spec FILE|DIR]
 //! pim-tradeoffs run     figure5 table1 [--jobs N] [--out artifacts/] [--seed S]
 //! pim-tradeoffs run     --all [--spec FILE|DIR] [--jobs N] [--out artifacts/] [--seed S]
+//!                       [--cache DIR] [--no-cache]
+//! pim-tradeoffs cache   stats|gc|clear DIR [--max-mib N]
 //! pim-tradeoffs spec    check FILE|DIR...
 //! pim-tradeoffs point   --nodes 32 --wl 0.8 [--pmiss 0.1] [--mix 0.3] [--simulate]
 //! pim-tradeoffs sweep   [--max-nodes 64] [--simulate]
@@ -13,12 +15,15 @@
 //!
 //! `list` and `run` front the scenario registry in `pim-harness`: `run --all --out
 //! artifacts/` regenerates every paper figure/table/ablation as versioned JSON in one
-//! deterministic batch. `--spec` loads declarative scenario specs (schema v1 JSON,
-//! see `pim_harness::spec` and `examples/specs/`) into the registry beside the
-//! builtins; `spec check` validates spec files without running them. Argument
-//! parsing is intentionally hand-rolled (no CLI dependency): every flag is
-//! `--name value`, unknown flags are an error, and `--help` prints the grammar
-//! above.
+//! deterministic batch. `--cache DIR` makes the batch incremental: unit results are
+//! served from and stored to the content-addressed cache (see `pim_harness::cache`),
+//! so a warm re-run recomputes only what a spec or seed edit actually changed, and
+//! `cache stats|gc|clear` maintains the directory. `--spec` loads declarative
+//! scenario specs (schema v1 JSON, see `pim_harness::spec` and `examples/specs/`)
+//! into the registry beside the builtins; `spec check` validates spec files without
+//! running them. Argument parsing is intentionally hand-rolled (no CLI dependency):
+//! every flag is `--name value`, unknown flags are an error, and `--help` prints the
+//! grammar above.
 
 use pim_repro::pim_analytic::{AnalyticModel, ParcelAnalyticModel};
 use pim_repro::pim_core::prelude::*;
@@ -36,6 +41,8 @@ USAGE:
   pim-tradeoffs run     SCENARIO... [--spec FILE|DIR] [--jobs N] [--out DIR] [--seed S]
   pim-tradeoffs run     --all [--spec FILE|DIR] [--jobs N] [--out DIR] [--seed S]
   pim-tradeoffs run     --spec FILE|DIR [--jobs N] [--out DIR] [--seed S]
+  pim-tradeoffs run     ... [--cache DIR] [--no-cache]
+  pim-tradeoffs cache   stats DIR | gc DIR [--max-mib N] | clear DIR
   pim-tradeoffs spec    check FILE|DIR...
   pim-tradeoffs point   --nodes N --wl FRACTION [--pmiss P] [--mix M] [--simulate]
   pim-tradeoffs sweep   [--max-nodes N] [--simulate]
@@ -46,11 +53,15 @@ USAGE:
 `list` names every registered scenario. `run` executes scenarios in parallel worker
 threads and either prints their JSON reports (no --out) or writes one artifact per
 scenario plus a manifest under DIR; artifacts are byte-identical for a given --seed
-whatever --jobs is. `--spec` loads user-defined scenario specs (schema v1 JSON; see
-examples/specs/) into the registry beside the 13 builtins; `run --spec DIR` with no
-scenario names runs exactly the spec-defined scenarios, and `spec check` validates
-spec files without running anything. Run a model subcommand with no arguments to use
-the paper's Table 1 defaults.";
+whatever --jobs is. `--cache DIR` makes the run incremental: per-unit results are
+served from and stored to a content-addressed cache, so a warm re-run recomputes only
+what changed (the manifest records per-scenario hits/misses); `--no-cache` forces a
+full recompute, and `cache stats|gc|clear` maintains a cache directory. `--spec`
+loads user-defined scenario specs (schema v1 JSON; see examples/specs/) into the
+registry beside the 13 builtins; `run --spec DIR` with no scenario names runs exactly
+the spec-defined scenarios, and `spec check` validates spec files without running
+anything. Run a model subcommand with no arguments to use the paper's Table 1
+defaults.";
 
 /// Parsed `--flag value` arguments.
 struct Args {
@@ -68,7 +79,7 @@ impl Args {
                 positionals.push(arg.clone());
                 continue;
             };
-            if name == "simulate" || name == "help" || name == "all" {
+            if name == "simulate" || name == "help" || name == "all" || name == "no-cache" {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
             }
@@ -143,7 +154,7 @@ fn cmd_list(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_run(scenarios: &[String], args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["all", "jobs", "out", "seed", "spec"])?;
+    args.reject_unknown(&["all", "jobs", "out", "seed", "spec", "cache", "no-cache"])?;
     let (registry, spec_names) = registry_with_specs(args)?;
     if args.has("all") && !scenarios.is_empty() {
         return Err("pass scenario names or --all, not both".into());
@@ -159,12 +170,29 @@ fn cmd_run(scenarios: &[String], args: &Args) -> Result<(), String> {
     if names.is_empty() {
         return Err("run needs scenario names, --all, or --spec (see `pim-tradeoffs list`)".into());
     }
+    // `--no-cache` beats `--cache` so a wrapper script's standing cache flag can be
+    // overridden for one forced-recompute run.
+    let cache_dir = if args.has("no-cache") {
+        None
+    } else {
+        args.flags.get("cache").map(std::path::PathBuf::from)
+    };
     let opts = BatchOptions {
         jobs: args.get_usize("jobs", 0)?,
         seeds: SeedPolicy::new(args.get_u64("seed", DEFAULT_SEED)?),
         out_dir: args.flags.get("out").map(std::path::PathBuf::from),
+        cache_dir,
     };
     let outcome = run_batch(&registry, &names, &opts)?;
+    if outcome.cache_enabled {
+        let (mut hits, mut misses, mut recomputed) = (0, 0, 0);
+        for c in &outcome.cache_counts {
+            hits += c.hits;
+            misses += c.misses;
+            recomputed += c.recomputed;
+        }
+        eprintln!("cache: {hits} hit(s), {misses} miss(es), {recomputed} recomputed");
+    }
     if opts.out_dir.is_some() {
         for path in &outcome.written {
             eprintln!("wrote {}", path.display());
@@ -192,6 +220,56 @@ fn cmd_run(scenarios: &[String], args: &Args) -> Result<(), String> {
         print!("{json}");
     }
     Ok(())
+}
+
+/// `cache stats|gc|clear DIR`: inspect and maintain a unit-result cache directory.
+fn cmd_cache(positionals: &[String], args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["max-mib"])?;
+    let Some((sub, rest)) = positionals.split_first() else {
+        return Err("cache needs a subcommand: `cache stats|gc|clear DIR`".into());
+    };
+    let [dir] = rest else {
+        return Err(format!("cache {sub} needs exactly one cache directory"));
+    };
+    let dir = std::path::Path::new(dir);
+    match sub.as_str() {
+        "stats" => {
+            let stats = pim_repro::pim_harness::cache::cache_stats(dir)?;
+            println!("entries : {}", stats.entries);
+            println!("bytes   : {}", stats.bytes);
+            for (scenario, n) in &stats.per_scenario {
+                println!("  {scenario:<32} {n}");
+            }
+            Ok(())
+        }
+        "gc" => {
+            let budget = match args.flags.get("max-mib") {
+                Some(_) => Some(args.get_u64("max-mib", 0)? * 1024 * 1024),
+                None => None,
+            };
+            let out = pim_repro::pim_harness::cache::cache_gc(dir, budget)?;
+            println!(
+                "scanned {} entr{}; removed {} invalid, {} over budget; {} bytes kept",
+                out.scanned,
+                if out.scanned == 1 { "y" } else { "ies" },
+                out.removed_invalid,
+                out.removed_for_size,
+                out.bytes_after
+            );
+            Ok(())
+        }
+        "clear" => {
+            let removed = pim_repro::pim_harness::cache::cache_clear(dir)?;
+            println!(
+                "removed {removed} entr{}",
+                if removed == 1 { "y" } else { "ies" }
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown cache subcommand '{other}' (expected stats, gc or clear)"
+        )),
+    }
 }
 
 /// `spec check PATH...`: parse, validate and dry-compile every spec, reporting one
@@ -416,7 +494,7 @@ fn run() -> Result<(), String> {
         println!("{USAGE}");
         return Ok(());
     }
-    if command != "run" && command != "spec" {
+    if command != "run" && command != "spec" && command != "cache" {
         if let Some(arg) = positionals.first() {
             return Err(format!(
                 "unexpected argument '{arg}' (flags are --name value)"
@@ -427,6 +505,7 @@ fn run() -> Result<(), String> {
         "list" => cmd_list(&args),
         "run" => cmd_run(&positionals, &args),
         "spec" => cmd_spec(&positionals, &args),
+        "cache" => cmd_cache(&positionals, &args),
         "point" => cmd_point(&args),
         "sweep" => cmd_sweep(&args),
         "nb" => cmd_nb(&args),

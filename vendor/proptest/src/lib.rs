@@ -306,7 +306,7 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::strategy::{any, Arbitrary, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
 /// Assert a condition inside a property (panics with the standard message).
@@ -321,6 +321,13 @@ macro_rules! prop_assert {
 macro_rules! prop_assert_eq {
     ($a:expr, $b:expr) => { assert_eq!($a, $b) };
     ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property (mirror of `proptest::prop_assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
 }
 
 /// Define deterministic property tests (mirror of `proptest::proptest!`).
