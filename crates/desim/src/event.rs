@@ -117,6 +117,7 @@ impl<E> BinaryHeapQueue<E> {
         }
         while let Some(top) = self.heap.peek() {
             if self.cancelled.contains(&top.0.id) {
+                // audit:allow(unwrap-in-library): guarded by the peek in the enclosing while let
                 let popped = self.heap.pop().expect("peeked entry must pop");
                 self.cancelled.remove(&popped.0.id);
             } else {
@@ -433,6 +434,7 @@ impl<E> FifoBandQueue<E> {
         }
         while let Some(front) = self.fifo.front() {
             if self.cancelled.contains(&front.id) {
+                // audit:allow(unwrap-in-library): guarded by the peek in the enclosing while let
                 let popped = self.fifo.pop_front().expect("peeked entry must pop");
                 self.cancelled.remove(&popped.id);
             } else {
@@ -441,6 +443,7 @@ impl<E> FifoBandQueue<E> {
         }
         while let Some(top) = self.heap.peek() {
             if self.cancelled.contains(&top.0.id) {
+                // audit:allow(unwrap-in-library): guarded by the peek in the enclosing while let
                 let popped = self.heap.pop().expect("peeked entry must pop");
                 self.cancelled.remove(&popped.0.id);
             } else {
@@ -474,8 +477,10 @@ impl<E> EventQueue<E> for FifoBandQueue<E> {
     fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         self.drop_cancelled_heads();
         let ev = if self.fifo_head_wins()? {
+            // audit:allow(unwrap-in-library): fifo_head_wins verified this head exists
             self.fifo.pop_front().expect("head checked")
         } else {
+            // audit:allow(unwrap-in-library): fifo_head_wins verified this head exists
             self.heap.pop().expect("head checked").0
         };
         self.live -= 1;

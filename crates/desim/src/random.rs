@@ -259,6 +259,7 @@ impl ZipfTable {
         let u = stream.uniform01();
         match self
             .cdf
+            // audit:allow(unwrap-in-library): CDF entries and the probe are finite by construction, so partial_cmp is total
             .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
         {
             Ok(i) => i as u64 + 1,

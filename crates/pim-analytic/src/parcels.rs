@@ -31,6 +31,7 @@ impl ParcelAnalyticModel {
     pub fn new(config: ParcelConfig) -> Self {
         config
             .validate()
+            // audit:allow(unwrap-in-library): constructor contract — an invalid config is a caller bug and fails loudly
             .expect("invalid parcel-study configuration");
         ParcelAnalyticModel { config }
     }

@@ -1,0 +1,83 @@
+//! # pim-audit — the determinism & purity lint pass
+//!
+//! The incremental sweep cache (PR 5) treats a unit result as a pure function
+//! of its `UnitKey { cache_schema, scenario, fingerprint, seed, grid_index,
+//! replication_index }`: a hit replays a stored result instead of simulating.
+//! That is only sound while nothing on the unit-execution path consults a wall
+//! clock, ambient entropy, or hash-iteration order. This crate enforces that
+//! contract *statically*, over the workspace's own sources.
+//!
+//! The pass is a real (if small) analysis, not a grep: sources are tokenized by
+//! a comment/string/char-literal-aware lexer ([`lexer`]), rules match token
+//! sequences with file-role scoping ([`rules`]), and findings flow through a
+//! shared diagnostics pipeline ([`diag`]) with human and JSON renderings,
+//! `--deny` gating, and reviewed inline suppressions that are themselves
+//! linted for staleness.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+use diag::Diagnostic;
+
+/// The result of auditing a workspace tree.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// All findings, ordered by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by well-formed `audit:allow` comments.
+    pub suppressed: usize,
+}
+
+impl AuditReport {
+    /// True when the tree satisfies the determinism contract.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The standard `N files: M findings…` trailer.
+    pub fn summary(&self) -> String {
+        let checked = format!(
+            "{} file{}",
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" }
+        );
+        diag::summary_line(&checked, self.diagnostics.len(), self.suppressed)
+    }
+}
+
+/// Audit every auditable `.rs` file under `root` (skipping `target/`, `vendor/`,
+/// fixtures and dot-directories) against the full rule set.
+///
+/// `Err` is reserved for environmental failures (unreadable directories or
+/// files); rule violations are data, returned inside the report.
+pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
+    let files = walk::collect_sources(root)?;
+    if files.is_empty() {
+        return Err(format!(
+            "no .rs files found under {} — is this the workspace root?",
+            root.display()
+        ));
+    }
+    let mut diagnostics = Vec::new();
+    let mut suppressed = 0usize;
+    for file in &files {
+        let src = std::fs::read_to_string(&file.path)
+            .map_err(|e| format!("cannot read {}: {e}", file.rel))?;
+        let audit = rules::audit_file(file, &src);
+        diagnostics.extend(audit.findings);
+        suppressed += audit.suppressed;
+    }
+    // Files are walked in sorted order and per-file findings are span-sorted,
+    // so the report is already deterministic end to end.
+    Ok(AuditReport {
+        diagnostics,
+        files_scanned: files.len(),
+        suppressed,
+    })
+}

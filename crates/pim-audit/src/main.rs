@@ -1,0 +1,94 @@
+//! `pim-audit` — run the determinism & purity audit over a workspace tree.
+//!
+//! ```text
+//! pim-audit [--root DIR] [--format human|json] [--deny]
+//! ```
+//!
+//! Exit codes: `0` clean (or findings without `--deny`), `1` findings under
+//! `--deny`, `2` usage or environmental error. CI runs
+//! `pim-audit --deny --format json` as a gating job.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pim_audit::{audit_workspace, diag};
+
+const USAGE: &str = "\
+pim-audit: statically enforce the unit-result purity contract
+
+USAGE:
+    pim-audit [OPTIONS]
+
+OPTIONS:
+    --root <DIR>       Workspace root to audit [default: .]
+    --format <FMT>     Output format: human | json [default: human]
+    --deny             Exit nonzero when any finding remains
+    --list-rules       Print the rule set and exit
+    -h, --help         Show this help
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = String::from("human");
+    let mut deny = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = "human".into(),
+                Some("json") => format = "json".into(),
+                Some(other) => {
+                    return usage_error(&format!("unknown format `{other}` (human | json)"))
+                }
+                None => return usage_error("--format requires a value (human | json)"),
+            },
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for rule in pim_audit::rules::RULES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pim-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format.as_str() {
+        "json" => print!(
+            "{}",
+            diag::render_json(&report.diagnostics, report.files_scanned, report.suppressed)
+        ),
+        _ => {
+            print!("{}", diag::render_human(&report.diagnostics));
+            println!("{}", report.summary());
+        }
+    }
+
+    if deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("pim-audit: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

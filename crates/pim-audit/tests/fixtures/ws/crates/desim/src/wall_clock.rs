@@ -1,0 +1,21 @@
+//! Known-bad fixture: wall-clock reads on the unit-execution path.
+
+pub fn simulate_unit(horizon: u64) -> f64 {
+    let started = Instant::now();
+    let stamp = SystemTime::now();
+    run(horizon, stamp);
+    started.elapsed().as_secs_f64()
+}
+
+// A clock in a string or comment must NOT fire: Instant::now() here is prose.
+pub fn describe() -> &'static str {
+    "call Instant::now() to time things"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_tests_are_exempt() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture for the suppression grammar: one sound allow, one missing its
+//! reason, one naming an unknown rule, and one matching nothing.
+
+pub fn reviewed(ops: &[u64]) -> u64 {
+    // audit:allow(unwrap-in-library): the caller validated ops is non-empty
+    *ops.first().unwrap()
+}
+
+pub fn unreviewed(ops: &[u64]) -> u64 {
+    *ops.first().unwrap() // audit:allow(unwrap-in-library)
+}
+
+// audit:allow(made-up-rule): this rule does not exist
+pub fn unknown_rule() {}
+
+// audit:allow(unwrap-in-library): nothing below unwraps anymore
+pub fn stale() {}

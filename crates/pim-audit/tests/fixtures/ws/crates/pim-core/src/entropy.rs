@@ -1,0 +1,22 @@
+//! Known-bad fixture: ambient entropy and an unseeded RNG construction.
+
+pub fn sample_ambient() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+pub fn build_model(nodes: usize) -> Model {
+    let stream = RandomStream::new(42, 1);
+    Model { nodes, stream }
+}
+
+// Seed evidence in the arguments passes: this is the sanctioned shape.
+pub fn build_seeded(nodes: usize, seed: u64) -> Model {
+    let stream = RandomStream::new(seed, 1);
+    Model { nodes, stream }
+}
+
+// Seed-derivation helpers may construct RNGs from derived values.
+pub fn replication_stream(base: u64, rep: u64) -> RandomStream {
+    RandomStream::new(mix(base, rep), 0)
+}

@@ -1,0 +1,24 @@
+//! Known-bad fixture: hash-ordered iteration feeding results.
+
+pub fn assemble(rows: FxHashMap<u64, f64>) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (_, v) in &rows {
+        out.push(v);
+    }
+    out
+}
+
+pub fn collect_ids() -> Vec<u64> {
+    let mut seen = HashSet::new();
+    seen.insert(1u64);
+    seen.iter().copied().collect()
+}
+
+// Keyed lookup and length reads are order-safe and must NOT fire.
+pub fn lookup(rows: &FxHashMap<u64, f64>, keys: &[u64]) -> f64 {
+    let mut total = 0.0;
+    for k in keys {
+        total += rows.get(k).copied().unwrap_or(0.0);
+    }
+    total / rows.len() as f64
+}

@@ -1,0 +1,10 @@
+//! Known-bad fixture: `unsafe` without a SAFETY justification.
+
+pub fn read_raw(ptr: *const u64) -> u64 {
+    unsafe { *ptr }
+}
+
+pub fn read_justified(ptr: *const u64) -> u64 {
+    // SAFETY: callers guarantee ptr is valid and aligned for the read.
+    unsafe { *ptr }
+}

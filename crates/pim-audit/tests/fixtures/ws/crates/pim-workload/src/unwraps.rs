@@ -1,0 +1,15 @@
+//! Known-bad fixture: bare `unwrap`/`expect` in library code.
+
+pub fn first_op(ops: &[u64]) -> u64 {
+    let head = ops.first().unwrap();
+    let copy = ops.first().expect("ops is non-empty");
+    head + copy
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        Some(1u64).unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end auditor tests: the known-bad fixture workspace must produce
+//! exactly the golden diagnostics, and the real workspace must be audit-clean.
+//!
+//! Regenerate the golden file after an intentional rule change with:
+//!
+//! ```text
+//! PIM_AUDIT_BLESS=1 cargo test -p pim-audit --test fixtures_golden
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use pim_audit::{audit_workspace, diag, rules, AuditReport};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn audit_fixtures() -> AuditReport {
+    audit_workspace(&fixture_root()).expect("fixture workspace audits")
+}
+
+#[test]
+fn fixture_diagnostics_match_golden_json() {
+    let report = audit_fixtures();
+    let rendered = diag::render_json(&report.diagnostics, report.files_scanned, report.suppressed);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden.json");
+    if std::env::var_os("PIM_AUDIT_BLESS").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("read golden file");
+    assert_eq!(
+        rendered, golden,
+        "fixture diagnostics drifted from tests/fixtures/golden.json \
+         (rerun with PIM_AUDIT_BLESS=1 if the change is intentional)"
+    );
+}
+
+#[test]
+fn every_rule_fires_at_least_once_in_fixtures() {
+    let report = audit_fixtures();
+    let fired: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    for rule in rules::RULES {
+        assert!(
+            fired.contains(rule),
+            "rule {rule} produced no fixture finding"
+        );
+    }
+    // The suppression grammar's own lints fire too.
+    assert!(fired.contains("malformed-allow"));
+    assert!(fired.contains("stale-allow"));
+}
+
+#[test]
+fn fixture_suppression_counts_one_reviewed_allow() {
+    let report = audit_fixtures();
+    assert_eq!(
+        report.suppressed, 1,
+        "exactly one fixture allow is well-formed"
+    );
+}
+
+#[test]
+fn fixture_spans_are_stable_across_runs() {
+    let a = audit_fixtures();
+    let b = audit_fixtures();
+    let spans =
+        |r: &AuditReport| -> Vec<String> { r.diagnostics.iter().map(|d| d.span()).collect() };
+    assert_eq!(spans(&a), spans(&b));
+}
+
+/// The meta-test the whole PR exists for: the real workspace satisfies its own
+/// determinism contract. A regression anywhere in the unit-execution path fails
+/// this test (and the gating CI audit job) with a file:line finding.
+#[test]
+fn real_workspace_is_audit_clean() {
+    let report = audit_workspace(&workspace_root()).expect("workspace audits");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace violates its determinism contract:\n{}",
+        diag::render_human(&report.diagnostics)
+    );
+}

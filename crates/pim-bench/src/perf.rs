@@ -206,6 +206,7 @@ fn bench_scenarios(opts: &PerfOptions) -> Value {
             ..Default::default()
         },
     )
+    // audit:allow(unwrap-in-library): a benchmark trajectory aborts on the first failed batch by design
     .expect("builtin batch runs");
     let batch_secs = start.elapsed().as_secs_f64();
     assert_eq!(outcome.reports.len(), registry.len());
@@ -266,6 +267,7 @@ fn bench_incremental(opts: &PerfOptions) -> Value {
                 ..Default::default()
             },
         )
+        // audit:allow(unwrap-in-library): a benchmark trajectory aborts on the first failed batch by design
         .expect("cached batch runs");
         (start.elapsed().as_secs_f64(), outcome)
     };
@@ -328,8 +330,8 @@ pub fn write_bench_file(
 ) -> Result<PathBuf, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     let path = dir.join(format!("BENCH_{rev}.json"));
-    let mut json =
-        serde_json::to_string_pretty(payload).expect("bench payload serialization is infallible");
+    let mut json = serde_json::to_string_pretty(payload)
+        .map_err(|e| format!("serialize bench payload: {e}"))?;
     json.push('\n');
     std::fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     Ok(path)

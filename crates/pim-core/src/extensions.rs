@@ -88,6 +88,7 @@ pub fn run_phased(
 ) -> PhasedResult {
     assert!(nodes > 0, "need at least one LWP node");
     assert!(options.rounds >= 1, "need at least one round");
+    // audit:allow(unwrap-in-library): constructor contract — an invalid config is a caller bug and fails loudly
     config.validate().expect("invalid system configuration");
 
     let mut hwp = HwpExecution::new(config, RandomStream::new(seed, 1));

@@ -109,6 +109,7 @@ impl QueueingModel {
         seed: u64,
     ) -> Self {
         assert!(ops_per_event > 0, "ops_per_event must be positive");
+        // audit:allow(unwrap-in-library): constructor contract — an invalid config is a caller bug and fails loudly
         config.validate().expect("invalid system configuration");
         let (hwp_ops, lwp_threads) = match mode {
             RunMode::Control => (partition.total_ops, Vec::new()),

@@ -151,6 +151,7 @@ impl UnitKeyer {
 
 /// Fingerprint a config tree: the stable hash of its canonical (compact) JSON.
 pub fn fingerprint_value(config: &Value) -> String {
+    // audit:allow(unwrap-in-library): the vendored JSON writer is total — to_string returns Ok unconditionally
     let json = serde_json::to_string(config).expect("value serialization is infallible");
     stable_hash_hex(&json)
 }
@@ -296,16 +297,18 @@ impl UnitCache {
         if !json_round_trips(payload) {
             return Ok(());
         }
+        let checksum = payload_checksum(payload)?;
         let entry = Value::Map(vec![
             (
                 "cache_schema".into(),
                 Value::U64(u64::from(CACHE_SCHEMA_VERSION)),
             ),
             ("key".into(), key.to_value()),
-            ("checksum".into(), Value::Str(payload_checksum(payload))),
+            ("checksum".into(), Value::Str(checksum)),
             ("payload".into(), payload.clone()),
         ]);
-        let mut json = serde_json::to_string(&entry).expect("entry serialization is infallible");
+        let mut json = serde_json::to_string(&entry)
+            .map_err(|e| format!("serialize cache entry {}: {e}", key.digest()))?;
         json.push('\n');
         let path = self.entry_path(key);
         let tmp = self.units.join(format!(
@@ -340,8 +343,10 @@ fn json_round_trips(value: &Value) -> bool {
 }
 
 /// Checksum a payload: the stable hash of its canonical compact JSON.
-fn payload_checksum(payload: &Value) -> String {
-    stable_hash_hex(&serde_json::to_string(payload).expect("payload serialization is infallible"))
+fn payload_checksum(payload: &Value) -> Result<String, String> {
+    serde_json::to_string(payload)
+        .map(|json| stable_hash_hex(&json))
+        .map_err(|e| format!("serialize cache payload: {e}"))
 }
 
 /// Parse and verify one entry document. `expect_key` additionally requires the
@@ -364,7 +369,7 @@ fn verify_entry(text: &str, expect_key: Option<&UnitKey>) -> Option<Value> {
         _ => return None,
     };
     let payload = doc.get("payload")?;
-    if payload_checksum(payload) != checksum {
+    if payload_checksum(payload).ok()? != checksum {
         return None;
     }
     Some(payload.clone())

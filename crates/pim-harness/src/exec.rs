@@ -46,6 +46,7 @@ pub struct PlanOutcome {
 pub fn run_plan(plan: ScenarioPlan<'_>, jobs: usize) -> ScenarioReport {
     run_plans(vec![plan], jobs)
         .pop()
+        // audit:allow(unwrap-in-library): run_plans returns one report per input plan
         .expect("one plan produces one report")
 }
 
@@ -53,6 +54,7 @@ pub fn run_plan(plan: ScenarioPlan<'_>, jobs: usize) -> ScenarioReport {
 /// per plan, in input order. No cache is consulted.
 pub fn run_plans(plans: Vec<ScenarioPlan<'_>>, jobs: usize) -> Vec<ScenarioReport> {
     run_plans_cached(plans, jobs, None)
+        // audit:allow(unwrap-in-library): without a cache there is no store I/O, the only error source
         .expect("uncached execution performs no fallible cache I/O")
         .into_iter()
         .map(|outcome| outcome.report)
@@ -94,6 +96,7 @@ pub fn run_plans_cached(
             let plan_outputs: Vec<UnitOutput> = executed[span]
                 .iter_mut()
                 .map(|slot| {
+                    // audit:allow(unwrap-in-library): each slot is filled by the pool and drained exactly once here
                     let (output, event) = slot.take().expect("each unit output consumed once");
                     counts.record(event);
                     output
@@ -170,22 +173,27 @@ fn execute_units(
                 if i >= total {
                     break;
                 }
+                // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
                 let unit = tasks.lock().expect("no worker panicked")[i]
                     .take()
+                    // audit:allow(unwrap-in-library): the claim counter hands each index to exactly one worker
                     .expect("each unit claimed once");
                 let (output, event, store_err) = run_unit(unit, cache);
                 if let Some(err) = store_err {
+                    // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
                     store_errors.lock().expect("no worker panicked").push(err);
                     // The batch is already doomed (its outputs will be discarded):
                     // exhaust the claim counter so no worker pays for more units.
                     next.store(total, Ordering::Relaxed);
                 }
+                // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
                 slots.lock().expect("no worker panicked")[i] = Some((output, event));
             });
         }
     });
     if let Some(err) = store_errors
         .into_inner()
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
         .expect("no worker panicked")
         .into_iter()
         .next()
@@ -194,8 +202,10 @@ fn execute_units(
     }
     Ok(slots
         .into_inner()
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
         .expect("no worker panicked")
         .into_iter()
+        // audit:allow(unwrap-in-library): the loop above claimed and filled every slot
         .map(|slot| slot.expect("every unit ran"))
         .collect())
 }

@@ -123,14 +123,14 @@ pub fn diff_json(expected: &Value, actual: &Value, tol: Tolerance) -> Vec<String
 }
 
 fn diff_at(path: &str, expected: &Value, actual: &Value, tol: Tolerance, out: &mut Vec<String>) {
-    match (expected, actual) {
-        // Numbers of any representation compare numerically.
-        (e, a) if e.as_f64().is_some() && a.as_f64().is_some() => {
-            let (e, a) = (e.as_f64().unwrap(), a.as_f64().unwrap());
-            if !tol.matches(e, a) {
-                out.push(format!("{path}: expected {e}, got {a}"));
-            }
+    // Numbers of any representation compare numerically.
+    if let (Some(e), Some(a)) = (expected.as_f64(), actual.as_f64()) {
+        if !tol.matches(e, a) {
+            out.push(format!("{path}: expected {e}, got {a}"));
         }
+        return;
+    }
+    match (expected, actual) {
         (Value::Seq(e), Value::Seq(a)) => {
             if e.len() != a.len() {
                 out.push(format!(

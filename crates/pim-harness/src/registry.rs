@@ -37,6 +37,7 @@ impl Registry {
         ];
         for scenario in builtins {
             r.register(scenario)
+                // audit:allow(unwrap-in-library): the builtin scenario list carries no duplicate names
                 .expect("builtin scenario names are unique");
         }
         r

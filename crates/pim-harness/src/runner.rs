@@ -108,6 +108,7 @@ pub fn run_batch<S: AsRef<str>>(
         .map(|name| {
             registry
                 .get(name)
+                // audit:allow(unwrap-in-library): resolve_names returned only names this registry contains
                 .expect("names were resolved against this registry")
                 .plan(&opts.seeds)
         })
@@ -133,13 +134,15 @@ pub fn run_batch<S: AsRef<str>>(
 }
 
 /// Render the manifest (schema v2) for a batch: batch identity plus the cache
-/// accounting block.
+/// accounting block. `Err` only on a serialization failure, which the writer
+/// never produces for this tree; callers propagate it anyway so a future
+/// fallible writer cannot silently panic a batch.
 pub fn manifest_json(
     seeds: &SeedPolicy,
     reports: &[ScenarioReport],
     cache_enabled: bool,
     cache_counts: &[CacheCounts],
-) -> String {
+) -> Result<String, String> {
     assert_eq!(
         reports.len(),
         cache_counts.len(),
@@ -181,9 +184,9 @@ pub fn manifest_json(
         ),
     ]);
     let mut json =
-        serde_json::to_string_pretty(&manifest).expect("manifest serialization is infallible");
+        serde_json::to_string_pretty(&manifest).map_err(|e| format!("serialize manifest: {e}"))?;
     json.push('\n');
-    json
+    Ok(json)
 }
 
 /// Write each report to `<dir>/<scenario>.json` plus a `manifest.json`. The artifact
@@ -205,11 +208,8 @@ pub fn write_artifacts(
         written.push(path);
     }
     let path = dir.join("manifest.json");
-    std::fs::write(
-        &path,
-        manifest_json(seeds, reports, cache_enabled, cache_counts),
-    )
-    .map_err(|e| io_err("write manifest", &path, &e))?;
+    let manifest = manifest_json(seeds, reports, cache_enabled, cache_counts)?;
+    std::fs::write(&path, manifest).map_err(|e| io_err("write manifest", &path, &e))?;
     written.push(path);
     Ok(written)
 }

@@ -69,6 +69,7 @@ impl UnitCodec {
         UnitCodec {
             encode: Box::new(|any| {
                 any.downcast_ref::<U>()
+                    // audit:allow(unwrap-in-library): the plan pairs every unit with the codec of its own output type
                     .expect("unit output type matches the plan")
                     .to_value()
             }),
@@ -111,6 +112,7 @@ impl<'s> ScenarioPlan<'s> {
     /// right choice for scenarios that finish in milliseconds (closed forms, tables).
     pub fn single(run: impl FnOnce() -> ScenarioReport + Send + 's) -> ScenarioPlan<'s> {
         ScenarioPlan::map_reduce(vec![run], |mut reports: Vec<ScenarioReport>| {
+            // audit:allow(unwrap-in-library): a single-unit plan yields exactly one output
             reports.pop().expect("single-unit plan produced one output")
         })
     }
@@ -122,6 +124,7 @@ impl<'s> ScenarioPlan<'s> {
         run: impl FnOnce() -> ScenarioReport + Send + 's,
     ) -> ScenarioPlan<'s> {
         ScenarioPlan::cached_map_reduce(vec![(key, run)], |mut reports: Vec<ScenarioReport>| {
+            // audit:allow(unwrap-in-library): a single-unit plan yields exactly one output
             reports.pop().expect("single-unit plan produced one output")
         })
     }
@@ -184,6 +187,7 @@ impl<'s> ScenarioPlan<'s> {
                 .into_iter()
                 .map(|o| {
                     *o.downcast::<U>()
+                        // audit:allow(unwrap-in-library): the plan pairs every unit with the codec of its own output type
                         .expect("unit output type matches the plan")
                 })
                 .collect();

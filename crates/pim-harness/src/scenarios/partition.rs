@@ -424,6 +424,7 @@ impl Scenario for AblationImbalance {
                 units.push((keyer.key(c * SKEWS.len() + s, 0), move || {
                     let row = imbalance_sensitivity(config, nodes, wl, &[skew], seed)
                         .pop()
+                        // audit:allow(unwrap-in-library): imbalance_sensitivity returns one row per skew and one skew was passed
                         .expect("one skew yields one row");
                     (nodes, wl, row)
                 }));

@@ -987,6 +987,7 @@ impl SpecScenario {
                 available
                     .iter()
                     .position(|a| a == c)
+                    // audit:allow(unwrap-in-library): parse validated every requested column against this family
                     .expect("columns were validated against the family at parse time")
             })
             .collect()

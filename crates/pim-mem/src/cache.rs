@@ -155,6 +155,7 @@ impl CacheModel for SetAssociativeCache {
         let victim = ways
             .iter_mut()
             .min_by_key(|(t, stamp)| if *t == u64::MAX { (0, 0) } else { (1, *stamp) })
+            // audit:allow(unwrap-in-library): associativity is validated positive, so a set always has a way
             .expect("at least one way");
         *victim = (tag, self.stamp);
         self.misses += 1;

@@ -76,6 +76,7 @@ impl ControlSystem {
     ) -> Self {
         config
             .validate()
+            // audit:allow(unwrap-in-library): constructor contract — an invalid config is a caller bug and fails loudly
             .expect("invalid parcel-study configuration");
         ControlSystem {
             sampler: RunSampler::new(&config),

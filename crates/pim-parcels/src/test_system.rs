@@ -120,6 +120,7 @@ impl TestSystem {
     ) -> Self {
         config
             .validate()
+            // audit:allow(unwrap-in-library): constructor contract — an invalid config is a caller bug and fails loudly
             .expect("invalid parcel-study configuration");
         TestSystem {
             sampler: RunSampler::new(&config),
@@ -293,6 +294,7 @@ impl Model for TestSystem {
                 let finished = self.nodes[node]
                     .running
                     .take()
+                    // audit:allow(unwrap-in-library): a ServiceDone event is only scheduled while a job occupies the node
                     .expect("service-done without a job");
                 self.nodes[node].work_ops += finished.ops;
                 self.nodes[node].busy_cycles += finished.duration_cycles;

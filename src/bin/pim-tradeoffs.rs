@@ -7,6 +7,7 @@
 //!                       [--cache DIR] [--no-cache]
 //! pim-tradeoffs cache   stats|gc|clear DIR [--max-mib N]
 //! pim-tradeoffs spec    check FILE|DIR...
+//! pim-tradeoffs audit   [--root DIR] [--format human|json]
 //! pim-tradeoffs point   --nodes 32 --wl 0.8 [--pmiss 0.1] [--mix 0.3] [--simulate]
 //! pim-tradeoffs sweep   [--max-nodes 64] [--simulate]
 //! pim-tradeoffs nb      [--pmiss 0.1] [--mix 0.3] [--lwp-cycle 5] [--tml 30] [--tmh 90]
@@ -26,6 +27,7 @@
 //! grammar above.
 
 use pim_repro::pim_analytic::{AnalyticModel, ParcelAnalyticModel};
+use pim_repro::pim_audit::{self, diag, diag::Diagnostic};
 use pim_repro::pim_core::prelude::*;
 use pim_repro::pim_harness::prelude::*;
 use pim_repro::pim_parcels::prelude::*;
@@ -44,6 +46,7 @@ USAGE:
   pim-tradeoffs run     ... [--cache DIR] [--no-cache]
   pim-tradeoffs cache   stats DIR | gc DIR [--max-mib N] | clear DIR
   pim-tradeoffs spec    check FILE|DIR...
+  pim-tradeoffs audit   [--root DIR] [--format human|json]
   pim-tradeoffs point   --nodes N --wl FRACTION [--pmiss P] [--mix M] [--simulate]
   pim-tradeoffs sweep   [--max-nodes N] [--simulate]
   pim-tradeoffs nb      [--pmiss P] [--mix M] [--lwp-cycle NS] [--tml CYCLES] [--tmh CYCLES]
@@ -60,8 +63,9 @@ full recompute, and `cache stats|gc|clear` maintains a cache directory. `--spec`
 loads user-defined scenario specs (schema v1 JSON; see examples/specs/) into the
 registry beside the 13 builtins; `run --spec DIR` with no scenario names runs exactly
 the spec-defined scenarios, and `spec check` validates spec files without running
-anything. Run a model subcommand with no arguments to use the paper's Table 1
-defaults.";
+anything. `audit` runs the determinism & purity lint pass over the workspace sources
+(the same checks CI gates on; see the pim-audit crate) and fails on any finding.
+Run a model subcommand with no arguments to use the paper's Table 1 defaults.";
 
 /// Parsed `--flag value` arguments.
 struct Args {
@@ -289,27 +293,33 @@ fn cmd_spec(positionals: &[String], args: &Args) -> Result<(), String> {
         return Err("spec check needs at least one file or directory".into());
     }
     let mut registry = Registry::builtin();
-    let mut failures = 0usize;
+    // Failures accumulate as diagnostics and print through the shared pipeline
+    // (pim_audit::diag), so `spec check` and `audit` report in one format.
+    let mut findings: Vec<Diagnostic> = Vec::new();
     let mut checked = 0usize;
     for path in paths {
         // Enumerate files first so one bad spec in a directory still lets every
-        // other spec in it get its own ok/FAIL line (and collision check).
+        // other spec in it get its own ok/error line (and collision check).
         let files = match spec_files(std::path::Path::new(path)) {
             Ok(files) => files,
             Err(e) => {
-                eprintln!("FAIL {path}: {e}");
                 checked += 1;
-                failures += 1;
+                findings.push(Diagnostic::file_level("spec-check", path, e));
                 continue;
             }
         };
         for file in files {
             checked += 1;
+            let shown = file.display().to_string();
             let spec = match load_spec_file(&file) {
                 Ok(spec) => spec,
                 Err(e) => {
-                    eprintln!("FAIL {e}");
-                    failures += 1;
+                    // load_spec_file prefixes its own path; the span already says it.
+                    let msg = e
+                        .strip_prefix(&format!("{shown}: "))
+                        .map(str::to_string)
+                        .unwrap_or(e);
+                    findings.push(Diagnostic::file_level("spec-check", &shown, msg));
                     continue;
                 }
             };
@@ -324,18 +334,51 @@ fn cmd_spec(positionals: &[String], args: &Args) -> Result<(), String> {
             );
             match register_specs(&mut registry, vec![spec]) {
                 Ok(_) => println!("ok   {line}"),
-                Err(e) => {
-                    eprintln!("FAIL {line}: {e}");
-                    failures += 1;
-                }
+                Err(e) => findings.push(Diagnostic::file_level("spec-check", &shown, e)),
             }
         }
     }
-    if failures > 0 {
-        Err(format!("{failures} of {checked} spec(s) failed"))
-    } else {
-        eprintln!("{checked} spec(s) ok");
+    eprint!("{}", diag::render_human(&findings));
+    let checked = format!("{checked} spec{}", if checked == 1 { "" } else { "s" });
+    if findings.is_empty() {
+        eprintln!("{}", diag::summary_line(&checked, 0, 0));
         Ok(())
+    } else {
+        Err(diag::summary_line(&checked, findings.len(), 0))
+    }
+}
+
+/// `audit`: run the determinism & purity lint pass over the workspace sources —
+/// the same pass the `pim-audit` binary and the gating CI job run (see the
+/// pim-audit crate for the rule set and the allow grammar).
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    let root = args
+        .flags
+        .get("root")
+        .cloned()
+        .unwrap_or_else(|| ".".into());
+    let format = args
+        .flags
+        .get("format")
+        .cloned()
+        .unwrap_or_else(|| "human".into());
+    args.reject_unknown(&["root", "format"])?;
+    let report = pim_audit::audit_workspace(std::path::Path::new(&root))?;
+    match format.as_str() {
+        "json" => print!(
+            "{}",
+            diag::render_json(&report.diagnostics, report.files_scanned, report.suppressed)
+        ),
+        "human" => {
+            print!("{}", diag::render_human(&report.diagnostics));
+            println!("{}", report.summary());
+        }
+        other => return Err(format!("unknown --format '{other}' (human | json)")),
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(report.summary())
     }
 }
 
@@ -505,6 +548,7 @@ fn run() -> Result<(), String> {
         "list" => cmd_list(&args),
         "run" => cmd_run(&positionals, &args),
         "spec" => cmd_spec(&positionals, &args),
+        "audit" => cmd_audit(&args),
         "cache" => cmd_cache(&positionals, &args),
         "point" => cmd_point(&args),
         "sweep" => cmd_sweep(&args),

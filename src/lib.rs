@@ -14,7 +14,10 @@
 //! * [`pim_analytic`] — the closed-form models (`Time_relative`, `NB`, multithreading
 //!   efficiency) and their validation against the simulations;
 //! * [`pim_harness`] — the scenario registry and parallel batch harness that
-//!   regenerates every paper artifact as versioned JSON (`pim-tradeoffs list|run`).
+//!   regenerates every paper artifact as versioned JSON (`pim-tradeoffs list|run`);
+//! * [`pim_audit`] — the determinism & purity lint pass that statically enforces the
+//!   unit-result cache's purity contract over this workspace's own sources
+//!   (`pim-tradeoffs audit`, the `pim-audit` binary, and a gating CI job).
 //!
 //! See the `examples/` directory for runnable walkthroughs and the `pim-bench` crate
 //! for the binaries that regenerate every table and figure in the paper.
@@ -24,6 +27,7 @@
 
 pub use desim;
 pub use pim_analytic;
+pub use pim_audit;
 pub use pim_core;
 pub use pim_harness;
 pub use pim_mem;
