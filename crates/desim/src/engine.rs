@@ -162,10 +162,13 @@ pub struct Simulation<M: Model, Q: EventQueue<M::Event> = FifoBandQueue<<M as Mo
     model: M,
     queue: Q,
     scheduler: Scheduler<M::Event>,
-    /// Ids currently pending, kept so a [`Scheduler::cancel`] of an id that already
-    /// fired (or never existed) does not corrupt the queue's live-event accounting.
-    /// Uses the multiply-xor hasher: this set is touched twice per event.
+    /// Cancellation guard: ids currently pending, consulted so a
+    /// [`Scheduler::cancel`] of an id that already fired (or never existed) does
+    /// not corrupt the queue's live-event accounting. Built lazily on the first
+    /// cancel (`track_pending`), so models that never cancel — all the hot sweep
+    /// models — skip both hash-set touches per event entirely.
     pending: FxHashSet<EventId>,
+    track_pending: bool,
     now: SimTime,
     horizon: Option<SimTime>,
     event_budget: Option<u64>,
@@ -191,6 +194,7 @@ impl<M: Model, Q: EventQueue<M::Event>> Simulation<M, Q> {
             queue,
             scheduler: Scheduler::new(),
             pending: FxHashSet::default(),
+            track_pending: false,
             now: SimTime::ZERO,
             horizon: None,
             event_budget: None,
@@ -260,13 +264,29 @@ impl<M: Model, Q: EventQueue<M::Event>> Simulation<M, Q> {
     }
 
     fn flush_scheduler(&mut self) {
-        for ev in self.scheduler.staged.drain(..) {
-            self.pending.insert(ev.id);
-            self.queue.push(ev);
+        if self.track_pending {
+            for ev in self.scheduler.staged.drain(..) {
+                self.pending.insert(ev.id);
+                self.queue.push(ev);
+            }
+        } else {
+            for ev in self.scheduler.staged.drain(..) {
+                self.queue.push(ev);
+            }
         }
-        for id in self.scheduler.cancels.drain(..) {
-            if self.pending.remove(&id) {
-                self.queue.cancel(id);
+        if !self.scheduler.cancels.is_empty() {
+            if !self.track_pending {
+                // First cancel of this simulation: snapshot the queue's live ids.
+                // No cancel has been processed before this point, so the snapshot
+                // equals what an eagerly-maintained guard would hold — including
+                // the events staged and pushed just above.
+                self.track_pending = true;
+                self.pending = self.queue.live_ids().into_iter().collect();
+            }
+            for id in self.scheduler.cancels.drain(..) {
+                if self.pending.remove(&id) {
+                    self.queue.cancel(id);
+                }
             }
         }
     }
@@ -304,7 +324,9 @@ impl<M: Model, Q: EventQueue<M::Event>> Simulation<M, Q> {
                     break StopReason::HorizonReached;
                 }
             }
-            self.pending.remove(&ev.id);
+            if self.track_pending {
+                self.pending.remove(&ev.id);
+            }
             debug_assert!(
                 ev.time >= self.now,
                 "event queue returned an event in the past"
@@ -337,7 +359,9 @@ impl<M: Model, Q: EventQueue<M::Event>> Simulation<M, Q> {
                 return false;
             }
         }
-        self.pending.remove(&ev.id);
+        if self.track_pending {
+            self.pending.remove(&ev.id);
+        }
         self.now = ev.time;
         self.scheduler.now = self.now;
         self.model.handle(self.now, ev.payload, &mut self.scheduler);
@@ -467,6 +491,53 @@ mod tests {
         sim.model_mut().victim = Some(victim);
         sim.run();
         assert_eq!(sim.model().fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn cancel_of_already_fired_id_is_a_no_op() {
+        // The cancellation guard is built lazily on the first cancel; it must
+        // still swallow a cancel naming an id that already fired, and keep
+        // working for ids scheduled after activation.
+        struct StaleCanceller {
+            fired_id: Option<EventId>,
+            late_victim: Option<EventId>,
+            fired: Vec<u32>,
+        }
+        impl Model for StaleCanceller {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.fired.push(ev);
+                if ev == 2 {
+                    // Stale cancel: event 1 fired at t=1. Must not corrupt the
+                    // queue's live accounting for the still-pending event 3.
+                    if let Some(id) = self.fired_id.take() {
+                        sched.cancel(id);
+                    }
+                    // Post-activation schedule + cancel: must be honoured.
+                    let victim = sched.schedule_at(SimTime::from_ticks(25), 99);
+                    self.late_victim = Some(victim);
+                }
+                if ev == 3 {
+                    if let Some(id) = self.late_victim.take() {
+                        sched.cancel(id);
+                    }
+                }
+            }
+        }
+        let mut sim = Simulation::new(StaleCanceller {
+            fired_id: None,
+            late_victim: None,
+            fired: vec![],
+        });
+        let s = sim.scheduler();
+        let first = s.schedule_at(SimTime::from_ticks(1), 1);
+        s.schedule_at(SimTime::from_ticks(10), 2);
+        s.schedule_at(SimTime::from_ticks(20), 3);
+        sim.model_mut().fired_id = Some(first);
+        let report = sim.run();
+        assert_eq!(sim.model().fired, vec![1, 2, 3]);
+        assert_eq!(report.reason, StopReason::Exhausted);
+        assert_eq!(sim.pending_events(), 0);
     }
 
     #[test]

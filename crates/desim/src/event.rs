@@ -60,11 +60,116 @@ pub trait EventQueue<E> {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Ids of all live (non-cancelled) events, in no particular order. The engine
+    /// calls this once, on a model's *first* cancel, to build its cancellation
+    /// guard lazily — it is never on the hot path.
+    fn live_ids(&self) -> Vec<EventId>;
 }
 
 // ---------------------------------------------------------------------------
-// Binary heap implementation
+// Payload arena shared by the heap-backed queues
 // ---------------------------------------------------------------------------
+
+/// Whether payloads of type `E` should be parked in the arena (true) or carried
+/// inline through the ordering structure (false).
+///
+/// `size_of` is a compile-time constant, so each monomorphized queue keeps only
+/// one of the two code paths after optimization. Small payloads (the engine's
+/// `u64` handles, `pim-core`'s 16-byte phase events) sift faster inline than
+/// through an extra arena indirection; large ones (qnet transactions, parcel
+/// events) sift as 32-byte [`SlotEntry`] keys with the payload parked.
+#[inline(always)]
+fn arena_backed<E>() -> bool {
+    std::mem::size_of::<E>() > 24
+}
+
+/// Slab of event payloads with a free-list of reusable slots.
+///
+/// For arena-backed payload types (see [`arena_backed`]) the heap-backed queues
+/// keep only a compact fixed-size key record ([`SlotEntry`]) inside their
+/// ordering structure and park the payload here. Slots freed by `pop` are
+/// reused by the next `push`, so steady-state event churn moves entries a
+/// fraction the size of a full [`ScheduledEvent`] through the heap and never
+/// grows the backing storage beyond the high-water mark of in-flight events.
+struct EventArena<E> {
+    slots: Vec<Option<E>>,
+    free: Vec<u32>,
+}
+
+impl<E> EventArena<E> {
+    fn new() -> Self {
+        EventArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, payload: E) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Some(payload));
+                slot
+            }
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, slot: u32) -> E {
+        let taken = self.slots[slot as usize].take();
+        // audit:allow(unwrap-in-library): a slot handle is held by exactly one queue entry, and every entry was filled by `insert`
+        let payload = taken.expect("arena slot occupied");
+        self.free.push(slot);
+        payload
+    }
+}
+
+/// Compact ordering record for arena-backed queues: the `(time, priority, seq)`
+/// key, the id (for cancellation) and the arena slot holding the payload.
+#[derive(Clone, Copy)]
+struct SlotEntry {
+    time: SimTime,
+    priority: i32,
+    seq: u64,
+    id: EventId,
+    slot: u32,
+}
+
+impl SlotEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, i32, u64) {
+        (self.time, self.priority, self.seq)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid heap band shared by BinaryHeapQueue and FifoBandQueue's overflow band
+// ---------------------------------------------------------------------------
+
+struct HeapSlot(SlotEntry);
+
+impl PartialEq for HeapSlot {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl Eq for HeapSlot {}
+impl PartialOrd for HeapSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapSlot {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that BinaryHeap (a max-heap) yields the smallest key first.
+        other.0.key().cmp(&self.0.key())
+    }
+}
 
 struct HeapEntry<E>(ScheduledEvent<E>);
 
@@ -86,9 +191,95 @@ impl<E> Ord for HeapEntry<E> {
     }
 }
 
+/// A min-ordered heap of scheduled events that stores payloads inline or in an
+/// [`EventArena`] depending on `size_of::<E>()` (see [`arena_backed`]). Exactly
+/// one of `inline`/`slots` is ever populated for a given `E`; the compile-time
+/// constant branch lets the optimizer drop the other path entirely.
+struct HybridHeap<E> {
+    inline: BinaryHeap<HeapEntry<E>>,
+    slots: BinaryHeap<HeapSlot>,
+    arena: EventArena<E>,
+}
+
+impl<E> HybridHeap<E> {
+    fn new() -> Self {
+        HybridHeap {
+            inline: BinaryHeap::new(),
+            slots: BinaryHeap::new(),
+            arena: EventArena::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: ScheduledEvent<E>) {
+        if arena_backed::<E>() {
+            let slot = self.arena.insert(ev.payload);
+            self.slots.push(HeapSlot(SlotEntry {
+                time: ev.time,
+                priority: ev.priority,
+                seq: ev.seq,
+                id: ev.id,
+                slot,
+            }));
+        } else {
+            self.inline.push(HeapEntry(ev));
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        if arena_backed::<E>() {
+            let e = self.slots.pop()?.0;
+            Some(ScheduledEvent {
+                time: e.time,
+                priority: e.priority,
+                seq: e.seq,
+                id: e.id,
+                payload: self.arena.take(e.slot),
+            })
+        } else {
+            self.inline.pop().map(|e| e.0)
+        }
+    }
+
+    #[inline]
+    fn peek_key(&self) -> Option<(SimTime, i32, u64)> {
+        if arena_backed::<E>() {
+            self.slots.peek().map(|e| e.0.key())
+        } else {
+            self.inline.peek().map(|e| e.0.key())
+        }
+    }
+
+    #[inline]
+    fn peek_id(&self) -> Option<EventId> {
+        if arena_backed::<E>() {
+            self.slots.peek().map(|e| e.0.id)
+        } else {
+            self.inline.peek().map(|e| e.0.id)
+        }
+    }
+
+    fn ids(&self) -> Vec<EventId> {
+        if arena_backed::<E>() {
+            self.slots.iter().map(|e| e.0.id).collect()
+        } else {
+            self.inline.iter().map(|e| e.0.id).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary heap implementation
+// ---------------------------------------------------------------------------
+
 /// Binary-heap future event list with lazy cancellation.
+///
+/// Large payloads sift as compact 32-byte [`SlotEntry`] keys with the payload
+/// parked in an [`EventArena`] (slots recycled across push/pop); small payloads
+/// stay inline, where the indirection would cost more than it saves.
 pub struct BinaryHeapQueue<E> {
-    heap: BinaryHeap<HeapEntry<E>>,
+    heap: HybridHeap<E>,
     cancelled: FxHashSet<EventId>,
     live: usize,
 }
@@ -103,7 +294,7 @@ impl<E> BinaryHeapQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         BinaryHeapQueue {
-            heap: BinaryHeap::new(),
+            heap: HybridHeap::new(),
             cancelled: FxHashSet::default(),
             live: 0,
         }
@@ -115,11 +306,11 @@ impl<E> BinaryHeapQueue<E> {
         if self.cancelled.is_empty() {
             return;
         }
-        while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.0.id) {
-                // audit:allow(unwrap-in-library): guarded by the peek in the enclosing while let
+        while let Some(id) = self.heap.peek_id() {
+            if self.cancelled.contains(&id) {
+                // audit:allow(unwrap-in-library): guarded by the peek above
                 let popped = self.heap.pop().expect("peeked entry must pop");
-                self.cancelled.remove(&popped.0.id);
+                self.cancelled.remove(&popped.id);
             } else {
                 return;
             }
@@ -130,19 +321,19 @@ impl<E> BinaryHeapQueue<E> {
 impl<E> EventQueue<E> for BinaryHeapQueue<E> {
     fn push(&mut self, ev: ScheduledEvent<E>) {
         self.live += 1;
-        self.heap.push(HeapEntry(ev));
+        self.heap.push(ev);
     }
 
     fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         self.drop_cancelled_head();
-        let ev = self.heap.pop().map(|e| e.0)?;
+        let ev = self.heap.pop()?;
         self.live -= 1;
         Some(ev)
     }
 
     fn peek_time(&mut self) -> Option<SimTime> {
         self.drop_cancelled_head();
-        self.heap.peek().map(|e| e.0.time)
+        self.heap.peek_key().map(|(time, _, _)| time)
     }
 
     fn cancel(&mut self, id: EventId) -> bool {
@@ -163,6 +354,12 @@ impl<E> EventQueue<E> for BinaryHeapQueue<E> {
 
     fn len(&self) -> usize {
         self.live
+    }
+
+    fn live_ids(&self) -> Vec<EventId> {
+        let mut ids = self.heap.ids();
+        ids.retain(|id| !self.cancelled.contains(id));
+        ids
     }
 }
 
@@ -372,6 +569,15 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
     fn len(&self) -> usize {
         self.len
     }
+
+    fn live_ids(&self) -> Vec<EventId> {
+        self.buckets
+            .iter()
+            .flatten()
+            .map(|ev| ev.id)
+            .filter(|id| !self.cancelled.contains(id))
+            .collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -399,8 +605,13 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
 /// `(time, priority, seq)`, so results are bit-identical whichever queue a model
 /// runs on.
 pub struct FifoBandQueue<E> {
+    /// The monotone band keeps whole events by value: `push_back`/`pop_front`
+    /// never sift or move existing entries, so there is nothing for an arena
+    /// indirection to save there.
     fifo: std::collections::VecDeque<ScheduledEvent<E>>,
-    heap: BinaryHeap<HeapEntry<E>>,
+    /// The overflow band: a [`HybridHeap`] that parks large payloads in its
+    /// arena (slot reuse across push/pop) and keeps small ones inline.
+    heap: HybridHeap<E>,
     cancelled: FxHashSet<EventId>,
     live: usize,
 }
@@ -416,7 +627,7 @@ impl<E> FifoBandQueue<E> {
     pub fn new() -> Self {
         FifoBandQueue {
             fifo: std::collections::VecDeque::new(),
-            heap: BinaryHeap::new(),
+            heap: HybridHeap::new(),
             cancelled: FxHashSet::default(),
             live: 0,
         }
@@ -441,11 +652,11 @@ impl<E> FifoBandQueue<E> {
                 break;
             }
         }
-        while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.0.id) {
-                // audit:allow(unwrap-in-library): guarded by the peek in the enclosing while let
+        while let Some(id) = self.heap.peek_id() {
+            if self.cancelled.contains(&id) {
+                // audit:allow(unwrap-in-library): guarded by the peek above
                 let popped = self.heap.pop().expect("peeked entry must pop");
-                self.cancelled.remove(&popped.0.id);
+                self.cancelled.remove(&popped.id);
             } else {
                 break;
             }
@@ -454,11 +665,11 @@ impl<E> FifoBandQueue<E> {
 
     /// After `drop_cancelled_heads`, true when the FIFO head is the global minimum.
     fn fifo_head_wins(&self) -> Option<bool> {
-        match (self.fifo.front(), self.heap.peek()) {
+        match (self.fifo.front(), self.heap.peek_key()) {
             (None, None) => None,
             (Some(_), None) => Some(true),
             (None, Some(_)) => Some(false),
-            (Some(f), Some(h)) => Some(f.key() <= h.0.key()),
+            (Some(f), Some(h)) => Some(f.key() <= h),
         }
     }
 }
@@ -470,7 +681,7 @@ impl<E> EventQueue<E> for FifoBandQueue<E> {
         if appendable {
             self.fifo.push_back(ev);
         } else {
-            self.heap.push(HeapEntry(ev));
+            self.heap.push(ev);
         }
     }
 
@@ -481,7 +692,7 @@ impl<E> EventQueue<E> for FifoBandQueue<E> {
             self.fifo.pop_front().expect("head checked")
         } else {
             // audit:allow(unwrap-in-library): fifo_head_wins verified this head exists
-            self.heap.pop().expect("head checked").0
+            self.heap.pop().expect("head checked")
         };
         self.live -= 1;
         Some(ev)
@@ -493,7 +704,7 @@ impl<E> EventQueue<E> for FifoBandQueue<E> {
         if wins {
             self.fifo.front().map(|e| e.time)
         } else {
-            self.heap.peek().map(|e| e.0.time)
+            self.heap.peek_key().map(|(time, _, _)| time)
         }
     }
 
@@ -512,6 +723,15 @@ impl<E> EventQueue<E> for FifoBandQueue<E> {
 
     fn len(&self) -> usize {
         self.live
+    }
+
+    fn live_ids(&self) -> Vec<EventId> {
+        self.fifo
+            .iter()
+            .map(|ev| ev.id)
+            .chain(self.heap.ids())
+            .filter(|id| !self.cancelled.contains(id))
+            .collect()
     }
 }
 
@@ -752,6 +972,87 @@ mod tests {
         let out = drain(&mut q);
         assert_eq!(out.len(), 200);
         assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    fn fat_ev(time: u64, seq: u64) -> ScheduledEvent<[u64; 4]> {
+        // 32 bytes: above the inline threshold, so heap-backed queues park the
+        // payload in the arena and sift compact `SlotEntry` keys instead.
+        ScheduledEvent {
+            time: SimTime::from_ticks(time),
+            priority: 0,
+            seq,
+            id: EventId(seq),
+            payload: [seq, seq + 1, seq + 2, seq + 3],
+        }
+    }
+
+    #[test]
+    fn arena_slots_are_reused_across_push_pop() {
+        // Steady-state churn must recycle payload slots: the arena's backing
+        // storage stays at the in-flight high-water mark (1 here), not the
+        // total event count.
+        let mut q = BinaryHeapQueue::new();
+        for round in 0..1000u64 {
+            q.push(fat_ev(round, round));
+            assert_eq!(q.pop().map(|e| e.payload[0]), Some(round));
+        }
+        assert_eq!(q.heap.arena.slots.len(), 1);
+
+        let mut band = FifoBandQueue::new();
+        band.push(fat_ev(1000, 0));
+        for round in 0..1000u64 {
+            // Every push lands under the tail -> heap band -> arena.
+            band.push(fat_ev(round, round + 1));
+            assert_eq!(band.pop().map(|e| e.time.ticks()), Some(round));
+        }
+        assert_eq!(band.heap.arena.slots.len(), 1);
+    }
+
+    #[test]
+    fn small_payloads_bypass_the_arena() {
+        // u32 payloads are at or under the inline threshold: the hybrid heap
+        // must keep them by value and never touch the arena.
+        assert!(!arena_backed::<u32>());
+        assert!(arena_backed::<[u64; 4]>());
+
+        let mut q = BinaryHeapQueue::new();
+        for round in 0..100u64 {
+            q.push(ev(round, round));
+        }
+        assert!(q.heap.arena.slots.is_empty());
+        assert_eq!(drain(&mut q).len(), 100);
+
+        let mut band = FifoBandQueue::new();
+        band.push(ev(1000, 0));
+        for round in 0..100u64 {
+            band.push(ev(round, round + 1)); // under the tail -> heap band
+        }
+        assert!(band.heap.arena.slots.is_empty());
+        assert_eq!(drain(&mut band).len(), 101);
+    }
+
+    #[test]
+    fn live_ids_reports_non_cancelled_ids() {
+        let mut q = FifoBandQueue::new();
+        q.push(ev(100, 0)); // fifo band
+        q.push(ev(10, 1)); // under the tail -> heap band
+        q.push(ev(200, 2)); // fifo band
+        q.cancel(EventId(2));
+        let mut ids = q.live_ids();
+        ids.sort();
+        assert_eq!(ids, vec![EventId(0), EventId(1)]);
+
+        let mut h = BinaryHeapQueue::new();
+        h.push(ev(10, 0));
+        h.push(ev(20, 1));
+        h.cancel(EventId(0));
+        assert_eq!(h.live_ids(), vec![EventId(1)]);
+
+        let mut c = CalendarQueue::new(4, 4);
+        c.push(ev(10, 0));
+        c.push(ev(20, 1));
+        c.cancel(EventId(1));
+        assert_eq!(c.live_ids(), vec![EventId(0)]);
     }
 
     #[test]

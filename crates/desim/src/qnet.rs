@@ -77,6 +77,10 @@ struct Node {
     name: String,
     kind: NodeKind,
     route: Routing,
+    /// Cached weight sum for [`Routing::Probabilistic`] (0 otherwise), computed
+    /// once in [`QNetwork::set_route`] so the per-transaction routing draw does
+    /// not re-sum the weight vector.
+    route_weight_total: f64,
     arrivals: u64,
     departures: u64,
     response: Tally,
@@ -121,6 +125,7 @@ impl QNetwork {
             name: name.into(),
             kind,
             route: Routing::Absorb,
+            route_weight_total: 0.0,
             arrivals: 0,
             departures: 0,
             response: Tally::new(),
@@ -171,11 +176,17 @@ impl QNetwork {
 
     /// Set the routing applied when a transaction leaves `node`.
     pub fn set_route(&mut self, node: NodeId, route: Routing) {
+        self.nodes[node.0].route_weight_total = match &route {
+            Routing::Probabilistic(ws) => ws.iter().map(|(w, _)| *w).sum(),
+            _ => 0.0,
+        };
         self.nodes[node.0].route = route;
     }
 
+    #[inline]
     fn route_target(&mut self, from: NodeId, txn: &Transaction) -> Option<NodeId> {
-        match &self.nodes[from.0].route {
+        let node = &self.nodes[from.0];
+        match &node.route {
             Routing::To(n) => Some(*n),
             Routing::Absorb => None,
             Routing::ByClass(map) => map
@@ -184,7 +195,7 @@ impl QNetwork {
                 .or_else(|| map.first())
                 .map(|(_, n)| *n),
             Routing::Probabilistic(ws) => {
-                let total: f64 = ws.iter().map(|(w, _)| *w).sum();
+                let total = node.route_weight_total;
                 if total <= 0.0 {
                     return None;
                 }

@@ -7,8 +7,15 @@
 //! distribution that can be sampled against any stream.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng, Standard};
 use serde::{Deserialize, Serialize};
+
+/// Number of raw 64-bit words prefetched per buffer refill.
+///
+/// Small enough that cloning a stream stays cheap, large enough that the
+/// xoshiro state is touched once per 32 draws instead of once per draw in the
+/// simulation inner loops.
+const RAW_BUF_LEN: usize = 32;
 
 /// A seeded, reproducible random stream.
 ///
@@ -17,12 +24,23 @@ use serde::{Deserialize, Serialize};
 /// SplitMix64), which lets a model dedicate one stream to service times, another
 /// to routing, etc., without cross-coupling — the standard variance-reduction
 /// discipline for queuing studies.
+///
+/// Draws are served from a small prefetched buffer of raw generator words. The
+/// buffer is an internal detail: every consumer (single draws, [`Self::below`]'s
+/// rejection loop, the [`Self::fill_uniform01`] bulk path) takes words from it
+/// front-to-back, so the value sequence is bit-identical to drawing from the
+/// underlying generator one word at a time.
 #[derive(Debug, Clone)]
 pub struct RandomStream {
     rng: StdRng,
     seed: u64,
     stream_id: u64,
     draws: u64,
+    /// Invariant: `buf[buf_pos..buf_len]` are exactly the next outputs of
+    /// `rng`'s pre-buffering word sequence, in order.
+    buf: [u64; RAW_BUF_LEN],
+    buf_pos: usize,
+    buf_len: usize,
 }
 
 /// Mix a (seed, stream) pair into a single 64-bit seed using SplitMix64 steps.
@@ -47,7 +65,30 @@ impl RandomStream {
             seed,
             stream_id,
             draws: 0,
+            buf: [0; RAW_BUF_LEN],
+            buf_pos: 0,
+            buf_len: 0,
         }
+    }
+
+    /// Refill the prefetch buffer from the underlying generator.
+    fn refill(&mut self) {
+        for slot in self.buf.iter_mut() {
+            *slot = self.rng.next_u64();
+        }
+        self.buf_pos = 0;
+        self.buf_len = RAW_BUF_LEN;
+    }
+
+    /// The next raw 64-bit generator word, via the prefetch buffer.
+    #[inline]
+    fn next_raw(&mut self) -> u64 {
+        if self.buf_pos == self.buf_len {
+            self.refill();
+        }
+        let x = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        x
     }
 
     /// The experiment seed this stream was created from.
@@ -69,7 +110,27 @@ impl RandomStream {
     #[inline]
     pub fn uniform01(&mut self) -> f64 {
         self.draws += 1;
-        self.rng.gen::<f64>()
+        f64::from_raw(self.next_raw())
+    }
+
+    /// Fill `out` with uniform draws in `[0, 1)` — the bulk path for tight
+    /// sampling loops. Bit-identical to calling [`Self::uniform01`] once per
+    /// slot, but converts whole runs of prefetched words at a time.
+    pub fn fill_uniform01(&mut self, out: &mut [f64]) {
+        self.draws += out.len() as u64;
+        let mut i = 0;
+        while i < out.len() {
+            if self.buf_pos == self.buf_len {
+                self.refill();
+            }
+            let take = (out.len() - i).min(self.buf_len - self.buf_pos);
+            let words = &self.buf[self.buf_pos..self.buf_pos + take];
+            for (dst, &raw) in out[i..i + take].iter_mut().zip(words) {
+                *dst = f64::from_raw(raw);
+            }
+            self.buf_pos += take;
+            i += take;
+        }
     }
 
     /// A uniform draw in `[lo, hi)`.
@@ -82,10 +143,23 @@ impl RandomStream {
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is undefined");
         self.draws += 1;
-        self.rng.gen_range(0..n)
+        // Debiased multiply-shift (Lemire), consuming raw words through the
+        // prefetch buffer with exactly the draw pattern of the generator's
+        // `gen_range(0..n)` — same word count, same result, bit-identical.
+        let mut m = (self.next_raw() as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                m = (self.next_raw() as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Bernoulli trial with success probability `p`.
+    #[inline]
     pub fn bernoulli(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
         if p <= 0.0 {
@@ -129,6 +203,15 @@ impl RandomStream {
 
     /// Geometric variate: number of Bernoulli(p) failures before the first success.
     pub fn geometric(&mut self, p: f64) -> u64 {
+        self.geometric_with_ln(p, (1.0 - p).ln())
+    }
+
+    /// [`Self::geometric`] with `(1.0 - p).ln()` precomputed by the caller, so
+    /// hot loops drawing many geometrics with a fixed `p` hoist the `ln`. The
+    /// quotient is evaluated exactly as in the recomputing form, so results are
+    /// bit-identical.
+    #[inline]
+    pub fn geometric_with_ln(&mut self, p: f64, ln_one_minus_p: f64) -> u64 {
         assert!(p > 0.0 && p <= 1.0, "geometric parameter out of range: {p}");
         if p >= 1.0 {
             return 0;
@@ -139,7 +222,7 @@ impl RandomStream {
                 break u;
             }
         };
-        (u.ln() / (1.0 - p).ln()).floor() as u64
+        (u.ln() / ln_one_minus_p).floor() as u64
     }
 
     /// Zipf-distributed rank in `[0, n)` with exponent `s` (rejection-free inverse CDF
@@ -275,6 +358,60 @@ mod tests {
 
     fn stream() -> RandomStream {
         RandomStream::new(0xC0FFEE, 1)
+    }
+
+    #[test]
+    fn buffered_stream_matches_raw_generator_words() {
+        // The prefetch buffer must consume the generator's word sequence in
+        // order: uniform01 over the stream == f64::from_raw over the bare rng.
+        let mut s = RandomStream::new(0xABCD, 9);
+        let mut raw = StdRng::seed_from_u64(mix_seed(0xABCD, 9));
+        for _ in 0..(3 * RAW_BUF_LEN + 5) {
+            let expect = f64::from_raw(raw.next_u64());
+            assert_eq!(s.uniform01().to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn fill_uniform01_is_bit_identical_to_sequential_draws() {
+        let mut bulk = RandomStream::new(0x5EED, 4);
+        let mut seq = RandomStream::new(0x5EED, 4);
+        // Warm the buffers unevenly so chunk boundaries differ between the two.
+        assert_eq!(bulk.uniform01().to_bits(), seq.uniform01().to_bits());
+        for len in [0usize, 1, 7, RAW_BUF_LEN, RAW_BUF_LEN + 3, 100] {
+            let mut out = vec![0.0; len];
+            bulk.fill_uniform01(&mut out);
+            for x in out {
+                assert_eq!(x.to_bits(), seq.uniform01().to_bits());
+            }
+            assert_eq!(bulk.draws(), seq.draws());
+        }
+    }
+
+    #[test]
+    fn below_matches_generator_gen_range() {
+        use rand::Rng;
+        let mut s = RandomStream::new(0xB0B, 2);
+        let mut raw = StdRng::seed_from_u64(mix_seed(0xB0B, 2));
+        // Mix of spans, including non-powers of two that exercise the
+        // rejection loop's variable word consumption.
+        for n in [1u64, 2, 3, 7, 17, 1000, u64::MAX - 1] {
+            for _ in 0..200 {
+                assert_eq!(s.below(n), raw.gen_range(0..n));
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_with_ln_matches_geometric() {
+        let mut a = RandomStream::new(0x9E0, 1);
+        let mut b = RandomStream::new(0x9E0, 1);
+        let p = 0.37_f64;
+        let ln_q = (1.0 - p).ln();
+        for _ in 0..500 {
+            assert_eq!(a.geometric(p), b.geometric_with_ln(p, ln_q));
+        }
+        assert_eq!(a.draws(), b.draws());
     }
 
     #[test]

@@ -354,7 +354,10 @@ impl Histogram {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
-        let target = (q * self.count as f64).ceil() as u64;
+        // q = 0 would give target = 0, making `acc >= target` hold on the very
+        // first bin even when it is empty; clamp to 1 so q = 0 resolves to the
+        // lowest bucket that actually holds mass (q > 0 already yields >= 1).
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut acc = self.underflow;
         if acc >= target && self.underflow > 0 {
             return Some(self.lo);
@@ -603,6 +606,27 @@ mod tests {
     fn histogram_empty_quantile_is_none() {
         let h = Histogram::new(0.0, 1.0, 4);
         assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_zero_resolves_to_lowest_occupied_bucket() {
+        // Regression: q = 0 used to return the first bin's midpoint even when
+        // all the mass sat in a later bin (target = 0 made `acc >= target`
+        // hold immediately).
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(7.5); // bin 7, midpoint 7.5
+        assert_eq!(h.quantile(0.0), Some(7.5));
+        assert_eq!(h.quantile(1.0), Some(7.5));
+
+        // All mass in the overflow bucket -> hi, not bin 0's midpoint.
+        let mut over = Histogram::new(0.0, 10.0, 10);
+        over.record(42.0);
+        assert_eq!(over.quantile(0.0), Some(10.0));
+
+        // Underflow mass still reports lo at q = 0.
+        let mut under = Histogram::new(0.0, 10.0, 10);
+        under.record(-1.0);
+        assert_eq!(under.quantile(0.0), Some(0.0));
     }
 
     #[test]

@@ -144,6 +144,58 @@ proptest! {
         prop_assert_eq!(seen.clone(), sorted);
     }
 
+    /// Quantiles are monotone in q — including histograms whose mass is heavily
+    /// (or entirely) in the underflow/overflow buckets.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        xs in proptest::collection::vec(-30.0f64..30.0, 1..200),
+        qs in proptest::collection::vec(0.0f64..1.0, 2..20),
+    ) {
+        // Range [0, 10) over draws from [-30, 30): roughly 5/6 of the mass
+        // lands outside the binned range.
+        let mut h = Histogram::new(0.0, 10.0, 8);
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut qs = qs;
+        qs.push(0.0);
+        qs.push(1.0);
+        qs.sort_by(|a, b| a.total_cmp(b));
+        let values: Vec<f64> = qs
+            .iter()
+            .map(|&q| h.quantile(q).expect("non-empty histogram"))
+            .collect();
+        prop_assert!(
+            values.windows(2).all(|w| w[0] <= w[1]),
+            "quantiles not monotone: qs {:?} -> {:?}", qs, values
+        );
+        // q = 0 must never report below the smallest occupied bucket, q = 1
+        // never above the largest.
+        prop_assert!(values.iter().all(|v| (0.0..=10.0).contains(v)));
+    }
+
+    /// The bulk uniform path consumes exactly the sequential stream's values.
+    #[test]
+    fn fill_uniform01_matches_sequential_draws(
+        seed in any::<u64>(),
+        lens in proptest::collection::vec(0usize..100, 1..10),
+        warmup in 0usize..40,
+    ) {
+        let mut bulk = RandomStream::new(seed, 7);
+        let mut seq = RandomStream::new(seed, 7);
+        for _ in 0..warmup {
+            prop_assert_eq!(bulk.uniform01().to_bits(), seq.uniform01().to_bits());
+        }
+        for len in lens {
+            let mut out = vec![0.0; len];
+            bulk.fill_uniform01(&mut out);
+            for x in out {
+                prop_assert_eq!(x.to_bits(), seq.uniform01().to_bits());
+            }
+            prop_assert_eq!(bulk.draws(), seq.draws());
+        }
+    }
+
     /// Exponential samples are non-negative and their mean converges to the parameter.
     #[test]
     fn exponential_samples_have_the_right_mean(seed in any::<u64>(), mean in 0.5f64..100.0) {

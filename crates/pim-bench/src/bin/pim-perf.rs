@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pim-perf [--out DIR] [--rev LABEL] [--jobs N] [--quick]
+//!          [--compare BASELINE.json] [--max-regression PCT]
 //! ```
 //!
 //! * `--out DIR` — where to write `BENCH_<rev>.json` (default: current directory).
@@ -10,11 +11,17 @@
 //! * `--jobs N` — worker threads for the batch measurement (`0` = one per core).
 //! * `--quick` — the CI smoke variant: ~10× smaller microbenches, no per-scenario
 //!   timing pass.
+//! * `--compare BASELINE.json` — after running, diff the fresh numbers against a
+//!   committed baseline payload and print a per-metric delta table; exits nonzero
+//!   if any gated events/sec metric regressed beyond the allowance.
+//! * `--max-regression PCT` — regression allowance for `--compare` (default 20).
 //!
 //! See `crates/pim-bench/src/perf.rs` for what is measured and the README's
 //! "Performance & benchmarking" section for how to compare two revisions.
 
-use pim_bench::perf::{run_suite, write_bench_file, PerfOptions};
+use pim_bench::perf::{
+    compare_payloads, format_comparison, run_suite, write_bench_file, PerfOptions,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -38,6 +45,8 @@ fn run() -> Result<(), String> {
         rev: default_rev(),
         ..Default::default()
     };
+    let mut compare: Option<PathBuf> = None;
+    let mut max_regression = 20.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,9 +63,24 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|_| format!("--jobs expects an integer, got '{v}'"))?;
             }
+            "--compare" => {
+                compare = Some(PathBuf::from(
+                    args.next().ok_or("--compare needs a baseline file")?,
+                ));
+            }
+            "--max-regression" => {
+                let v = args.next().ok_or("--max-regression needs a percentage")?;
+                max_regression = v
+                    .parse()
+                    .map_err(|_| format!("--max-regression expects a number, got '{v}'"))?;
+                if !(0.0..1000.0).contains(&max_regression) {
+                    return Err(format!("--max-regression {max_regression} is out of range"));
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "pim-perf [--out DIR] [--rev LABEL] [--jobs N] [--quick]\n\
+                     \x20        [--compare BASELINE.json] [--max-regression PCT]\n\
                      Runs the fixed benchmark suite and writes BENCH_<rev>.json."
                 );
                 return Ok(());
@@ -104,6 +128,37 @@ fn run() -> Result<(), String> {
         eprintln!("pim-perf: cache cold {cold:.0} ms, warm {warm:.0} ms ({speedup:.0}x)");
     }
     println!("{}", path.display());
+
+    if let Some(baseline_path) = compare {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+        let baseline = serde_json::value_from_str(&text).map_err(|e| {
+            format!(
+                "baseline {} is not valid JSON: {e}",
+                baseline_path.display()
+            )
+        })?;
+        let baseline_rev = match baseline.get("rev") {
+            Some(serde::Value::Str(rev)) => rev.as_str(),
+            _ => "unknown",
+        };
+        let deltas = compare_payloads(&baseline, &payload, max_regression)?;
+        eprint!("{}", format_comparison(&deltas, baseline_rev));
+        let regressed: Vec<&str> = deltas
+            .iter()
+            .filter(|d| d.failed)
+            .map(|d| d.name.as_str())
+            .collect();
+        if !regressed.is_empty() {
+            return Err(format!(
+                "{} metric(s) regressed more than {max_regression}% vs {}: {}",
+                regressed.len(),
+                baseline_path.display(),
+                regressed.join(", ")
+            ));
+        }
+        eprintln!("pim-perf: no gated metric regressed more than {max_regression}% vs baseline");
+    }
     Ok(())
 }
 

@@ -321,6 +321,129 @@ pub fn run_suite(opts: &PerfOptions) -> Value {
     ])
 }
 
+// ---------------------------------------------------------------------------
+// Baseline comparison (the `pim-perf --compare` gate)
+// ---------------------------------------------------------------------------
+
+/// Throughput metrics gated by [`compare_payloads`]: a drop beyond the allowed
+/// regression in any of them fails the comparison. All are events/sec-style
+/// rates, so they are meaningful across suite scales (quick vs full).
+const GATED_METRICS: &[(&str, &str)] = &[
+    ("event_queues", "heap_random_events_per_sec"),
+    ("event_queues", "calendar_random_events_per_sec"),
+    ("event_queues", "fifo_band_random_events_per_sec"),
+    ("event_queues", "heap_monotone_events_per_sec"),
+    ("event_queues", "calendar_monotone_events_per_sec"),
+    ("event_queues", "fifo_band_monotone_events_per_sec"),
+    ("mm1_qnet", "events_per_sec"),
+    ("parcel_point", "events_per_sec"),
+    ("scenarios", "units_per_sec"),
+];
+
+/// Informational metrics included in the delta table but never gated (wall
+/// times depend on suite scale and machine; speedup on cache hit rates).
+const INFO_METRICS: &[(&str, &str)] = &[
+    ("scenarios", "wall_ms"),
+    ("incremental", "cold_wall_ms"),
+    ("incremental", "warm_wall_ms"),
+    ("incremental", "warm_speedup"),
+];
+
+/// One metric's baseline-vs-current delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// `section.key` path of the metric in the payload.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change in percent (positive = current is larger).
+    pub delta_pct: f64,
+    /// Whether a regression in this metric can fail the comparison.
+    pub gated: bool,
+    /// True when this metric is gated and regressed beyond the allowance.
+    pub failed: bool,
+}
+
+fn metric(payload: &Value, section: &str, key: &str) -> Option<f64> {
+    payload.get(section)?.get(key)?.as_f64()
+}
+
+/// Compare `current` against a `baseline` bench payload. Each metric present in
+/// both payloads yields a [`MetricDelta`]; a gated metric whose current value
+/// falls more than `max_regression_pct` percent below the baseline is marked
+/// failed. Payloads of different schema versions refuse to compare.
+pub fn compare_payloads(
+    baseline: &Value,
+    current: &Value,
+    max_regression_pct: f64,
+) -> Result<Vec<MetricDelta>, String> {
+    let schema = |p: &Value, who: &str| {
+        p.get("schema_version")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{who} payload has no schema_version"))
+    };
+    let (b, c) = (schema(baseline, "baseline")?, schema(current, "current")?);
+    if b != c {
+        return Err(format!(
+            "schema mismatch: baseline v{b}, current v{c} — regenerate the baseline"
+        ));
+    }
+    let mut deltas = Vec::new();
+    for (gated, metrics) in [(true, GATED_METRICS), (false, INFO_METRICS)] {
+        for &(section, key) in metrics {
+            let (Some(base), Some(cur)) = (
+                metric(baseline, section, key),
+                metric(current, section, key),
+            ) else {
+                continue;
+            };
+            let delta_pct = if base != 0.0 {
+                (cur - base) / base * 100.0
+            } else {
+                0.0
+            };
+            deltas.push(MetricDelta {
+                name: format!("{section}.{key}"),
+                baseline: base,
+                current: cur,
+                delta_pct,
+                gated,
+                failed: gated && delta_pct < -max_regression_pct,
+            });
+        }
+    }
+    Ok(deltas)
+}
+
+/// Render a comparison as an aligned per-metric table (for CI logs). Gated
+/// regressions are flagged `FAIL`, everything else `ok` (or `info` for
+/// non-gated rows).
+pub fn format_comparison(deltas: &[MetricDelta], baseline_rev: &str) -> String {
+    let mut out = format!(
+        "{:<42} {:>14} {:>14} {:>9}  status\n",
+        format!("metric (baseline {baseline_rev})"),
+        "baseline",
+        "current",
+        "delta"
+    );
+    for d in deltas {
+        let status = if d.failed {
+            "FAIL"
+        } else if d.gated {
+            "ok"
+        } else {
+            "info"
+        };
+        out.push_str(&format!(
+            "{:<42} {:>14.1} {:>14.1} {:>+8.1}%  {status}\n",
+            d.name, d.baseline, d.current, d.delta_pct
+        ));
+    }
+    out
+}
+
 /// Write `payload` to `<dir>/BENCH_<rev>.json` (pretty JSON + trailing newline) and
 /// return the path.
 pub fn write_bench_file(
@@ -394,5 +517,93 @@ mod tests {
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"schema_version\""));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn synthetic_payload(schema: u32, parcel_rate: f64, mm1_rate: f64, wall_ms: f64) -> Value {
+        let section = |key: &str, rate: f64| Value::Map(vec![(key.into(), Value::F64(rate))]);
+        Value::Map(vec![
+            ("schema_version".into(), Value::U64(u64::from(schema))),
+            ("rev".into(), Value::Str("synthetic".into())),
+            ("mm1_qnet".into(), section("events_per_sec", mm1_rate)),
+            (
+                "parcel_point".into(),
+                section("events_per_sec", parcel_rate),
+            ),
+            (
+                "scenarios".into(),
+                Value::Map(vec![
+                    ("units_per_sec".into(), Value::F64(70.0)),
+                    ("wall_ms".into(), Value::F64(wall_ms)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn compare_flags_only_gated_regressions_beyond_allowance() {
+        let baseline = synthetic_payload(BENCH_SCHEMA_VERSION, 1_000_000.0, 2_000_000.0, 8_000.0);
+        // parcel −50% (fails), mm1 −10% (within allowance), wall +100% (info only).
+        let current = synthetic_payload(BENCH_SCHEMA_VERSION, 500_000.0, 1_800_000.0, 16_000.0);
+        let deltas = compare_payloads(&baseline, &current, 20.0).unwrap();
+        let find = |name: &str| deltas.iter().find(|d| d.name == name).unwrap();
+        let parcel = find("parcel_point.events_per_sec");
+        assert!(parcel.failed && parcel.gated);
+        assert!((parcel.delta_pct + 50.0).abs() < 1e-9);
+        assert!(!find("mm1_qnet.events_per_sec").failed);
+        let wall = find("scenarios.wall_ms");
+        assert!(!wall.gated && !wall.failed);
+        // Metrics absent from either payload are skipped, not errors.
+        assert!(!deltas.iter().any(|d| d.name.starts_with("event_queues.")));
+        assert!(!deltas.iter().any(|d| d.name.starts_with("incremental.")));
+    }
+
+    #[test]
+    fn compare_passes_improvements_and_exact_allowance_boundary() {
+        let baseline = synthetic_payload(BENCH_SCHEMA_VERSION, 1_000_000.0, 2_000_000.0, 8_000.0);
+        // parcel +50% improvement, mm1 at exactly −20%: neither fails at a 20% gate.
+        let current = synthetic_payload(BENCH_SCHEMA_VERSION, 1_500_000.0, 1_600_000.0, 4_000.0);
+        let deltas = compare_payloads(&baseline, &current, 20.0).unwrap();
+        assert!(deltas.iter().all(|d| !d.failed));
+        let table = format_comparison(&deltas, "pr5");
+        assert!(table.contains("baseline pr5"));
+        assert!(table.contains("parcel_point.events_per_sec"));
+        assert!(table.contains("+50.0%"));
+        assert!(!table.contains("FAIL"));
+    }
+
+    #[test]
+    fn compare_rejects_schema_mismatch() {
+        let baseline = synthetic_payload(BENCH_SCHEMA_VERSION, 1.0, 1.0, 1.0);
+        let current = synthetic_payload(BENCH_SCHEMA_VERSION + 1, 1.0, 1.0, 1.0);
+        let err = compare_payloads(&baseline, &current, 20.0).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn full_suite_payload_exposes_every_gated_metric() {
+        // Guards the gate list against drifting out of sync with the payload shape:
+        // every gated metric must exist in a real (quick) suite payload.
+        let opts = PerfOptions {
+            rev: "gate-shape".into(),
+            quick: true,
+            jobs: 2,
+        };
+        let payload = run_suite(&opts);
+        for &(section, key) in GATED_METRICS {
+            assert!(
+                payload
+                    .get(section)
+                    .and_then(|s| s.get(key))
+                    .and_then(|v| v.as_f64())
+                    .is_some(),
+                "gated metric {section}.{key} missing from suite payload"
+            );
+        }
+        let deltas = compare_payloads(&payload, &payload, 20.0).unwrap();
+        assert_eq!(
+            deltas.iter().filter(|d| d.gated).count(),
+            GATED_METRICS.len()
+        );
+        assert!(deltas.iter().all(|d| d.delta_pct == 0.0 && !d.failed));
     }
 }

@@ -97,11 +97,45 @@ impl HwpExecution {
     }
 
     /// Execute `ops` operations back-to-back and return the total busy time (ns).
+    ///
+    /// This is the batched form of calling [`Self::sample_op_time_ns`] `ops`
+    /// times: constants are hoisted, counters accumulate in locals, degenerate
+    /// probabilities (0 or 1) draw nothing — all with the identical draw
+    /// sequence and the identical left-to-right float accumulation, so results
+    /// are bit-for-bit the same.
     pub fn run_ops(&mut self, ops: u64) -> f64 {
+        let p_mem = self.config.mix.memory_fraction();
+        let p_miss = self.config.p_miss;
+        assert!(
+            (0.0..=1.0).contains(&p_mem) && (0.0..=1.0).contains(&p_miss),
+            "probability out of range"
+        );
+        let t_issue = self.config.hwp_cycle_ns;
+        let t_cache = (self.config.hwp_cache_cycles - 1.0) * self.config.hwp_cycle_ns;
+        let t_mem = self.config.hwp_memory_cycles * self.config.hwp_cycle_ns;
+        let mut busy = self.stats.busy_ns;
         let mut total = 0.0;
+        let mut memory_ops = 0u64;
+        let mut misses = 0u64;
         for _ in 0..ops {
-            total += self.sample_op_time_ns();
+            let mut t = t_issue;
+            // Same decision procedure as `bernoulli`: p >= 1 is true and p <= 0
+            // is false without consuming a draw.
+            if p_mem >= 1.0 || (p_mem > 0.0 && self.stream.uniform01() < p_mem) {
+                memory_ops += 1;
+                t += t_cache;
+                if p_miss >= 1.0 || (p_miss > 0.0 && self.stream.uniform01() < p_miss) {
+                    misses += 1;
+                    t += t_mem;
+                }
+            }
+            busy += t;
+            total += t;
         }
+        self.stats.ops += ops;
+        self.stats.memory_ops += memory_ops;
+        self.stats.cache_misses += misses;
+        self.stats.busy_ns = busy;
         total
     }
 
@@ -171,6 +205,26 @@ mod tests {
         assert!(
             (t - (1.0 + 1.0 + 90.0)).abs() < 1e-12,
             "1 issue + (2-1) cache + 90 memory"
+        );
+    }
+
+    #[test]
+    fn run_ops_matches_per_op_sampling_bitwise() {
+        let c = SystemConfig::table1();
+        let mut bulk = HwpExecution::new(c, RandomStream::new(42, 9));
+        let mut seq = HwpExecution::new(c, RandomStream::new(42, 9));
+        for ops in [0u64, 1, 7, 1000] {
+            let a = bulk.run_ops(ops);
+            let mut b = 0.0;
+            for _ in 0..ops {
+                b += seq.sample_op_time_ns();
+            }
+            assert_eq!(a.to_bits(), b.to_bits(), "ops={ops}");
+        }
+        assert_eq!(bulk.stats(), seq.stats());
+        assert_eq!(
+            bulk.stats().busy_ns.to_bits(),
+            seq.stats().busy_ns.to_bits()
         );
     }
 

@@ -76,11 +76,34 @@ impl LwpExecution {
     }
 
     /// Execute `ops` operations back-to-back and return the total busy time (ns).
+    ///
+    /// Batched form of calling [`Self::sample_op_time_ns`] `ops` times:
+    /// constants hoisted, counters in locals, degenerate mixes (0 or 1) draw
+    /// nothing — with the identical draw sequence and the identical
+    /// left-to-right float accumulation, so results are bit-for-bit the same.
     pub fn run_ops(&mut self, ops: u64) -> f64 {
+        let p_mem = self.config.mix.memory_fraction();
+        assert!((0.0..=1.0).contains(&p_mem), "probability out of range");
+        let t_mem = self.config.lwp_memory_cycles * self.config.hwp_cycle_ns;
+        let t_cycle = self.config.lwp_cycle_ns;
+        let mut busy = self.stats.busy_ns;
         let mut total = 0.0;
+        let mut memory_ops = 0u64;
         for _ in 0..ops {
-            total += self.sample_op_time_ns();
+            // Same decision procedure as `bernoulli`: p >= 1 is true and p <= 0
+            // is false without consuming a draw.
+            let t = if p_mem >= 1.0 || (p_mem > 0.0 && self.stream.uniform01() < p_mem) {
+                memory_ops += 1;
+                t_mem
+            } else {
+                t_cycle
+            };
+            busy += t;
+            total += t;
         }
+        self.stats.ops += ops;
+        self.stats.memory_ops += memory_ops;
+        self.stats.busy_ns = busy;
         total
     }
 
@@ -142,6 +165,26 @@ mod tests {
         for _ in 0..1000 {
             assert!((l.sample_op_time_ns() - 30.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn run_ops_matches_per_op_sampling_bitwise() {
+        let c = SystemConfig::table1();
+        let mut bulk = LwpExecution::new(c, RandomStream::new(42, 8));
+        let mut seq = LwpExecution::new(c, RandomStream::new(42, 8));
+        for ops in [0u64, 1, 7, 1000] {
+            let a = bulk.run_ops(ops);
+            let mut b = 0.0;
+            for _ in 0..ops {
+                b += seq.sample_op_time_ns();
+            }
+            assert_eq!(a.to_bits(), b.to_bits(), "ops={ops}");
+        }
+        assert_eq!(bulk.stats(), seq.stats());
+        assert_eq!(
+            bulk.stats().busy_ns.to_bits(),
+            seq.stats().busy_ns.to_bits()
+        );
     }
 
     #[test]

@@ -318,10 +318,19 @@ impl UnitCache {
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         std::fs::write(&tmp, &json).map_err(|e| io_err("write cache entry", &tmp, &e))?;
-        std::fs::rename(&tmp, &path).map_err(|e| {
-            let _ = std::fs::remove_file(&tmp);
-            io_err("publish cache entry", &path, &e)
-        })
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            // A concurrent `cache clear`/`cache gc` swept our in-flight temp file
+            // away (maintenance cannot tell a live store's temp from a crash
+            // orphan). The caller's result was cleared mid-publication, so the
+            // unit simply stays uncached this round — recomputed next run, never
+            // an error.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(io_err("publish cache entry", &path, &e))
+            }
+        }
     }
 
     /// Remove `key`'s entry, ignoring a concurrent removal.
@@ -404,10 +413,24 @@ pub struct GcOutcome {
     pub bytes_after: u64,
 }
 
+/// Remove `path`, treating a concurrent removal (the file is already gone) as
+/// success. Maintenance passes may race with each other and with other processes
+/// sharing the cache directory; an entry vanishing between readdir and unlink
+/// means someone else finished the job, not that maintenance failed. Returns
+/// whether this call actually removed the file.
+fn remove_if_present(op: &str, path: &Path) -> Result<bool, String> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(io_err(op, path, &e)),
+    }
+}
+
 /// The classified contents of a cache's `units/` directory: real entry files plus
 /// any `.tmp-*` leftovers from stores interrupted mid-write (crash, SIGKILL).
+/// An entry's mtime is `None` when the filesystem cannot report one.
 struct UnitsListing {
-    entries: Vec<(PathBuf, u64, std::time::SystemTime)>,
+    entries: Vec<(PathBuf, u64, Option<std::time::SystemTime>)>,
     tmp_leftovers: Vec<PathBuf>,
 }
 
@@ -433,10 +456,16 @@ fn list_units(root: &Path) -> Result<UnitsListing, String> {
         if name.to_string_lossy().contains(".tmp-") {
             listing.tmp_leftovers.push(path);
         } else if path.extension().is_some_and(|e| e == "json") {
-            let meta =
-                std::fs::metadata(&path).map_err(|e| io_err("stat cache entry", &path, &e))?;
-            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
-            listing.entries.push((path, meta.len(), mtime));
+            let meta = match std::fs::metadata(&path) {
+                Ok(meta) => meta,
+                // Removed by a concurrent gc/clear between readdir and stat:
+                // already gone, nothing to list.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(io_err("stat cache entry", &path, &e)),
+            };
+            listing
+                .entries
+                .push((path, meta.len(), meta.modified().ok()));
         }
     }
     // Stable order for deterministic reporting.
@@ -450,10 +479,15 @@ pub fn cache_stats(root: &Path) -> Result<CacheStats, String> {
     let mut stats = CacheStats::default();
     let mut per: Vec<(String, u64)> = Vec::new();
     for (path, len, _) in list_units(root)?.entries {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => Some(text),
+            // Removed by a concurrent gc/clear since the listing: not an entry.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(_) => None,
+        };
         stats.entries += 1;
         stats.bytes += len;
-        let scenario = std::fs::read_to_string(&path)
-            .ok()
+        let scenario = text
             .and_then(|text| {
                 let doc = serde_json::value_from_str(&text).ok()?;
                 UnitKey::from_value(doc.get("key")?).ok()
@@ -476,17 +510,17 @@ pub fn cache_clear(root: &Path) -> Result<u64, String> {
     let listing = list_units(root)?;
     let mut removed = 0;
     for (path, _, _) in listing.entries {
-        std::fs::remove_file(&path).map_err(|e| io_err("remove cache entry", &path, &e))?;
-        removed += 1;
+        if remove_if_present("remove cache entry", &path)? {
+            removed += 1;
+        }
     }
     for path in listing.tmp_leftovers {
-        std::fs::remove_file(&path).map_err(|e| io_err("remove cache temp file", &path, &e))?;
-        removed += 1;
+        if remove_if_present("remove cache temp file", &path)? {
+            removed += 1;
+        }
     }
     let marker = root.join(FORMAT_FILE);
-    if marker.exists() {
-        std::fs::remove_file(&marker).map_err(|e| io_err("remove cache marker", &marker, &e))?;
-    }
+    remove_if_present("remove cache marker", &marker)?;
     Ok(removed)
 }
 
@@ -497,38 +531,57 @@ pub fn cache_gc(root: &Path, max_bytes: Option<u64>) -> Result<GcOutcome, String
     let mut outcome = GcOutcome::default();
     let listing = list_units(root)?;
     for path in listing.tmp_leftovers {
-        std::fs::remove_file(&path).map_err(|e| io_err("remove cache temp file", &path, &e))?;
+        remove_if_present("remove cache temp file", &path)?;
         outcome.removed_invalid += 1;
     }
-    let mut valid: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+    let mut valid: Vec<(PathBuf, u64, Option<std::time::SystemTime>)> = Vec::new();
     for (path, len, mtime) in listing.entries {
         outcome.scanned += 1;
-        let ok = std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|text| verify_entry(&text, None))
-            .is_some();
-        if ok {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            // Removed by a concurrent gc/clear since the listing: already
+            // collected, nothing left to do.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            // Unreadable for any other reason: treat as corrupt below.
+            Err(_) => String::new(),
+        };
+        if verify_entry(&text, None).is_some() {
             valid.push((path, len, mtime));
         } else {
-            std::fs::remove_file(&path).map_err(|e| io_err("remove cache entry", &path, &e))?;
+            remove_if_present("remove cache entry", &path)?;
             outcome.removed_invalid += 1;
         }
     }
     let mut total: u64 = valid.iter().map(|(_, len, _)| *len).sum();
     if let Some(budget) = max_bytes {
-        // Oldest first; ties broken by path for determinism.
-        valid.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
-        let mut doomed = 0;
-        while total > budget && doomed < valid.len() {
-            let (path, len, _) = &valid[doomed];
-            std::fs::remove_file(path).map_err(|e| io_err("remove cache entry", path, &e))?;
+        for idx in size_eviction_order(&valid) {
+            if total <= budget {
+                break;
+            }
+            let (path, len, _) = &valid[idx];
+            remove_if_present("remove cache entry", path)?;
             total -= len;
             outcome.removed_for_size += 1;
-            doomed += 1;
         }
     }
     outcome.bytes_after = total;
     Ok(outcome)
+}
+
+/// The order in which a size-budget pass evicts valid entries: oldest mtime
+/// first, ties broken by path for determinism. Entries whose mtime could not be
+/// read cannot be meaningfully age-ordered, so they are never evicted for size —
+/// previously they sorted as `UNIX_EPOCH`, i.e. older than everything, and were
+/// silently evicted *first* — though their bytes still count against the budget.
+fn size_eviction_order(valid: &[(PathBuf, u64, Option<std::time::SystemTime>)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..valid.len()).filter(|&i| valid[i].2.is_some()).collect();
+    order.sort_by(|&a, &b| {
+        valid[a]
+            .2
+            .cmp(&valid[b].2)
+            .then_with(|| valid[a].0.cmp(&valid[b].0))
+    });
+    order
 }
 
 #[cfg(test)]
@@ -668,6 +721,105 @@ mod tests {
         assert_eq!(cache_clear(&root).unwrap(), 2);
         assert!(!orphan.exists());
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn dangling_entry_paths_are_skipped_not_fatal() {
+        let root = tmp_root("dangling");
+        let cache = UnitCache::open(&root).unwrap();
+        cache.store(&demo_key(0), &Value::U64(1)).unwrap();
+        // A broken symlink makes fs::metadata fail with NotFound — the same
+        // error a concurrent gc/clear produces when it unlinks an entry between
+        // our readdir and stat. Maintenance must read it as "already gone"
+        // rather than hard-failing the whole pass.
+        let dangling = root.join(UNITS_DIR).join("deadbeef0000.json");
+        std::os::unix::fs::symlink(root.join("no-such-target"), &dangling).unwrap();
+        assert_eq!(cache_stats(&root).unwrap().entries, 1);
+        let gc = cache_gc(&root, Some(u64::MAX)).unwrap();
+        assert_eq!(gc.scanned, 1);
+        assert_eq!(gc.removed_invalid, 0);
+        assert_eq!(cache_clear(&root).unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn size_eviction_orders_oldest_first_and_skips_mtime_less_entries() {
+        use std::time::{Duration, UNIX_EPOCH};
+        let e = |name: &str, secs: Option<u64>| {
+            (
+                PathBuf::from(name),
+                10u64,
+                secs.map(|s| UNIX_EPOCH + Duration::from_secs(s)),
+            )
+        };
+        let valid = vec![
+            e("b.json", Some(5)),
+            e("a.json", None),
+            e("c.json", Some(2)),
+            e("d.json", Some(5)),
+        ];
+        let names: Vec<&str> = size_eviction_order(&valid)
+            .into_iter()
+            .map(|i| valid[i].0.to_str().unwrap())
+            .collect();
+        // Oldest first, path tie-break; the mtime-less entry is never doomed
+        // (it used to sort as UNIX_EPOCH and be evicted before everything).
+        assert_eq!(names, ["c.json", "b.json", "d.json"]);
+    }
+
+    #[test]
+    fn concurrent_gc_clear_and_store_never_hard_fail() {
+        // Two maintenance passes racing each other and a storing worker exercise
+        // every entry-vanished-underneath-us window: readdir→stat, list→read,
+        // list→unlink. All of them must resolve as "already gone", never as an
+        // io error aborting the pass.
+        let root = tmp_root("races");
+        let cache = UnitCache::open(&root).unwrap();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        // Failures are recorded, not asserted, inside the scope: a panic before
+        // `stop` is set would leave the maintenance threads spinning forever and
+        // hang the whole suite instead of failing it.
+        let mut failures: Vec<String> = Vec::new();
+        let (gc_result, clear_result) = std::thread::scope(|s| {
+            let gc_passes = s.spawn(|| {
+                let mut passes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    cache_gc(&root, Some(0))?;
+                    passes += 1;
+                }
+                Ok::<u64, String>(passes)
+            });
+            let clear_passes = s.spawn(|| {
+                let mut passes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    cache_clear(&root)?;
+                    passes += 1;
+                }
+                Ok::<u64, String>(passes)
+            });
+            for i in 0..300 {
+                let key = demo_key(i);
+                // A store whose temp file is swept away mid-publication must
+                // report "not cached", never an io error.
+                if let Err(e) = cache.store(&key, &Value::U64(i as u64)) {
+                    failures.push(format!("store {i}: {e}"));
+                    break;
+                }
+                // A load racing the removals must see Hit or Miss, never an
+                // eviction storm (Corrupt) from half-observed files.
+                if let CacheLookup::Corrupt = cache.load(&key) {
+                    failures.push(format!("entry {i} read as corrupt"));
+                    break;
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            (gc_passes.join().unwrap(), clear_passes.join().unwrap())
+        });
+        let _ = std::fs::remove_dir_all(&root);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(gc_result.unwrap() > 0);
+        assert!(clear_result.unwrap() > 0);
     }
 
     #[test]

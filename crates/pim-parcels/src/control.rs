@@ -227,6 +227,26 @@ pub fn run_control_with_network(
     network: Box<dyn NetworkModel + Send>,
     seed: u64,
 ) -> SystemOutcome {
+    if config.remote_prob_per_op() <= 0.0 {
+        config
+            .validate()
+            // audit:allow(unwrap-in-library): constructor contract — an invalid config is a caller bug and fails loudly
+            .expect("invalid parcel-study configuration");
+        if let Some(out) = zero_remote_outcome(&config, network.as_ref(), seed) {
+            return out;
+        }
+    }
+    run_control_des(config, network, seed)
+}
+
+/// Run the control system through the full discrete-event engine, without the
+/// zero-remote closed-form short-circuit. Kept as a separate entry point so the
+/// closed form can be checked against the engine bit-for-bit.
+fn run_control_des(
+    config: ParcelConfig,
+    network: Box<dyn NetworkModel + Send>,
+    seed: u64,
+) -> SystemOutcome {
     let horizon = SimTime::from_ns_f64(config.horizon_ns());
     let model = ControlSystem::with_network(config, network, seed);
     let mut sim = Simulation::new(model);
@@ -234,6 +254,83 @@ pub fn run_control_with_network(
     sim.init(|m, sched| m.start(sched));
     sim.run();
     sim.model().outcome()
+}
+
+/// Closed-form outcome of a run whose remote probability per operation is zero.
+///
+/// Every node's single run fills the whole horizon (no RNG draws) and its
+/// `RunDone` lands exactly on the engine's horizon tick. Requantizing that tick
+/// back to cycles leaves a sub-tick residue `eps`:
+///
+/// * `eps <= 0`: the node goes straight to `Done` — its outcome is the run
+///   alone, with no remote access;
+/// * `eps > 0`: the node still issues one remote request (one busy cycle plus a
+///   destination draw, in node order), blocks, and the reply lands beyond the
+///   horizon — unless the reply delay itself rounds to zero ticks, in which
+///   case the node would start further runs and the pattern is no longer
+///   degenerate: return `None` and let the caller fall back to the engine.
+///
+/// All arithmetic replicates the engine path (same expressions, same
+/// accumulation order, same `dest_stream` draw sequence), so the result is
+/// bit-identical to [`run_control_des`] while costing O(nodes) instead of
+/// O(events).
+fn zero_remote_outcome(
+    config: &ParcelConfig,
+    network: &(dyn NetworkModel + Send),
+    seed: u64,
+) -> Option<SystemOutcome> {
+    let sampler = RunSampler::new(config);
+    let mean = sampler.mean_local_op_cycles();
+    let horizon = config.horizon_cycles;
+    let ops0 = if mean > 0.0 {
+        (horizon / mean).floor() as u64
+    } else {
+        0
+    };
+    // The run completes on the horizon tick; requantize it back to cycles
+    // exactly as `ControlSystem::cycles_of` does.
+    let done = SimDuration::from_ns_f64(horizon * config.cycle_ns);
+    let now_cycles = done.as_ns_f64() / config.cycle_ns;
+    let eps = horizon - now_cycles;
+
+    let n = config.nodes;
+    let mut dest_stream = RandomStream::new(seed, 0xDE57);
+    let mut nodes = Vec::with_capacity(n);
+    for src in 0..n {
+        let mut busy = 0.0;
+        busy += horizon;
+        let mut remote_accesses = 0;
+        if eps > 0.0 {
+            // The node issues its remote request at the horizon tick; the
+            // destination draws happen in node order, exactly as the engine
+            // dispatches the same-tick `RunDone` events.
+            let one_way = if n <= 1 {
+                config.latency_cycles
+            } else {
+                let mut d = dest_stream.below(n as u64 - 1) as usize;
+                if d >= src {
+                    d += 1;
+                }
+                network.latency_cycles(src, d)
+            };
+            let round_trip = 2.0 * one_way;
+            let delay = SimDuration::from_ns_f64((1.0 + round_trip) * config.cycle_ns);
+            if delay == SimDuration::ZERO {
+                // The reply would land inside the horizon tick and trigger
+                // further runs; not the degenerate pattern.
+                return None;
+            }
+            busy += 1.0;
+            remote_accesses = 1;
+        }
+        nodes.push(NodeOutcome {
+            work_ops: ops0,
+            busy_cycles: busy.min(horizon),
+            idle_cycles: (horizon - busy).max(0.0),
+            remote_accesses,
+        });
+    }
+    Some(SystemOutcome::from_nodes(horizon, nodes))
 }
 
 #[cfg(test)]
@@ -329,6 +426,42 @@ mod tests {
         for n in &out.nodes {
             assert!((n.busy_cycles + n.idle_cycles - base_config().horizon_cycles).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn zero_remote_closed_form_matches_the_engine_bitwise() {
+        // The short-circuit must reproduce the DES outcome exactly — including
+        // the destination-stream draws and the sub-tick quantization residue
+        // cases — across clock rates, horizons and node counts. Both a zero
+        // remote fraction and a zero memory fraction make the remote
+        // probability zero.
+        let mut checked = 0;
+        for (cycle_ns, horizon_cycles) in [(1.0, 100_000.0), (0.7, 123_456.789), (3.3, 99_999.5)] {
+            for nodes in [1usize, 4] {
+                for (remote_fraction, memory_fraction) in [(0.0, 0.3), (0.5, 0.0)] {
+                    let config = ParcelConfig {
+                        nodes,
+                        cycle_ns,
+                        horizon_cycles,
+                        remote_fraction,
+                        mix: pim_workload::InstructionMix::with_memory_fraction(memory_fraction),
+                        ..Default::default()
+                    };
+                    assert!(config.remote_prob_per_op() <= 0.0);
+                    let network = crate::network::FlatLatency::new(config.latency_cycles);
+                    let fast = zero_remote_outcome(&config, &network, 77)
+                        .expect("closed form applies to sane clock rates");
+                    let slow = run_control_des(config, Box::new(network), 77);
+                    assert_eq!(fast, slow, "config {config:?}");
+                    for (a, b) in fast.nodes.iter().zip(&slow.nodes) {
+                        assert_eq!(a.busy_cycles.to_bits(), b.busy_cycles.to_bits());
+                        assert_eq!(a.idle_cycles.to_bits(), b.idle_cycles.to_bits());
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        assert_eq!(checked, 3 * 2 * 2);
     }
 
     #[test]

@@ -87,7 +87,30 @@ impl LocalOpDist {
             return 0.0;
         }
         if ops <= 64 {
-            (0..ops).map(|_| self.sample_op(stream)).sum()
+            // Bulk form of `(0..ops).map(|_| self.sample_op(stream)).sum()`:
+            // same draws in the same order, same left-to-right summation, so the
+            // result is bit-identical — but the uniforms come in one batch.
+            let p = self.p_local_mem;
+            let mut total = 0.0;
+            if p <= 0.0 {
+                // bernoulli(p <= 0) consumes no draw: every op is pure compute.
+                for _ in 0..ops {
+                    total += 1.0;
+                }
+            } else if p >= 1.0 {
+                // bernoulli(p >= 1) consumes no draw: every op touches memory.
+                for _ in 0..ops {
+                    total += self.mem_cycles;
+                }
+            } else {
+                let mut us = [0.0f64; 64];
+                let us = &mut us[..ops as usize];
+                stream.fill_uniform01(us);
+                for &u in us.iter() {
+                    total += if u < p { self.mem_cycles } else { 1.0 };
+                }
+            }
+            total
         } else {
             let mean = ops as f64 * self.mean;
             let std = (ops as f64).sqrt() * self.std_dev;
@@ -100,14 +123,18 @@ impl LocalOpDist {
 #[derive(Debug)]
 pub struct RunSampler {
     p_remote: f64,
+    /// `(1 - p_remote).ln()`, hoisted out of the per-run geometric draw.
+    ln_one_minus_p: f64,
     local: LocalOpDist,
 }
 
 impl RunSampler {
     /// Build a sampler from the study configuration.
     pub fn new(config: &ParcelConfig) -> Self {
+        let p_remote = config.remote_prob_per_op();
         RunSampler {
-            p_remote: config.remote_prob_per_op(),
+            p_remote,
+            ln_one_minus_p: (1.0 - p_remote).ln(),
             local: LocalOpDist::from_config(config),
         }
     }
@@ -153,7 +180,7 @@ impl RunSampler {
                 false,
             );
         }
-        let ops = stream.geometric(self.p_remote);
+        let ops = stream.geometric_with_ln(self.p_remote, self.ln_one_minus_p);
         let cycles = self.local.sample_total(ops, stream);
         if cycles >= max_cycles {
             // Truncate at the horizon; prorate the completed operations.
@@ -217,6 +244,21 @@ mod tests {
             / trials as f64;
         assert!((exact - 60.0 * d.mean_cycles()).abs() / (60.0 * d.mean_cycles()) < 0.03);
         assert!((approx - 600.0 * d.mean_cycles()).abs() / (600.0 * d.mean_cycles()) < 0.03);
+    }
+
+    #[test]
+    fn sample_total_bulk_path_matches_per_op_draws() {
+        // The batched-uniform path must replay exactly the per-op draw
+        // sequence: same values, same draw count, bit-identical sum.
+        let d = LocalOpDist::from_config(&config(0.2));
+        let mut bulk = RandomStream::new(11, 1);
+        let mut seq = RandomStream::new(11, 1);
+        for ops in [1u64, 2, 5, 33, 64] {
+            let a = d.sample_total(ops, &mut bulk);
+            let b: f64 = (0..ops).map(|_| d.sample_op(&mut seq)).sum();
+            assert_eq!(a.to_bits(), b.to_bits(), "ops={ops}");
+            assert_eq!(bulk.draws(), seq.draws());
+        }
     }
 
     #[test]

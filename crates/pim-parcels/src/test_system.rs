@@ -370,6 +370,25 @@ pub fn run_test_with_options(
     remote_service: RemoteService,
     seed: u64,
 ) -> SystemOutcome {
+    if config.remote_prob_per_op() <= 0.0 {
+        config
+            .validate()
+            // audit:allow(unwrap-in-library): constructor contract — an invalid config is a caller bug and fails loudly
+            .expect("invalid parcel-study configuration");
+        return zero_remote_outcome(&config);
+    }
+    run_test_des(config, network, remote_service, seed)
+}
+
+/// Run the test system through the full discrete-event engine, without the
+/// zero-remote closed-form short-circuit. Kept as a separate entry point so the
+/// closed form can be checked against the engine bit-for-bit.
+fn run_test_des(
+    config: ParcelConfig,
+    network: Box<dyn NetworkModel + Send>,
+    remote_service: RemoteService,
+    seed: u64,
+) -> SystemOutcome {
     let horizon = SimTime::from_ns_f64(config.horizon_ns());
     let model = TestSystem::with_options(config, network, remote_service, seed);
     let mut sim = Simulation::new(model);
@@ -377,6 +396,77 @@ pub fn run_test_with_options(
     sim.init(|m, sched| m.start(sched));
     sim.run();
     sim.model().outcome()
+}
+
+/// Closed-form outcome of a run whose remote probability per operation is zero.
+///
+/// Without remote accesses the DES degenerates to a fixed event pattern: every
+/// node's first context fills the whole horizon with one run (no RNG draws),
+/// its `ServiceDone` lands exactly on the engine's horizon tick, and whatever
+/// happens next is fully determined by the sub-tick quantization residue `eps`
+/// between the configured horizon and that tick requantized to cycles:
+///
+/// * `eps <= 0`: the queued contexts never start — per node the outcome is the
+///   first run alone;
+/// * `eps > 0` and the follow-up run's duration rounds to zero ticks: each
+///   remaining context redispatches and completes at the same tick, adding
+///   `floor(eps / mean)` ops and `eps` busy cycles apiece;
+/// * `eps > 0` and the duration is at least one tick: exactly one follow-up
+///   job starts, is cut by the horizon and prorated by `outcome()`.
+///
+/// Every arithmetic step below replicates the engine path (same expressions,
+/// same accumulation order), so the result is bit-identical to [`run_test_des`]
+/// while costing O(nodes) instead of O(events).
+fn zero_remote_outcome(config: &ParcelConfig) -> SystemOutcome {
+    let sampler = RunSampler::new(config);
+    let mean = sampler.mean_local_op_cycles();
+    let horizon = config.horizon_cycles;
+    // First job: starts at cycle 0, fills the remaining horizon.
+    let ops0 = if mean > 0.0 {
+        (horizon / mean).floor() as u64
+    } else {
+        0
+    };
+    // Its completion lands on the horizon tick; requantize it back to cycles
+    // exactly as `TestSystem::cycles_of` does.
+    let done = SimDuration::from_ns_f64(horizon * config.cycle_ns);
+    let now_cycles = done.as_ns_f64() / config.cycle_ns;
+    let eps = horizon - now_cycles;
+
+    let mut work = ops0;
+    let mut busy = 0.0;
+    busy += horizon;
+    if eps > 0.0 && config.parallelism > 1 {
+        // `start_job` computes the remaining horizon the same way.
+        let remaining = (horizon - now_cycles).max(0.0);
+        let ops2 = if mean > 0.0 {
+            (remaining / mean).floor() as u64
+        } else {
+            0
+        };
+        let d2 = SimDuration::from_ns_f64(remaining * config.cycle_ns);
+        if d2 == SimDuration::ZERO {
+            // Sequential same-tick redispatch: every queued context completes.
+            for _ in 1..config.parallelism {
+                work += ops2;
+                busy += remaining;
+            }
+        } else {
+            // One follow-up job starts and is prorated at the horizon.
+            let elapsed = (horizon - now_cycles).max(0.0).min(remaining);
+            busy += elapsed;
+            if remaining > 0.0 {
+                work += (ops2 as f64 * elapsed / remaining).floor() as u64;
+            }
+        }
+    }
+    let node = NodeOutcome {
+        work_ops: work,
+        busy_cycles: busy.min(horizon),
+        idle_cycles: (horizon - busy).max(0.0),
+        remote_accesses: 0,
+    };
+    SystemOutcome::from_nodes(horizon, vec![node; config.nodes])
 }
 
 #[cfg(test)]
@@ -512,6 +602,51 @@ mod tests {
         // ...but that busy time displaces the node's own local runs, so the *local*
         // work completed per node does not exceed the memory-side mode by much.
         assert!(on_cpu.total_work_ops as f64 <= memory_side.total_work_ops as f64 * 1.35);
+    }
+
+    #[test]
+    fn zero_remote_closed_form_matches_the_engine_bitwise() {
+        // The short-circuit must reproduce the DES outcome exactly — including
+        // the sub-tick quantization residue cases — across clock rates,
+        // horizons, parallelism degrees and node counts. Both a zero remote
+        // fraction and a zero memory fraction make the remote probability zero.
+        let mut checked = 0;
+        for (cycle_ns, horizon_cycles) in [(1.0, 100_000.0), (0.7, 123_456.789), (3.3, 99_999.5)] {
+            for parallelism in [1usize, 4] {
+                for nodes in [1usize, 4] {
+                    for (remote_fraction, memory_fraction) in [(0.0, 0.3), (0.5, 0.0)] {
+                        let config = ParcelConfig {
+                            nodes,
+                            parallelism,
+                            cycle_ns,
+                            horizon_cycles,
+                            remote_fraction,
+                            mix: pim_workload::InstructionMix::with_memory_fraction(
+                                memory_fraction,
+                            ),
+                            ..Default::default()
+                        };
+                        assert!(config.remote_prob_per_op() <= 0.0);
+                        for service in [RemoteService::MemorySide, RemoteService::OnCpu] {
+                            let fast = zero_remote_outcome(&config);
+                            let slow = run_test_des(
+                                config,
+                                Box::new(crate::network::FlatLatency::new(config.latency_cycles)),
+                                service,
+                                91,
+                            );
+                            assert_eq!(fast, slow, "config {config:?} service {service:?}");
+                            for (a, b) in fast.nodes.iter().zip(&slow.nodes) {
+                                assert_eq!(a.busy_cycles.to_bits(), b.busy_cycles.to_bits());
+                                assert_eq!(a.idle_cycles.to_bits(), b.idle_cycles.to_bits());
+                            }
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(checked, 3 * 2 * 2 * 2 * 2);
     }
 
     #[test]
