@@ -91,6 +91,24 @@ pub fn stable_hash_hex(s: &str) -> String {
     h.finish_hex()
 }
 
+/// Deterministic shard assignment for a 128-bit content digest: the shard index in
+/// `0..count` that owns `digest` when work is split `count` ways.
+///
+/// This is the partition function behind `run --shard I/N`: because the digest is a
+/// uniform function of a unit's identity (never of list position, thread count or
+/// claim order), the assignment is stable under unit-list reordering and splits a
+/// sweep approximately evenly. Like the digest itself, the mapping is part of the
+/// cross-process contract — two shards of the same sweep must agree on ownership
+/// forever — so the test suite pins known assignments.
+///
+/// `count` must be nonzero (a zero-way split owns nothing and callers reject it at
+/// parse time); this debug-asserts rather than panicking in release so the hot
+/// partition loop stays branch-free.
+pub fn shard_index(digest: u128, count: u32) -> u32 {
+    debug_assert!(count > 0, "shard count must be nonzero");
+    (digest % u128::from(count.max(1))) as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +158,50 @@ mod tests {
         assert_ne!(base, digest("figure5", 2, 0));
         assert_ne!(base, digest("figure5", 1, 1));
         assert_eq!(base, digest("figure5", 1, 0));
+    }
+
+    #[test]
+    fn shard_index_is_pinned_and_in_range() {
+        // Shard assignment is part of the cross-process contract: two shards of one
+        // sweep must agree on ownership forever. Pin concrete assignments so a
+        // change to the mapping fails loudly instead of silently double-computing
+        // (or dropping) units across shards.
+        let digest = |s: &str| {
+            let mut h = StableHasher::new();
+            h.write_str(s);
+            h.finish()
+        };
+        assert_eq!(shard_index(digest("figure5"), 2), 1);
+        assert_eq!(shard_index(digest("figure5"), 3), 0);
+        assert_eq!(shard_index(digest("table1"), 2), 0);
+        assert_eq!(shard_index(0, 7), 0);
+        assert_eq!(shard_index(u128::MAX, 1), 0);
+        for n in 1..=16u32 {
+            for s in ["a", "b", "c", "figure12", "prop_spec"] {
+                assert!(shard_index(digest(s), n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_index_splits_sequential_digests_roughly_evenly() {
+        // The digests of real unit keys are hash outputs, i.e. uniform; a modulo
+        // partition of 1000 distinct digests must not starve or overload any shard.
+        for n in [2u32, 3, 5, 8] {
+            let mut buckets = vec![0u32; n as usize];
+            for i in 0..1000u64 {
+                let mut h = StableHasher::new();
+                h.write_u64(i);
+                buckets[shard_index(h.finish(), n) as usize] += 1;
+            }
+            let mean = 1000 / n;
+            for (shard, &got) in buckets.iter().enumerate() {
+                assert!(
+                    got > mean / 2 && got < mean * 2,
+                    "shard {shard}/{n} holds {got} of 1000 digests"
+                );
+            }
+        }
     }
 
     #[test]

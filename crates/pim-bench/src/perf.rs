@@ -16,6 +16,12 @@
 //! 4. **Incremental execution** — cold-vs-warm wall time of the full registry
 //!    through the content-addressed unit-result cache (`pim_harness::cache`): the
 //!    cold pass populates a fresh cache, the warm pass must serve every unit from it.
+//! 5. **Sharded execution** — the `run --shard I/N` protocol (`pim_harness::shard`)
+//!    in-process: two shard passes over the builtin registry into separate caches,
+//!    a `cache merge`, and a warm unsharded pass over the merged cache, each
+//!    wall-clocked. On a multi-core host the shard passes would run as concurrent
+//!    processes; the serial walls here still expose the protocol's overheads
+//!    (partition, double cache I/O, merge).
 //!
 //! Comparing two revisions is a field-by-field diff of their `BENCH_*.json`; CI runs
 //! the quick suite on every push and uploads the artifact (non-gating).
@@ -31,7 +37,9 @@ use std::time::Instant;
 
 /// Version of the `BENCH_*.json` schema. Bump on incompatible shape changes so
 /// trajectory tooling can refuse to compare apples to oranges. v2 added the
-/// `incremental` section (cold/warm cache wall times).
+/// `incremental` section (cold/warm cache wall times); the `sharded` section
+/// (shard/merge/warm walls) is additive — [`compare_payloads`] skips metrics
+/// absent from either payload — so it did not bump the version.
 pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Options for one suite run.
@@ -293,6 +301,92 @@ fn bench_incremental(opts: &PerfOptions) -> Value {
     ])
 }
 
+/// The two-shard protocol end to end, wall-clocked stage by stage: shard 1/2 and
+/// 2/2 of the builtin registry into separate caches, `cache_merge` into a third,
+/// and a warm unsharded pass over the merged cache. All caches live under the
+/// system temp dir and are removed afterwards.
+fn bench_sharded(opts: &PerfOptions) -> Value {
+    let registry = Registry::builtin();
+    let names = registry.names();
+    let base = std::env::temp_dir().join(format!(
+        "pim-perf-shard-{}-{}",
+        std::process::id(),
+        &opts.rev
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut shard_walls = Vec::new();
+    let mut executed = Vec::new();
+    for index in 1..=2u32 {
+        let start = Instant::now();
+        let outcome = run_batch(
+            &registry,
+            &names,
+            &BatchOptions {
+                jobs: opts.jobs,
+                cache_dir: Some(base.join(format!("shard-{index}"))),
+                shard: Some(
+                    // audit:allow(unwrap-in-library): 1/2 and 2/2 are statically valid shards
+                    ShardSpec::new(index, 2).expect("valid shard"),
+                ),
+                ..Default::default()
+            },
+        )
+        // audit:allow(unwrap-in-library): a benchmark trajectory aborts on the first failed batch by design
+        .expect("shard batch runs");
+        shard_walls.push(start.elapsed().as_secs_f64());
+        executed.push(
+            outcome
+                .shard_scenarios
+                .iter()
+                .map(|s| s.executed.len() as u64)
+                .sum::<u64>(),
+        );
+    }
+
+    let merged_cache = base.join("merged");
+    let start = Instant::now();
+    let merge = pim_harness::cache::cache_merge(
+        &merged_cache,
+        &[base.join("shard-1"), base.join("shard-2")],
+    )
+    // audit:allow(unwrap-in-library): a benchmark trajectory aborts on the first failed merge by design
+    .expect("shard caches merge");
+    let merge_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let warm = run_batch(
+        &registry,
+        &names,
+        &BatchOptions {
+            jobs: opts.jobs,
+            cache_dir: Some(merged_cache),
+            ..Default::default()
+        },
+    )
+    // audit:allow(unwrap-in-library): a benchmark trajectory aborts on the first failed batch by design
+    .expect("merged-cache batch runs");
+    let warm_secs = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&base);
+
+    let (warm_hits, warm_computed) = warm.cache_counts.iter().fold((0u64, 0u64), |(h, m), c| {
+        (h + c.hits, m + c.misses + c.recomputed)
+    });
+    map(vec![
+        ("jobs_requested", Value::U64(opts.jobs as u64)),
+        ("shard_count", Value::U64(2)),
+        ("shard1_wall_ms", Value::F64(shard_walls[0] * 1e3)),
+        ("shard2_wall_ms", Value::F64(shard_walls[1] * 1e3)),
+        ("shard1_units_executed", Value::U64(executed[0])),
+        ("shard2_units_executed", Value::U64(executed[1])),
+        ("merge_wall_ms", Value::F64(merge_secs * 1e3)),
+        ("merge_entries", Value::U64(merge.copied)),
+        ("merged_warm_wall_ms", Value::F64(warm_secs * 1e3)),
+        ("merged_warm_hits", Value::U64(warm_hits)),
+        ("merged_warm_computed", Value::U64(warm_computed)),
+    ])
+}
+
 /// Run the whole suite and return the `BENCH_*.json` payload.
 pub fn run_suite(opts: &PerfOptions) -> Value {
     let scale = if opts.quick { 20_000 } else { 200_000 };
@@ -318,6 +412,7 @@ pub fn run_suite(opts: &PerfOptions) -> Value {
         ),
         ("scenarios", bench_scenarios(opts)),
         ("incremental", bench_incremental(opts)),
+        ("sharded", bench_sharded(opts)),
     ])
 }
 
@@ -347,6 +442,10 @@ const INFO_METRICS: &[(&str, &str)] = &[
     ("incremental", "cold_wall_ms"),
     ("incremental", "warm_wall_ms"),
     ("incremental", "warm_speedup"),
+    ("sharded", "shard1_wall_ms"),
+    ("sharded", "shard2_wall_ms"),
+    ("sharded", "merge_wall_ms"),
+    ("sharded", "merged_warm_wall_ms"),
 ];
 
 /// One metric's baseline-vs-current delta.
@@ -510,6 +609,18 @@ mod tests {
         assert!(warm_hits > 100.0);
         assert_eq!(warm_hits, cold_computed);
         assert!(inc.get("warm_speedup").and_then(|v| v.as_f64()).unwrap() > 1.0);
+        // The sharded section must show an exact two-way split and an all-hit
+        // merged pass.
+        let sharded = payload.get("sharded").unwrap();
+        let num = |key: &str| sharded.get(key).and_then(|v| v.as_f64()).unwrap();
+        assert_eq!(
+            num("shard1_units_executed") + num("shard2_units_executed"),
+            num("merge_entries"),
+            "shards and merge disagree on the unit count"
+        );
+        assert_eq!(num("merged_warm_computed"), 0.0);
+        assert_eq!(num("merged_warm_hits"), num("merge_entries"));
+        assert_eq!(num("merged_warm_hits"), cold_computed);
 
         let dir = std::env::temp_dir().join(format!("pim-perf-test-{}", std::process::id()));
         let path = write_bench_file(&dir, &opts.rev, &payload).unwrap();

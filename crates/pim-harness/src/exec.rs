@@ -22,6 +22,7 @@
 use crate::cache::{CacheCounts, CacheEvent, CacheLookup, UnitCache};
 use crate::report::ScenarioReport;
 use crate::scenario::{PlanUnit, ScenarioPlan, UnitOutput};
+use crate::shard::{ExecutedUnit, ShardSpec};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -108,6 +109,75 @@ pub fn run_plans_cached(
             }
         })
         .collect())
+}
+
+/// The per-plan result of a sharded execution pass ([`run_plans_shard`]): no
+/// report — foreign units have no outputs, so nothing can assemble — just the
+/// partition accounting the shard's manifest and partial artifacts record.
+pub struct ShardPlanOutcome {
+    /// Cache accounting over the plan's *owned* units only.
+    pub cache: CacheCounts,
+    /// Total units in the plan, across all shards.
+    pub units_total: u64,
+    /// The owned (executed) units, in plan order.
+    pub executed: Vec<ExecutedUnit>,
+}
+
+/// Execute only the units of each plan that `shard` owns under the deterministic
+/// [`UnitKey`](crate::cache::UnitKey)-digest partition, discarding their in-memory
+/// outputs (a shard's product is its cache entries, not a report). Returns one
+/// [`ShardPlanOutcome`] per plan, in input order.
+///
+/// Every unit must carry a cache key: a keyless unit has no digest to partition on
+/// and no way to meet the other shards in a cache, so plans with uncacheable units
+/// are rejected (the runner names the offending scenario before calling this).
+/// Owned units still consult `cache` before running — a warm shard run is all-hits,
+/// exactly like a warm unsharded one.
+pub fn run_plans_shard(
+    plans: Vec<ScenarioPlan<'_>>,
+    jobs: usize,
+    cache: Option<&UnitCache>,
+    shard: &ShardSpec,
+) -> Result<Vec<ShardPlanOutcome>, String> {
+    let mut owned: Vec<PlanUnit<'_>> = Vec::new();
+    let mut spans = Vec::with_capacity(plans.len());
+    let mut outcomes: Vec<ShardPlanOutcome> = Vec::with_capacity(plans.len());
+    for (plan_idx, plan) in plans.into_iter().enumerate() {
+        let (units, _assemble) = plan.into_parts();
+        let start = owned.len();
+        let mut executed = Vec::new();
+        let units_total = units.len() as u64;
+        for unit in units {
+            let Some((key, _)) = &unit.cache else {
+                return Err(format!(
+                    "plan #{plan_idx} contains units without cache keys; \
+                     sharded execution requires every unit to be cacheable"
+                ));
+            };
+            if shard.owns(key) {
+                executed.push(ExecutedUnit {
+                    grid_index: key.grid_index,
+                    replication_index: key.replication_index,
+                    digest: key.digest(),
+                });
+                owned.push(unit);
+            }
+        }
+        spans.push(start..owned.len());
+        outcomes.push(ShardPlanOutcome {
+            cache: CacheCounts::default(),
+            units_total,
+            executed,
+        });
+    }
+
+    let events = execute_units(owned, jobs, cache)?;
+    for (outcome, span) in outcomes.iter_mut().zip(spans) {
+        for (_output, event) in &events[span] {
+            outcome.cache.record(*event);
+        }
+    }
+    Ok(outcomes)
 }
 
 /// Run one claimed unit, consulting the cache when both a cache and a unit key are

@@ -9,6 +9,9 @@
 //! * [`registry::Registry`] — the catalog of every registered scenario;
 //! * [`runner::run_batch`] — executes any subset across OS threads with deterministic
 //!   per-scenario RNG streams and writes versioned JSON artifacts;
+//! * [`shard`] — the `run --shard I/N` partition: split a sweep across processes by
+//!   unit-key digest, merge the shard caches with `cache merge`, and a warm
+//!   unsharded run reproduces the single-process artifacts byte-for-byte;
 //! * [`spec`] — declarative scenario specs (schema v1 JSON): user-defined scenarios
 //!   as data, compiled into the registry beside the builtins;
 //! * [`measure`] — the pim-workload → pim-mem bridge behind the `measured` spec
@@ -42,6 +45,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod scenarios;
+pub mod shard;
 pub mod spec;
 
 /// Shared, documented base seed so every default run is reproducible. The value is
@@ -54,10 +58,13 @@ pub const DEFAULT_SEED: u64 = 0x5C_2004;
 /// Convenient glob import for the harness API.
 pub mod prelude {
     pub use crate::cache::{
-        cache_clear, cache_gc, cache_stats, CacheCounts, UnitCache, UnitKey, UnitKeyer,
-        CACHE_SCHEMA_VERSION,
+        cache_clear, cache_gc, cache_merge, cache_stats, CacheCounts, MergeOutcome, UnitCache,
+        UnitKey, UnitKeyer, CACHE_SCHEMA_VERSION,
     };
-    pub use crate::exec::{resolve_jobs, run_plan, run_plans, run_plans_cached, PlanOutcome};
+    pub use crate::exec::{
+        resolve_jobs, run_plan, run_plans, run_plans_cached, run_plans_shard, PlanOutcome,
+        ShardPlanOutcome,
+    };
     pub use crate::golden::{diff_json, Tolerance};
     pub use crate::measure::{measure_stream, MeasureConfig, MeasuredStats};
     pub use crate::registry::Registry;
@@ -66,6 +73,7 @@ pub mod prelude {
     };
     pub use crate::runner::{run_batch, BatchOptions, BatchOutcome};
     pub use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
+    pub use crate::shard::{ExecutedUnit, ShardScenario, ShardSpec, SHARD_ARTIFACT_SCHEMA_VERSION};
     pub use crate::spec::{
         load_spec_file, load_specs, parse_spec, register_specs, spec_files, ScenarioSpec,
         SPEC_SCHEMA_VERSION,

@@ -13,8 +13,11 @@ pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
 
 /// Version of the batch `manifest.json` schema. v2 added the `cache` block
 /// (enabled flag plus per-scenario hit/miss/recomputed counts from the unit-result
-/// cache); per-scenario artifacts remain at [`ARTIFACT_SCHEMA_VERSION`].
-pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+/// cache); v3 added the always-present `shard` block (`null` for unsharded runs,
+/// else the `run --shard I/N` partition plus per-scenario total/executed unit
+/// counts). Per-scenario artifacts remain at [`ARTIFACT_SCHEMA_VERSION`], and unit
+/// cache entries at [`crate::cache::CACHE_SCHEMA_VERSION`] — v3 changed neither.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 3;
 
 /// A named headline number (e.g. `max_gain`), surfaced in batch summaries and pinned
 /// by the golden files alongside the full tables.

@@ -16,17 +16,26 @@
 //! consult the content-addressed unit-result cache ([`crate::cache`]) before running
 //! each unit and store results back on completion. A warm batch therefore collapses
 //! to assembly plus I/O while producing byte-identical artifacts; the manifest
-//! (schema v2) records per-scenario hit/miss/recomputed counts.
+//! (schema v3) records per-scenario hit/miss/recomputed counts.
+//!
+//! With [`BatchOptions::shard`] set, the batch runs **sharded**: only the units the
+//! shard owns under the [`crate::shard`] partition execute, no reports assemble, and
+//! the manifest's `shard` block plus per-scenario `<scenario>.shard.json` partial
+//! artifacts record exactly which units this process computed. After `cache merge`
+//! reunites the shard caches, an unsharded run over the merged cache is all-hits and
+//! emits the complete artifacts, byte-identical to a single-process run.
 
 use crate::cache::{ensure_writable_dir, io_err, CacheCounts, UnitCache};
 use crate::registry::Registry;
 use crate::report::ScenarioReport;
 use crate::scenario::SeedPolicy;
+use crate::shard::{ShardScenario, ShardSpec};
 use serde::Value;
 use std::path::{Path, PathBuf};
 
 /// Options for one batch run. The default runs with one worker per core at the
-/// [`SeedPolicy::default`] base seed, writes nothing, and uses no cache.
+/// [`SeedPolicy::default`] base seed, writes nothing, uses no cache, and is
+/// unsharded.
 #[derive(Debug, Clone, Default)]
 pub struct BatchOptions {
     /// Worker threads; `0` means one per available core.
@@ -34,25 +43,38 @@ pub struct BatchOptions {
     /// Seed policy shared by every scenario in the batch.
     pub seeds: SeedPolicy,
     /// When set, each report is written to `<out_dir>/<scenario>.json` plus a
-    /// `manifest.json` naming the batch.
+    /// `manifest.json` naming the batch (sharded runs write
+    /// `<scenario>.shard.json` partial artifacts instead of reports).
     pub out_dir: Option<PathBuf>,
     /// When set, unit results are served from and stored to the content-addressed
     /// cache at this directory (created on first use).
     pub cache_dir: Option<PathBuf>,
+    /// When set, execute only the units this shard owns under the deterministic
+    /// [`crate::cache::UnitKey`]-digest partition (see [`crate::shard`]): no
+    /// reports are assembled, and results meet the other shards in the cache.
+    /// Requires `cache_dir` or `out_dir` — a sharded run with neither would
+    /// discard everything it computes.
+    pub shard: Option<ShardSpec>,
 }
 
 /// The result of a batch run.
 #[derive(Debug)]
 pub struct BatchOutcome {
-    /// One report per requested scenario, in request order.
+    /// One report per requested scenario, in request order. Empty for sharded
+    /// runs, which never assemble reports (see [`BatchOptions::shard`]).
     pub reports: Vec<ScenarioReport>,
-    /// Per-scenario cache accounting, aligned with `reports` (all zero when no cache
-    /// directory was configured).
+    /// Per-scenario cache accounting, in request order (all zero when no cache
+    /// directory was configured; owned units only for sharded runs).
     pub cache_counts: Vec<CacheCounts>,
     /// Whether a unit cache was consulted.
     pub cache_enabled: bool,
     /// Paths written (artifacts then manifest), empty when no `out_dir` was given.
     pub written: Vec<PathBuf>,
+    /// The shard this batch executed as, `None` for ordinary (unsharded) runs.
+    pub shard: Option<ShardSpec>,
+    /// Per-scenario partition accounting, in request order. Empty for unsharded
+    /// runs.
+    pub shard_scenarios: Vec<ShardScenario>,
 }
 
 /// Resolve requested scenario names against the registry, preserving request order
@@ -103,7 +125,16 @@ pub fn run_batch<S: AsRef<str>>(
         Some(dir) => Some(UnitCache::open(dir)?),
         None => None,
     };
-    let plans = names
+    if let Some(shard) = &opts.shard {
+        if opts.cache_dir.is_none() && opts.out_dir.is_none() {
+            return Err(format!(
+                "--shard {shard} without --cache or --out would discard every unit \
+                 result it computes; give the shard a cache directory (or at least \
+                 an output directory for its partial artifacts)"
+            ));
+        }
+    }
+    let plans: Vec<_> = names
         .iter()
         .map(|name| {
             registry
@@ -113,6 +144,51 @@ pub fn run_batch<S: AsRef<str>>(
                 .plan(&opts.seeds)
         })
         .collect();
+
+    if let Some(shard) = opts.shard {
+        // Partitioning needs a digest per unit, so every unit must carry a cache
+        // key. Check before executing anything, naming the offending scenario
+        // (the executor's own guard only knows plan positions).
+        for (name, plan) in names.iter().zip(&plans) {
+            if plan.cacheable_unit_count() != plan.unit_count() {
+                return Err(format!(
+                    "scenario '{name}' has units without cache keys and cannot be \
+                     sharded; run it unsharded instead"
+                ));
+            }
+        }
+        let outcomes = crate::exec::run_plans_shard(plans, opts.jobs, cache.as_ref(), &shard)?;
+        let mut cache_counts = Vec::with_capacity(outcomes.len());
+        let mut shard_scenarios = Vec::with_capacity(outcomes.len());
+        for (name, outcome) in names.iter().zip(outcomes) {
+            cache_counts.push(outcome.cache);
+            shard_scenarios.push(ShardScenario {
+                scenario: (*name).to_string(),
+                units_total: outcome.units_total,
+                executed: outcome.executed,
+            });
+        }
+        let written = match &opts.out_dir {
+            Some(dir) => write_shard_artifacts(
+                dir,
+                &opts.seeds,
+                &shard,
+                &shard_scenarios,
+                cache.is_some(),
+                &cache_counts,
+            )?,
+            None => Vec::new(),
+        };
+        return Ok(BatchOutcome {
+            reports: Vec::new(),
+            cache_counts,
+            cache_enabled: cache.is_some(),
+            written,
+            shard: Some(shard),
+            shard_scenarios,
+        });
+    }
+
     let outcomes = crate::exec::run_plans_cached(plans, opts.jobs, cache.as_ref())?;
     let mut reports = Vec::with_capacity(outcomes.len());
     let mut cache_counts = Vec::with_capacity(outcomes.len());
@@ -130,13 +206,16 @@ pub fn run_batch<S: AsRef<str>>(
         cache_counts,
         cache_enabled: cache.is_some(),
         written,
+        shard: None,
+        shard_scenarios: Vec::new(),
     })
 }
 
-/// Render the manifest (schema v2) for a batch: batch identity plus the cache
-/// accounting block. `Err` only on a serialization failure, which the writer
-/// never produces for this tree; callers propagate it anyway so a future
-/// fallible writer cannot silently panic a batch.
+/// Render the manifest (schema v3) for an unsharded batch: batch identity, a
+/// `shard` block (always present, `null` here), and the cache accounting block.
+/// `Err` only on a serialization failure, which the writer never produces for
+/// this tree; callers propagate it anyway so a future fallible writer cannot
+/// silently panic a batch.
 pub fn manifest_json(
     seeds: &SeedPolicy,
     reports: &[ScenarioReport],
@@ -148,12 +227,60 @@ pub fn manifest_json(
         cache_counts.len(),
         "one cache-count record per report"
     );
-    let per_scenario = reports
+    let names: Vec<String> = reports.iter().map(|r| r.scenario.clone()).collect();
+    render_manifest(seeds, &names, Value::Null, cache_enabled, cache_counts)
+}
+
+/// Render the manifest (schema v3) for a sharded batch: like [`manifest_json`]
+/// but the `shard` block carries the partition (`index`, `count`) and each
+/// scenario's total vs executed unit counts — the accounting the cross-shard
+/// conformance suite sums to prove every unit ran exactly once.
+pub fn shard_manifest_json(
+    seeds: &SeedPolicy,
+    shard: &ShardSpec,
+    scenarios: &[ShardScenario],
+    cache_enabled: bool,
+    cache_counts: &[CacheCounts],
+) -> Result<String, String> {
+    assert_eq!(
+        scenarios.len(),
+        cache_counts.len(),
+        "one cache-count record per scenario"
+    );
+    let per_scenario = scenarios
+        .iter()
+        .map(|s| {
+            Value::Map(vec![
+                ("scenario".into(), Value::Str(s.scenario.clone())),
+                ("units_total".into(), Value::U64(s.units_total)),
+                ("units_executed".into(), Value::U64(s.executed.len() as u64)),
+            ])
+        })
+        .collect();
+    let block = Value::Map(vec![
+        ("index".into(), Value::U64(u64::from(shard.index()))),
+        ("count".into(), Value::U64(u64::from(shard.count()))),
+        ("per_scenario".into(), Value::Seq(per_scenario)),
+    ]);
+    let names: Vec<String> = scenarios.iter().map(|s| s.scenario.clone()).collect();
+    render_manifest(seeds, &names, block, cache_enabled, cache_counts)
+}
+
+/// The shared manifest skeleton: schema version, batch identity, the `shard`
+/// block (`Value::Null` for unsharded batches), and per-scenario cache counts.
+fn render_manifest(
+    seeds: &SeedPolicy,
+    scenario_names: &[String],
+    shard: Value,
+    cache_enabled: bool,
+    cache_counts: &[CacheCounts],
+) -> Result<String, String> {
+    let per_scenario = scenario_names
         .iter()
         .zip(cache_counts)
-        .map(|(r, c)| {
+        .map(|(name, c)| {
             Value::Map(vec![
-                ("scenario".into(), Value::Str(r.scenario.clone())),
+                ("scenario".into(), Value::Str(name.clone())),
                 ("hits".into(), Value::U64(c.hits)),
                 ("misses".into(), Value::U64(c.misses)),
                 ("recomputed".into(), Value::U64(c.recomputed)),
@@ -169,12 +296,13 @@ pub fn manifest_json(
         (
             "scenarios".into(),
             Value::Seq(
-                reports
+                scenario_names
                     .iter()
-                    .map(|r| Value::Str(r.scenario.clone()))
+                    .map(|name| Value::Str(name.clone()))
                     .collect(),
             ),
         ),
+        ("shard".into(), shard),
         (
             "cache".into(),
             Value::Map(vec![
@@ -209,6 +337,35 @@ pub fn write_artifacts(
     }
     let path = dir.join("manifest.json");
     let manifest = manifest_json(seeds, reports, cache_enabled, cache_counts)?;
+    std::fs::write(&path, manifest).map_err(|e| io_err("write manifest", &path, &e))?;
+    written.push(path);
+    Ok(written)
+}
+
+/// Write a sharded batch's partial artifacts: one `<scenario>.shard.json` per
+/// scenario (executed units' indices and digests — see
+/// [`ShardScenario::artifact_json`]) plus a `manifest.json` whose `shard` block
+/// records the partition. The `.shard` infix keeps partial artifacts from ever
+/// colliding with (or being mistaken for) the complete `<scenario>.json` reports
+/// an unsharded run writes.
+pub fn write_shard_artifacts(
+    dir: &Path,
+    seeds: &SeedPolicy,
+    shard: &ShardSpec,
+    scenarios: &[ShardScenario],
+    cache_enabled: bool,
+    cache_counts: &[CacheCounts],
+) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err("create directory", dir, &e))?;
+    let mut written = Vec::with_capacity(scenarios.len() + 1);
+    for scenario in scenarios {
+        let path = dir.join(format!("{}.shard.json", scenario.scenario));
+        std::fs::write(&path, scenario.artifact_json(shard)?)
+            .map_err(|e| io_err("write shard artifact", &path, &e))?;
+        written.push(path);
+    }
+    let path = dir.join("manifest.json");
+    let manifest = shard_manifest_json(seeds, shard, scenarios, cache_enabled, cache_counts)?;
     std::fs::write(&path, manifest).map_err(|e| io_err("write manifest", &path, &e))?;
     written.push(path);
     Ok(written)
@@ -281,8 +438,100 @@ mod tests {
         let manifest = std::fs::read_to_string(a.join("manifest.json")).unwrap();
         assert!(manifest.contains("\"scenarios\""));
         assert!(manifest.contains("\"cache\""));
-        assert!(manifest.contains("\"schema_version\": 2"));
+        assert!(manifest.contains("\"schema_version\": 3"));
+        // Unsharded batches still render the shard block, as null.
+        assert!(manifest.contains("\"shard\": null"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_run_requires_a_cache_or_out_dir() {
+        let r = Registry::builtin();
+        let err = run_batch(
+            &r,
+            &["table1"],
+            &BatchOptions {
+                shard: Some(ShardSpec::new(1, 2).unwrap()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("--shard 1/2 without --cache or --out"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sharded_run_executes_only_owned_units_and_writes_partial_artifacts() {
+        let r = Registry::builtin();
+        let base = std::env::temp_dir().join(format!("pim-runner-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let names = ["figure7", "figure12"];
+        let shards: Vec<BatchOutcome> = (1..=2u32)
+            .map(|i| {
+                run_batch(
+                    &r,
+                    &names,
+                    &BatchOptions {
+                        jobs: 2,
+                        cache_dir: Some(base.join("cache")),
+                        out_dir: Some(base.join(format!("out-{i}"))),
+                        shard: Some(ShardSpec::new(i, 2).unwrap()),
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        for (i, out) in shards.iter().enumerate() {
+            assert!(out.reports.is_empty(), "sharded runs assemble no reports");
+            assert_eq!(out.shard_scenarios.len(), 2);
+            assert_eq!(out.shard.unwrap().index() as usize, i + 1);
+            // Partial artifacts + manifest, never full reports.
+            let dir = base.join(format!("out-{}", i + 1));
+            assert!(dir.join("figure7.shard.json").exists());
+            assert!(dir.join("figure12.shard.json").exists());
+            assert!(!dir.join("figure7.json").exists());
+            let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+            assert!(manifest.contains("\"shard\": {"), "{manifest}");
+            assert!(manifest.contains("\"count\": 2"));
+            assert!(manifest.contains("\"units_executed\""));
+        }
+        // The two shards partition every scenario exactly: counts sum to the
+        // total, and both shards agree on each scenario's total.
+        for (a, b) in shards[0]
+            .shard_scenarios
+            .iter()
+            .zip(&shards[1].shard_scenarios)
+        {
+            assert_eq!(a.units_total, b.units_total);
+            assert_eq!(
+                a.executed.len() as u64 + b.executed.len() as u64,
+                a.units_total,
+                "scenario '{}' not partitioned exactly",
+                a.scenario
+            );
+        }
+        // Both shards fed one cache: a warm unsharded run over it is all-hits
+        // and produces complete artifacts.
+        let merged = run_batch(
+            &r,
+            &names,
+            &BatchOptions {
+                jobs: 2,
+                cache_dir: Some(base.join("cache")),
+                out_dir: Some(base.join("out-merged")),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for counts in &merged.cache_counts {
+            assert_eq!(counts.misses, 0, "warm run after sharding recomputed units");
+            assert_eq!(counts.recomputed, 0);
+        }
+        assert!(base.join("out-merged").join("figure7.json").exists());
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -110,15 +110,16 @@ fn golden_spec_presets() {
     }
 }
 
-/// The batch manifest (schema v2: batch identity plus the cache accounting block) is
-/// pinned by a golden file of its own. A deterministic fixture — two single-unit
-/// scenarios, default seed, cold cache — exercises every field: schema version, base
-/// seed, scenario list, and per-scenario hit/miss/recomputed counts (a cold cache
+/// The batch manifest (schema v3: batch identity, the `shard` block — `null` for
+/// this unsharded fixture — plus the cache accounting block) is pinned by a golden
+/// file of its own. A deterministic fixture — two single-unit scenarios, default
+/// seed, cold cache — exercises every field: schema version, base seed, scenario
+/// list, shard block, and per-scenario hit/miss/recomputed counts (a cold cache
 /// reports exactly one miss per unit). Stale-golden detection: the golden's
 /// `schema_version` must equal the live `MANIFEST_SCHEMA_VERSION`, so bumping the
 /// constant without re-blessing fails here by construction.
 #[test]
-fn golden_manifest_v2() {
+fn golden_manifest_v3() {
     let registry = Registry::builtin();
     let base = std::env::temp_dir().join(format!("pim-golden-manifest-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
@@ -142,7 +143,7 @@ fn golden_manifest_v2() {
     let actual = std::fs::read_to_string(&manifest_path).unwrap();
     let _ = std::fs::remove_dir_all(&base);
 
-    let path = golden_path("manifest_v2");
+    let path = golden_path("manifest_v3");
     let bless = bless_requested();
     let tol = Tolerance {
         rtol: 1e-6,

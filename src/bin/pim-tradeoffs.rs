@@ -4,8 +4,9 @@
 //! pim-tradeoffs list    [--spec FILE|DIR]
 //! pim-tradeoffs run     figure5 table1 [--jobs N] [--out artifacts/] [--seed S]
 //! pim-tradeoffs run     --all [--spec FILE|DIR] [--jobs N] [--out artifacts/] [--seed S]
-//!                       [--cache DIR] [--no-cache]
+//!                       [--cache DIR] [--no-cache] [--shard I/N]
 //! pim-tradeoffs cache   stats|gc|clear DIR [--max-mib N]
+//! pim-tradeoffs cache   merge DEST SRC... | pull DEST SRC
 //! pim-tradeoffs spec    check FILE|DIR...
 //! pim-tradeoffs audit   [--root DIR] [--format human|json]
 //! pim-tradeoffs point   --nodes 32 --wl 0.8 [--pmiss 0.1] [--mix 0.3] [--simulate]
@@ -19,7 +20,11 @@
 //! deterministic batch. `--cache DIR` makes the batch incremental: unit results are
 //! served from and stored to the content-addressed cache (see `pim_harness::cache`),
 //! so a warm re-run recomputes only what a spec or seed edit actually changed, and
-//! `cache stats|gc|clear` maintains the directory. `--spec` loads declarative
+//! `cache stats|gc|clear` maintains the directory. `--shard I/N` executes only the
+//! I-th of N deterministic unit partitions (see `pim_harness::shard`), so N
+//! processes — or N machines — can split one sweep; `cache merge` reunites their
+//! caches, after which an unsharded run is all-hits and writes the complete
+//! artifacts byte-identically. `--spec` loads declarative
 //! scenario specs (schema v1 JSON, see `pim_harness::spec` and `examples/specs/`)
 //! into the registry beside the builtins; `spec check` validates spec files without
 //! running them. Argument parsing is intentionally hand-rolled (no CLI dependency):
@@ -43,8 +48,9 @@ USAGE:
   pim-tradeoffs run     SCENARIO... [--spec FILE|DIR] [--jobs N] [--out DIR] [--seed S]
   pim-tradeoffs run     --all [--spec FILE|DIR] [--jobs N] [--out DIR] [--seed S]
   pim-tradeoffs run     --spec FILE|DIR [--jobs N] [--out DIR] [--seed S]
-  pim-tradeoffs run     ... [--cache DIR] [--no-cache]
+  pim-tradeoffs run     ... [--cache DIR] [--no-cache] [--shard I/N]
   pim-tradeoffs cache   stats DIR | gc DIR [--max-mib N] | clear DIR
+  pim-tradeoffs cache   merge DEST SRC... | pull DEST SRC
   pim-tradeoffs spec    check FILE|DIR...
   pim-tradeoffs audit   [--root DIR] [--format human|json]
   pim-tradeoffs point   --nodes N --wl FRACTION [--pmiss P] [--mix M] [--simulate]
@@ -59,7 +65,13 @@ scenario plus a manifest under DIR; artifacts are byte-identical for a given --s
 whatever --jobs is. `--cache DIR` makes the run incremental: per-unit results are
 served from and stored to a content-addressed cache, so a warm re-run recomputes only
 what changed (the manifest records per-scenario hits/misses); `--no-cache` forces a
-full recompute, and `cache stats|gc|clear` maintains a cache directory. `--spec`
+full recompute, and `cache stats|gc|clear` maintains a cache directory. `--shard
+I/N` runs only the I-th of N deterministic unit partitions (1-based; requires
+--cache or --out): N shard invocations split one sweep across processes or
+machines, `cache merge DEST SRC...` copies their cache entries into DEST (`cache
+pull DEST SRC` is the one-source form), and a final unsharded run over the merged
+cache is all-hits and writes artifacts byte-identical to a single-process run.
+`--spec`
 loads user-defined scenario specs (schema v1 JSON; see examples/specs/) into the
 registry beside the 13 builtins; `run --spec DIR` with no scenario names runs exactly
 the spec-defined scenarios, and `spec check` validates spec files without running
@@ -158,7 +170,9 @@ fn cmd_list(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_run(scenarios: &[String], args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["all", "jobs", "out", "seed", "spec", "cache", "no-cache"])?;
+    args.reject_unknown(&[
+        "all", "jobs", "out", "seed", "spec", "cache", "no-cache", "shard",
+    ])?;
     let (registry, spec_names) = registry_with_specs(args)?;
     if args.has("all") && !scenarios.is_empty() {
         return Err("pass scenario names or --all, not both".into());
@@ -181,11 +195,16 @@ fn cmd_run(scenarios: &[String], args: &Args) -> Result<(), String> {
     } else {
         args.flags.get("cache").map(std::path::PathBuf::from)
     };
+    let shard = match args.flags.get("shard") {
+        Some(s) => Some(ShardSpec::parse(s)?),
+        None => None,
+    };
     let opts = BatchOptions {
         jobs: args.get_usize("jobs", 0)?,
         seeds: SeedPolicy::new(args.get_u64("seed", DEFAULT_SEED)?),
         out_dir: args.flags.get("out").map(std::path::PathBuf::from),
         cache_dir,
+        shard,
     };
     let outcome = run_batch(&registry, &names, &opts)?;
     if outcome.cache_enabled {
@@ -196,6 +215,22 @@ fn cmd_run(scenarios: &[String], args: &Args) -> Result<(), String> {
             recomputed += c.recomputed;
         }
         eprintln!("cache: {hits} hit(s), {misses} miss(es), {recomputed} recomputed");
+    }
+    if let Some(shard) = outcome.shard {
+        // A sharded run has no reports to print — its results live in the cache
+        // (and the partial artifacts when --out is set); summarize the partition.
+        for s in &outcome.shard_scenarios {
+            println!(
+                "{:<20} shard {shard}: executed {} of {} unit(s)",
+                s.scenario,
+                s.executed.len(),
+                s.units_total
+            );
+        }
+        for path in &outcome.written {
+            eprintln!("wrote {}", path.display());
+        }
+        return Ok(());
     }
     if opts.out_dir.is_some() {
         for path in &outcome.written {
@@ -226,12 +261,45 @@ fn cmd_run(scenarios: &[String], args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `cache stats|gc|clear DIR`: inspect and maintain a unit-result cache directory.
+/// `cache stats|gc|clear DIR` / `cache merge DEST SRC...` / `cache pull DEST SRC`:
+/// inspect, maintain and assemble unit-result cache directories.
 fn cmd_cache(positionals: &[String], args: &Args) -> Result<(), String> {
     args.reject_unknown(&["max-mib"])?;
     let Some((sub, rest)) = positionals.split_first() else {
-        return Err("cache needs a subcommand: `cache stats|gc|clear DIR`".into());
+        return Err(
+            "cache needs a subcommand: `cache stats|gc|clear DIR`, `cache merge DEST SRC...` \
+             or `cache pull DEST SRC`"
+                .into(),
+        );
     };
+    // The assembly verbs take multiple directories; handle them before the
+    // single-directory maintenance verbs below.
+    match sub.as_str() {
+        "merge" => {
+            let Some((dest, sources)) = rest.split_first() else {
+                return Err("cache merge needs a destination and at least one source: \
+                            `cache merge DEST SRC...`"
+                    .into());
+            };
+            if sources.is_empty() {
+                return Err("cache merge needs at least one source directory".into());
+            }
+            let sources: Vec<std::path::PathBuf> =
+                sources.iter().map(std::path::PathBuf::from).collect();
+            return print_merge(cache_merge(std::path::Path::new(dest), &sources)?);
+        }
+        "pull" => {
+            let [dest, src] = rest else {
+                return Err(
+                    "cache pull needs exactly a destination and one source: `cache pull DEST SRC`"
+                        .into(),
+                );
+            };
+            let sources = vec![std::path::PathBuf::from(src)];
+            return print_merge(cache_merge(std::path::Path::new(dest), &sources)?);
+        }
+        _ => {}
+    }
     let [dir] = rest else {
         return Err(format!("cache {sub} needs exactly one cache directory"));
     };
@@ -271,9 +339,25 @@ fn cmd_cache(positionals: &[String], args: &Args) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown cache subcommand '{other}' (expected stats, gc or clear)"
+            "unknown cache subcommand '{other}' (expected stats, gc, clear, merge or pull)"
         )),
     }
+}
+
+/// Print a [`MergeOutcome`] summary line (shared by `cache merge` and `cache pull`).
+fn print_merge(out: MergeOutcome) -> Result<(), String> {
+    println!(
+        "merged {} source(s): {} entr{} copied, {} already present, {} invalid skipped; \
+         {} entr{} in destination",
+        out.sources,
+        out.copied,
+        if out.copied == 1 { "y" } else { "ies" },
+        out.skipped_existing,
+        out.skipped_invalid,
+        out.entries_after,
+        if out.entries_after == 1 { "y" } else { "ies" },
+    );
+    Ok(())
 }
 
 /// `spec check PATH...`: parse, validate and dry-compile every spec, reporting one
