@@ -39,6 +39,15 @@ pub const UNIT_PATH_CRATES: &[&str] = &[
     "pim-harness",
 ];
 
+/// Modules *inside* unit-path crates that are nevertheless service/CLI surface,
+/// not unit execution: nothing in them runs between a `UnitKey`'s derivation and
+/// the cached unit result. Each entry is a workspace-relative path prefix (`/`
+/// separators, no extension) covering both `<prefix>.rs` and `<prefix>/...`.
+/// Classifying them off the unit path here — instead of sprinkling ad-hoc
+/// `audit:allow` comments through their bodies — keeps the allow grammar
+/// reserved for genuine single-site exceptions.
+pub const OFF_UNIT_PATH_MODULES: &[&str] = &["crates/pim-harness/src/serve"];
+
 /// The suppressible rules, in documentation order.
 pub const RULES: &[&str] = &[
     "wall-clock-in-unit-path",
@@ -323,7 +332,11 @@ fn fn_spans(code: &[&Token]) -> Vec<(String, usize, usize)> {
 // ---------------------------------------------------------------------------
 
 fn on_unit_path(file: &SourceFile) -> bool {
-    UNIT_PATH_CRATES.contains(&file.crate_name.as_str()) && file.role == Role::Library
+    UNIT_PATH_CRATES.contains(&file.crate_name.as_str())
+        && file.role == Role::Library
+        && !OFF_UNIT_PATH_MODULES.iter().any(|prefix| {
+            file.rel == format!("{prefix}.rs") || file.rel.starts_with(&format!("{prefix}/"))
+        })
 }
 
 /// Rule 1: no wall-clock reads on the unit-execution path.
@@ -737,6 +750,36 @@ mod tests {
         assert_eq!(rules_hit("desim", src), vec!["wall-clock-in-unit-path"]);
         assert!(rules_hit("pim-bench", src).is_empty());
         assert!(rules_hit("pim-audit", src).is_empty());
+    }
+
+    #[test]
+    fn off_unit_path_modules_are_exempt_inside_unit_path_crates() {
+        let src = "fn f() { let t = Instant::now(); }";
+        // The serve module lives in pim-harness (a unit-path crate) but is
+        // classified service surface: both the module file and any submodule
+        // directory fall outside the unit path.
+        for rel in [
+            "crates/pim-harness/src/serve.rs",
+            "crates/pim-harness/src/serve/daemon.rs",
+        ] {
+            let file = SourceFile {
+                path: PathBuf::new(),
+                rel: rel.to_string(),
+                crate_name: "pim-harness".to_string(),
+                role: Role::Library,
+            };
+            assert!(!on_unit_path(&file), "{rel}");
+            assert!(audit_file(&file, src).findings.is_empty(), "{rel}");
+        }
+        // A sibling module with a merely similar name stays on the unit path.
+        let file = SourceFile {
+            path: PathBuf::new(),
+            rel: "crates/pim-harness/src/server_x.rs".to_string(),
+            crate_name: "pim-harness".to_string(),
+            role: Role::Library,
+        };
+        assert!(on_unit_path(&file));
+        assert_eq!(audit_file(&file, src).findings.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//! Fixture: a service module *inside* a unit-path crate. The path prefix
+//! `crates/pim-harness/src/serve` is listed in `rules::OFF_UNIT_PATH_MODULES`,
+//! so the wall-clock read below — request logging, the daemon's bread and
+//! butter — must produce ZERO findings without any `audit:allow` comment.
+//! (Golden contribution: nothing. The file only raises `files_scanned`.)
+
+pub fn request_elapsed_ms() -> f64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64() * 1e3
+}

@@ -22,6 +22,11 @@
 //!    wall-clocked. On a multi-core host the shard passes would run as concurrent
 //!    processes; the serial walls here still expose the protocol's overheads
 //!    (partition, double cache I/O, merge).
+//! 6. **Sweep service** — an in-process [`pim_harness::serve::SweepServer`] driven
+//!    over real sockets: one cold spec submission, then a burst of warm repeats.
+//!    Reports the cold wall, sustained warm requests/sec, and mean warm-hit
+//!    latency — the daemon's whole overhead stack (HTTP parse, spec compile,
+//!    in-memory unit hits, serialization) per request.
 //!
 //! Comparing two revisions is a field-by-field diff of their `BENCH_*.json`; CI runs
 //! the quick suite on every push and uploads the artifact (non-gating).
@@ -38,8 +43,9 @@ use std::time::Instant;
 /// Version of the `BENCH_*.json` schema. Bump on incompatible shape changes so
 /// trajectory tooling can refuse to compare apples to oranges. v2 added the
 /// `incremental` section (cold/warm cache wall times); the `sharded` section
-/// (shard/merge/warm walls) is additive — [`compare_payloads`] skips metrics
-/// absent from either payload — so it did not bump the version.
+/// (shard/merge/warm walls) and the `serve` section (daemon request throughput)
+/// are additive — [`compare_payloads`] skips metrics absent from either
+/// payload — so they did not bump the version.
 pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Options for one suite run.
@@ -387,6 +393,85 @@ fn bench_sharded(opts: &PerfOptions) -> Value {
     ])
 }
 
+/// The sweep service end to end: bind an in-process server on an OS-assigned
+/// port, submit a small analytic spec cold, then hammer it with warm repeats.
+/// Memory-only (no cache directory): the warm path measured here is the
+/// daemon's in-memory unit map, i.e. pure service overhead per request.
+fn bench_serve(opts: &PerfOptions) -> Value {
+    const SPEC: &str = r#"{
+        "schema_version": 1,
+        "name": "perf_serve_probe",
+        "description": "small analytic grid for service benchmarking",
+        "model": "analytic",
+        "grid": {
+            "node_counts": [2, 4, 8, 16, 32],
+            "lwp_fractions": [0.2, 0.4, 0.6, 0.8]
+        },
+        "columns": ["nodes", "pct_lwp", "gain"]
+    }"#;
+    let warm_requests = if opts.quick { 50u64 } else { 200u64 };
+
+    let server = SweepServer::bind(&ServeOptions {
+        jobs: opts.jobs,
+        ..ServeOptions::default()
+    })
+    // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a failed bind by design
+    .expect("serve bench binds on a loopback port");
+    // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a failed bind by design
+    let addr = server.local_addr().expect("bound socket has an address");
+    std::thread::spawn(move || {
+        let _ = server.serve_forever();
+    });
+
+    let submit = || {
+        tiny_http::client::request(&addr, "POST", "/run", &[], SPEC.as_bytes())
+            // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a failed request by design
+            .expect("serve bench request succeeds")
+    };
+    let start = Instant::now();
+    let cold = submit();
+    let cold_secs = start.elapsed().as_secs_f64();
+    assert_eq!(cold.status, 200, "cold submission failed");
+    let units: u64 = cold
+        .header("x-pim-units")
+        .and_then(|v| v.parse().ok())
+        // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a malformed response by design
+        .expect("cold response carries X-Pim-Units");
+
+    let start = Instant::now();
+    let mut warm_hits = 0u64;
+    for _ in 0..warm_requests {
+        let warm = submit();
+        assert_eq!(warm.status, 200, "warm submission failed");
+        assert_eq!(warm.body, cold.body, "warm artifact diverged");
+        warm_hits += warm
+            .header("x-pim-cache-hits")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+    }
+    let warm_secs = start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(
+        warm_hits,
+        warm_requests * units,
+        "warm requests were not served entirely from memory"
+    );
+
+    map(vec![
+        ("jobs_requested", Value::U64(opts.jobs as u64)),
+        ("units", Value::U64(units)),
+        ("cold_ms", Value::F64(cold_secs * 1e3)),
+        ("warm_requests", Value::U64(warm_requests)),
+        (
+            "warm_requests_per_sec",
+            Value::F64(warm_requests as f64 / warm_secs),
+        ),
+        (
+            "warm_hit_latency_ms",
+            Value::F64(warm_secs * 1e3 / warm_requests as f64),
+        ),
+    ])
+}
+
 /// Run the whole suite and return the `BENCH_*.json` payload.
 pub fn run_suite(opts: &PerfOptions) -> Value {
     let scale = if opts.quick { 20_000 } else { 200_000 };
@@ -413,6 +498,7 @@ pub fn run_suite(opts: &PerfOptions) -> Value {
         ("scenarios", bench_scenarios(opts)),
         ("incremental", bench_incremental(opts)),
         ("sharded", bench_sharded(opts)),
+        ("serve", bench_serve(opts)),
     ])
 }
 
@@ -446,6 +532,9 @@ const INFO_METRICS: &[(&str, &str)] = &[
     ("sharded", "shard2_wall_ms"),
     ("sharded", "merge_wall_ms"),
     ("sharded", "merged_warm_wall_ms"),
+    ("serve", "cold_ms"),
+    ("serve", "warm_requests_per_sec"),
+    ("serve", "warm_hit_latency_ms"),
 ];
 
 /// One metric's baseline-vs-current delta.
@@ -621,6 +710,12 @@ mod tests {
         assert_eq!(num("merged_warm_computed"), 0.0);
         assert_eq!(num("merged_warm_hits"), num("merge_entries"));
         assert_eq!(num("merged_warm_hits"), cold_computed);
+        // The serve section must show sustained warm throughput over a live socket.
+        let serve = payload.get("serve").unwrap();
+        let snum = |key: &str| serve.get(key).and_then(|v| v.as_f64()).unwrap();
+        assert!(snum("units") > 0.0);
+        assert!(snum("warm_requests_per_sec") > 0.0);
+        assert!(snum("warm_hit_latency_ms") > 0.0);
 
         let dir = std::env::temp_dir().join(format!("pim-perf-test-{}", std::process::id()));
         let path = write_bench_file(&dir, &opts.rev, &payload).unwrap();

@@ -355,8 +355,10 @@ impl UnitCache {
 
 /// True when `value` survives a JSON round trip losslessly. The vendored writer
 /// renders non-finite floats as `null`, so a payload containing one must never be
-/// persisted (see [`UnitCache::store`]).
-fn json_round_trips(value: &Value) -> bool {
+/// persisted (see [`UnitCache::store`]). The executor's warm in-memory result map
+/// applies the same admission rule so memory and disk never disagree about which
+/// payloads are servable.
+pub(crate) fn json_round_trips(value: &Value) -> bool {
     match value {
         Value::F64(x) => x.is_finite(),
         Value::Seq(items) => items.iter().all(json_round_trips),

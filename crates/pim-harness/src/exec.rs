@@ -18,13 +18,34 @@
 //! and entry publication is an atomic rename, hit/miss behaviour is independent of
 //! claim order and worker count — a warm batch produces byte-identical artifacts at
 //! any `--jobs`, only faster.
+//!
+//! # The persistent pool
+//!
+//! All execution routes through a [`UnitPool`], whose lifetime is decoupled from any
+//! single batch. A batch (`run_batch`, the free functions here) is *one client* of
+//! an ephemeral pool; a long-lived service ([`crate::serve`]) keeps one pool across
+//! requests and gains three things batches cannot express alone:
+//!
+//! * a **compute-permit gate** — at most `jobs` units execute at any instant across
+//!   every concurrent client of the pool, however many request threads are active;
+//! * a **warm in-memory result map** (digest → payload) — repeat queries are served
+//!   without touching the disk cache;
+//! * **single-flight deduplication** per [`UnitKey`](crate::cache::UnitKey) digest —
+//!   when two clients need the same unit concurrently, exactly one computes it and
+//!   the other blocks until the result is published, then decodes it as a hit.
+//!
+//! Unit results are pure functions of their key, so a deduplicated or memory-served
+//! payload is byte-identical to a recomputed one; the pool changes *when* work
+//! happens, never *what* is produced.
 
 use crate::cache::{CacheCounts, CacheEvent, CacheLookup, UnitCache};
 use crate::report::ScenarioReport;
 use crate::scenario::{PlanUnit, ScenarioPlan, UnitOutput};
 use crate::shard::{ExecutedUnit, ShardSpec};
+use serde::Value;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Resolve a user-facing `jobs` knob: `0` means one worker per available core.
 pub fn resolve_jobs(jobs: usize) -> usize {
@@ -35,11 +56,17 @@ pub fn resolve_jobs(jobs: usize) -> usize {
     }
 }
 
+/// A progress observer for one executor call: invoked after every completed unit
+/// with `(completed_so_far, total_units)`. Called from worker threads, so it must
+/// be `Sync`; keep it cheap — it runs inside the claim loop.
+pub type Progress<'p> = &'p (dyn Fn(usize, usize) + Sync);
+
 /// A plan's report plus its cache accounting (all-zero when uncached).
 pub struct PlanOutcome {
     /// The assembled scenario report.
     pub report: ScenarioReport,
-    /// How the plan's units interacted with the unit cache.
+    /// How the plan's units interacted with the unit cache (memory-served and
+    /// flight-deduplicated units count as hits).
     pub cache: CacheCounts,
 }
 
@@ -54,7 +81,8 @@ pub fn run_plan(plan: ScenarioPlan<'_>, jobs: usize) -> ScenarioReport {
 /// Execute every plan's units on a shared work-stealing pool and assemble one report
 /// per plan, in input order. No cache is consulted.
 pub fn run_plans(plans: Vec<ScenarioPlan<'_>>, jobs: usize) -> Vec<ScenarioReport> {
-    run_plans_cached(plans, jobs, None)
+    UnitPool::new(jobs)
+        .run_plans_cached(plans, None)
         // audit:allow(unwrap-in-library): without a cache there is no store I/O, the only error source
         .expect("uncached execution performs no fallible cache I/O")
         .into_iter()
@@ -69,46 +97,15 @@ pub fn run_plans(plans: Vec<ScenarioPlan<'_>>, jobs: usize) -> Vec<ScenarioRepor
 /// Cache *reads* never fail the batch (a corrupt entry is evicted and recomputed);
 /// cache *writes* do — an unwritable cache directory mid-run is an environment
 /// error the user must see, not a silent performance cliff.
+///
+/// This is the one-shot form: it runs on an ephemeral [`UnitPool`] that dies with
+/// the call. Persistent clients construct their own pool.
 pub fn run_plans_cached(
     plans: Vec<ScenarioPlan<'_>>,
     jobs: usize,
     cache: Option<&UnitCache>,
 ) -> Result<Vec<PlanOutcome>, String> {
-    let mut assembles = Vec::with_capacity(plans.len());
-    let mut tasks = Vec::new();
-    let mut spans = Vec::with_capacity(plans.len());
-    for plan in plans {
-        let (units, assemble) = plan.into_parts();
-        let start = tasks.len();
-        tasks.extend(units);
-        spans.push(start..tasks.len());
-        assembles.push(assemble);
-    }
-
-    let executed = execute_units(tasks, jobs, cache)?;
-
-    let mut executed: Vec<Option<(UnitOutput, CacheEvent)>> =
-        executed.into_iter().map(Some).collect();
-    Ok(assembles
-        .into_iter()
-        .zip(spans)
-        .map(|(assemble, span)| {
-            let mut counts = CacheCounts::default();
-            let plan_outputs: Vec<UnitOutput> = executed[span]
-                .iter_mut()
-                .map(|slot| {
-                    // audit:allow(unwrap-in-library): each slot is filled by the pool and drained exactly once here
-                    let (output, event) = slot.take().expect("each unit output consumed once");
-                    counts.record(event);
-                    output
-                })
-                .collect();
-            PlanOutcome {
-                report: assemble(plan_outputs),
-                cache: counts,
-            }
-        })
-        .collect())
+    UnitPool::new(jobs).run_plans_cached(plans, cache)
 }
 
 /// The per-plan result of a sharded execution pass ([`run_plans_shard`]): no
@@ -139,6 +136,7 @@ pub fn run_plans_shard(
     cache: Option<&UnitCache>,
     shard: &ShardSpec,
 ) -> Result<Vec<ShardPlanOutcome>, String> {
+    let pool = UnitPool::new(jobs);
     let mut owned: Vec<PlanUnit<'_>> = Vec::new();
     let mut spans = Vec::with_capacity(plans.len());
     let mut outcomes: Vec<ShardPlanOutcome> = Vec::with_capacity(plans.len());
@@ -171,7 +169,7 @@ pub fn run_plans_shard(
         });
     }
 
-    let events = execute_units(owned, jobs, cache)?;
+    let events = pool.execute_units(owned, cache, None)?;
     for (outcome, span) in outcomes.iter_mut().zip(spans) {
         for (_output, event) in &events[span] {
             outcome.cache.record(*event);
@@ -180,104 +178,435 @@ pub fn run_plans_shard(
     Ok(outcomes)
 }
 
-/// Run one claimed unit, consulting the cache when both a cache and a unit key are
-/// present. Returns the output, the cache event, and any store error.
-fn run_unit(
-    unit: PlanUnit<'_>,
-    cache: Option<&UnitCache>,
-) -> (UnitOutput, CacheEvent, Option<String>) {
-    let (Some(cache), Some((key, codec))) = (cache, unit.cache) else {
-        return ((unit.run)(), CacheEvent::Uncached, None);
-    };
-    let mut event = CacheEvent::Miss;
-    match cache.load(&key) {
-        CacheLookup::Hit(payload) => match (codec.decode)(&payload) {
-            Some(output) => return (output, CacheEvent::Hit, None),
-            None => {
-                // Checksum-intact but shape-incompatible payload (e.g. a unit output
-                // type changed without a schema bump): evict and recompute.
-                cache.evict(&key);
-                event = CacheEvent::Recomputed;
-            }
-        },
-        CacheLookup::Corrupt => event = CacheEvent::Recomputed,
-        CacheLookup::Miss => {}
-    }
-    let output = (unit.run)();
-    let store_err = cache.store(&key, &(codec.encode)(&*output)).err();
-    (output, event, store_err)
+// ---------------------------------------------------------------------------
+// The persistent pool
+// ---------------------------------------------------------------------------
+
+/// The state of one in-flight unit computation, keyed by digest in
+/// [`UnitPool::flights`]. Waiters block on `done` until the owner publishes the
+/// encoded payload (or fails, sending them back to claim ownership themselves).
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
 }
 
-/// Run the flattened unit list, returning (output, cache event) by unit index.
-fn execute_units(
-    tasks: Vec<PlanUnit<'_>>,
-    jobs: usize,
-    cache: Option<&UnitCache>,
-) -> Result<Vec<(UnitOutput, CacheEvent)>, String> {
-    let total = tasks.len();
-    // Same jobs-resolution rules as every other work-stealing layer. The claim loop
-    // below is not `work_steal_map` itself only because plan units are `FnOnce`
-    // (consumed on execution), which that Fn-based API cannot express.
-    let jobs = desim::par::resolve_threads(jobs, total);
-    if jobs <= 1 || total <= 1 {
-        let mut out = Vec::with_capacity(total);
-        for unit in tasks {
-            let (output, event, store_err) = run_unit(unit, cache);
-            if let Some(err) = store_err {
-                return Err(err);
-            }
-            out.push((output, event));
-        }
-        return Ok(out);
+enum FlightState {
+    /// The owner is still computing.
+    Pending,
+    /// The owner published the encoded payload.
+    Done(Value),
+    /// The owner aborted (store error propagation or a panic unwound through
+    /// its guard); a waiter should retry ownership.
+    Failed,
+}
+
+impl Flight {
+    fn new() -> Arc<Flight> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        })
     }
 
-    let next = AtomicUsize::new(0);
-    let tasks: Mutex<Vec<Option<PlanUnit<'_>>>> = Mutex::new(tasks.into_iter().map(Some).collect());
-    let slots: Mutex<Vec<Option<(UnitOutput, CacheEvent)>>> =
-        Mutex::new((0..total).map(|_| None).collect());
-    let store_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
-                let unit = tasks.lock().expect("no worker panicked")[i]
-                    .take()
-                    // audit:allow(unwrap-in-library): the claim counter hands each index to exactly one worker
-                    .expect("each unit claimed once");
-                let (output, event, store_err) = run_unit(unit, cache);
-                if let Some(err) = store_err {
+    /// Block until the flight resolves; `Some(payload)` on success, `None` when
+    /// the owner failed and ownership should be re-contested.
+    fn wait(&self) -> Option<Value> {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        let mut state = self.state.lock().expect("no worker panicked");
+        loop {
+            match &*state {
+                FlightState::Done(payload) => return Some(payload.clone()),
+                FlightState::Failed => return None,
+                FlightState::Pending => {
                     // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
-                    store_errors.lock().expect("no worker panicked").push(err);
-                    // The batch is already doomed (its outputs will be discarded):
-                    // exhaust the claim counter so no worker pays for more units.
-                    next.store(total, Ordering::Relaxed);
+                    state = self.done.wait(state).expect("no worker panicked");
                 }
-                // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
-                slots.lock().expect("no worker panicked")[i] = Some((output, event));
-            });
+            }
         }
-    });
-    if let Some(err) = store_errors
-        .into_inner()
-        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
-        .expect("no worker panicked")
-        .into_iter()
-        .next()
-    {
-        return Err(err);
     }
-    Ok(slots
-        .into_inner()
+
+    fn resolve(&self, state: FlightState) {
         // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
-        .expect("no worker panicked")
-        .into_iter()
-        // audit:allow(unwrap-in-library): the loop above claimed and filled every slot
-        .map(|slot| slot.expect("every unit ran"))
-        .collect())
+        *self.state.lock().expect("no worker panicked") = state;
+        self.done.notify_all();
+    }
+}
+
+/// Removes the flight from the table on drop, failing it first unless the owner
+/// completed it — so a panicking unit closure can never strand waiters.
+struct FlightGuard<'p> {
+    pool: &'p UnitPool,
+    digest: u128,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Publish the payload to every waiter and deregister the flight.
+    fn complete(mut self, payload: Value) {
+        self.flight.resolve(FlightState::Done(payload));
+        self.completed = true;
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.flight.resolve(FlightState::Failed);
+        }
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        let mut flights = self.pool.flights.lock().expect("no worker panicked");
+        flights.remove(&self.digest);
+    }
+}
+
+/// What [`UnitPool::claim_flight`] handed this worker for a digest.
+enum FlightClaim {
+    /// This worker owns the computation (and must resolve the flight).
+    Owner,
+    /// Another worker owns it; wait on this flight.
+    Waiter(Arc<Flight>),
+}
+
+/// A counting semaphore over compute slots: at most `permits` unit closures run
+/// concurrently across every client of the pool. Cache and memory hits bypass the
+/// gate — warm serving never queues behind cold computation.
+struct Gate {
+    permits: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn acquire(&self) -> GatePermit<'_> {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        let mut permits = self.permits.lock().expect("no worker panicked");
+        while *permits == 0 {
+            // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+            permits = self.freed.wait(permits).expect("no worker panicked");
+        }
+        *permits -= 1;
+        GatePermit { gate: self }
+    }
+}
+
+/// RAII compute permit; releasing wakes one queued worker.
+struct GatePermit<'g> {
+    gate: &'g Gate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        *self.gate.permits.lock().expect("no worker panicked") += 1;
+        self.gate.freed.notify_one();
+    }
+}
+
+/// A persistent unit scheduler (see the module docs): compute-permit gate, warm
+/// in-memory result map and single-flight deduplication, shared by every client
+/// for the pool's lifetime. One-shot batches construct one per call; a daemon
+/// keeps one for its whole life.
+pub struct UnitPool {
+    /// The raw `jobs` knob (0 = one per core), resolved per call against the
+    /// actual unit count exactly like the one-shot executor always did.
+    jobs: usize,
+    gate: Gate,
+    /// Digest → encoded payload for every completed cacheable unit whose payload
+    /// survives a JSON round trip (the same admission rule as the disk cache, so
+    /// memory and disk never disagree about which units are served warm).
+    mem: Mutex<HashMap<u128, Value>>,
+    /// Digest → in-flight computation, for single-flight deduplication.
+    flights: Mutex<HashMap<u128, Arc<Flight>>>,
+}
+
+impl UnitPool {
+    /// A pool admitting at most [`resolve_jobs`]`(jobs)` concurrent unit
+    /// computations across all its clients.
+    pub fn new(jobs: usize) -> UnitPool {
+        UnitPool {
+            jobs,
+            gate: Gate {
+                permits: Mutex::new(resolve_jobs(jobs).max(1)),
+                freed: Condvar::new(),
+            },
+            mem: Mutex::new(HashMap::new()),
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of payloads currently held by the warm in-memory result map.
+    pub fn mem_entries(&self) -> usize {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        self.mem.lock().expect("no worker panicked").len()
+    }
+
+    /// Execute every plan's units and assemble one report per plan, in input
+    /// order — the pool-client form of [`run_plans_cached`] (same semantics,
+    /// plus this pool's memory cache, gate and deduplication).
+    pub fn run_plans_cached(
+        &self,
+        plans: Vec<ScenarioPlan<'_>>,
+        cache: Option<&UnitCache>,
+    ) -> Result<Vec<PlanOutcome>, String> {
+        self.run_plans_cached_with(plans, cache, None)
+    }
+
+    /// [`UnitPool::run_plans_cached`] with an optional per-unit progress
+    /// observer (used by the serve layer to stream progress events).
+    pub fn run_plans_cached_with(
+        &self,
+        plans: Vec<ScenarioPlan<'_>>,
+        cache: Option<&UnitCache>,
+        progress: Option<Progress<'_>>,
+    ) -> Result<Vec<PlanOutcome>, String> {
+        let mut assembles = Vec::with_capacity(plans.len());
+        let mut tasks = Vec::new();
+        let mut spans = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let (units, assemble) = plan.into_parts();
+            let start = tasks.len();
+            tasks.extend(units);
+            spans.push(start..tasks.len());
+            assembles.push(assemble);
+        }
+
+        let executed = self.execute_units(tasks, cache, progress)?;
+
+        let mut executed: Vec<Option<(UnitOutput, CacheEvent)>> =
+            executed.into_iter().map(Some).collect();
+        Ok(assembles
+            .into_iter()
+            .zip(spans)
+            .map(|(assemble, span)| {
+                let mut counts = CacheCounts::default();
+                let plan_outputs: Vec<UnitOutput> = executed[span]
+                    .iter_mut()
+                    .map(|slot| {
+                        // audit:allow(unwrap-in-library): each slot is filled by the pool and drained exactly once here
+                        let (output, event) = slot.take().expect("each unit output consumed once");
+                        counts.record(event);
+                        output
+                    })
+                    .collect();
+                PlanOutcome {
+                    report: assemble(plan_outputs),
+                    cache: counts,
+                }
+            })
+            .collect())
+    }
+
+    /// A payload from the warm map, decoded; `None` on absence (or on a decode
+    /// mismatch, which sends the caller down the normal compute path).
+    fn load_mem(&self, digest: u128, codec: &crate::scenario::UnitCodec) -> Option<UnitOutput> {
+        let payload = {
+            // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+            let mem = self.mem.lock().expect("no worker panicked");
+            mem.get(&digest).cloned()
+        }?;
+        (codec.decode)(&payload)
+    }
+
+    /// Admit a payload to the warm map under the disk cache's round-trip rule.
+    fn store_mem(&self, digest: u128, payload: &Value) {
+        if !crate::cache::json_round_trips(payload) {
+            return;
+        }
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        let mut mem = self.mem.lock().expect("no worker panicked");
+        mem.insert(digest, payload.clone());
+    }
+
+    /// Register interest in a digest: either this worker becomes the owner (and
+    /// must resolve the flight through a [`FlightGuard`]) or it gets the
+    /// existing flight to wait on.
+    fn claim_flight(&self, digest: u128) -> FlightClaim {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        let mut flights = self.flights.lock().expect("no worker panicked");
+        match flights.get(&digest) {
+            Some(flight) => FlightClaim::Waiter(Arc::clone(flight)),
+            None => {
+                flights.insert(digest, Flight::new());
+                FlightClaim::Owner
+            }
+        }
+    }
+
+    fn flight_guard(&self, digest: u128) -> FlightGuard<'_> {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        let flights = self.flights.lock().expect("no worker panicked");
+        // audit:allow(unwrap-in-library): claim_flight inserted this digest for the owning worker
+        let flight = Arc::clone(flights.get(&digest).expect("owner's flight is registered"));
+        drop(flights);
+        FlightGuard {
+            pool: self,
+            digest,
+            flight,
+            completed: false,
+        }
+    }
+
+    /// Run one claimed unit through memory cache → single-flight → disk cache →
+    /// gated computation. Returns the output, the cache event, and any store
+    /// error.
+    fn run_unit(
+        &self,
+        unit: PlanUnit<'_>,
+        cache: Option<&UnitCache>,
+    ) -> (UnitOutput, CacheEvent, Option<String>) {
+        let Some((key, codec)) = &unit.cache else {
+            let _permit = self.gate.acquire();
+            return ((unit.run)(), CacheEvent::Uncached, None);
+        };
+        let digest = key.digest_u128();
+        if let Some(output) = self.load_mem(digest, codec) {
+            return (output, CacheEvent::Hit, None);
+        }
+        // Plain batches over a fresh pool keep the historical accounting: with no
+        // disk cache configured, computed units are uncached, not misses.
+        let base_event = if cache.is_some() {
+            CacheEvent::Miss
+        } else {
+            CacheEvent::Uncached
+        };
+        loop {
+            match self.claim_flight(digest) {
+                FlightClaim::Waiter(flight) => match flight.wait() {
+                    Some(payload) => match (codec.decode)(&payload) {
+                        // Deduplicated: another client computed this unit while
+                        // we waited. Byte-identical by the purity contract.
+                        Some(output) => return (output, CacheEvent::Hit, None),
+                        // A payload this codec cannot read (digest collision
+                        // across incompatible unit types — not constructible
+                        // from well-formed scenarios). Compute it directly.
+                        None => {
+                            let _permit = self.gate.acquire();
+                            return ((unit.run)(), base_event, None);
+                        }
+                    },
+                    // The owner failed; contest ownership again.
+                    None => continue,
+                },
+                FlightClaim::Owner => {
+                    let guard = self.flight_guard(digest);
+                    let mut event = base_event;
+                    if let Some(cache) = cache {
+                        match cache.load(key) {
+                            CacheLookup::Hit(payload) => match (codec.decode)(&payload) {
+                                Some(output) => {
+                                    self.store_mem(digest, &payload);
+                                    guard.complete(payload);
+                                    return (output, CacheEvent::Hit, None);
+                                }
+                                None => {
+                                    // Checksum-intact but shape-incompatible
+                                    // payload (e.g. a unit output type changed
+                                    // without a schema bump): evict, recompute.
+                                    cache.evict(key);
+                                    event = CacheEvent::Recomputed;
+                                }
+                            },
+                            CacheLookup::Corrupt => event = CacheEvent::Recomputed,
+                            CacheLookup::Miss => {}
+                        }
+                    }
+                    let output = {
+                        let _permit = self.gate.acquire();
+                        (unit.run)()
+                    };
+                    let payload = (codec.encode)(&*output);
+                    let store_err = cache.and_then(|c| c.store(key, &payload).err());
+                    self.store_mem(digest, &payload);
+                    guard.complete(payload);
+                    return (output, event, store_err);
+                }
+            }
+        }
+    }
+
+    /// Run the flattened unit list, returning (output, cache event) by unit
+    /// index. Spawns up to `jobs` claim-loop workers for this call; the pool's
+    /// gate additionally bounds *computation* across every concurrent call.
+    fn execute_units(
+        &self,
+        tasks: Vec<PlanUnit<'_>>,
+        cache: Option<&UnitCache>,
+        progress: Option<Progress<'_>>,
+    ) -> Result<Vec<(UnitOutput, CacheEvent)>, String> {
+        let total = tasks.len();
+        let completed = AtomicUsize::new(0);
+        let report_progress = |n: usize| {
+            if let Some(progress) = progress {
+                progress(n, total);
+            }
+        };
+        // Same jobs-resolution rules as every other work-stealing layer. The claim
+        // loop below is not `work_steal_map` itself only because plan units are
+        // `FnOnce` (consumed on execution), which that Fn-based API cannot express.
+        let jobs = desim::par::resolve_threads(self.jobs, total);
+        if jobs <= 1 || total <= 1 {
+            let mut out = Vec::with_capacity(total);
+            for unit in tasks {
+                let (output, event, store_err) = self.run_unit(unit, cache);
+                if let Some(err) = store_err {
+                    return Err(err);
+                }
+                out.push((output, event));
+                report_progress(completed.fetch_add(1, Ordering::Relaxed) + 1);
+            }
+            return Ok(out);
+        }
+
+        let next = AtomicUsize::new(0);
+        let tasks: Mutex<Vec<Option<PlanUnit<'_>>>> =
+            Mutex::new(tasks.into_iter().map(Some).collect());
+        let slots: Mutex<Vec<Option<(UnitOutput, CacheEvent)>>> =
+            Mutex::new((0..total).map(|_| None).collect());
+        let store_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+                    let unit = tasks.lock().expect("no worker panicked")[i]
+                        .take()
+                        // audit:allow(unwrap-in-library): the claim counter hands each index to exactly one worker
+                        .expect("each unit claimed once");
+                    let (output, event, store_err) = self.run_unit(unit, cache);
+                    if let Some(err) = store_err {
+                        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+                        store_errors.lock().expect("no worker panicked").push(err);
+                        // The batch is already doomed (its outputs will be discarded):
+                        // exhaust the claim counter so no worker pays for more units.
+                        next.store(total, Ordering::Relaxed);
+                    }
+                    // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+                    slots.lock().expect("no worker panicked")[i] = Some((output, event));
+                    report_progress(completed.fetch_add(1, Ordering::Relaxed) + 1);
+                });
+            }
+        });
+        if let Some(err) = store_errors
+            .into_inner()
+            // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+            .expect("no worker panicked")
+            .into_iter()
+            .next()
+        {
+            return Err(err);
+        }
+        Ok(slots
+            .into_inner()
+            // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+            .expect("no worker panicked")
+            .into_iter()
+            // audit:allow(unwrap-in-library): the loop above claimed and filled every slot
+            .map(|slot| slot.expect("every unit ran"))
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -453,6 +782,119 @@ mod tests {
             .unwrap();
         assert_eq!(runs.load(Ordering::Relaxed), 8);
         assert_eq!(other.cache.misses, 4);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn persistent_pool_serves_repeat_batches_from_memory() {
+        // No disk cache anywhere: the pool's own result map must carry the
+        // warmth across batches, which an ephemeral pool cannot do.
+        let pool = UnitPool::new(4);
+        let runs = AtomicUsize::new(0);
+        let cold = pool
+            .run_plans_cached(vec![plan_squaring_cached("sq", 12, &runs)], None)
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(runs.load(Ordering::Relaxed), 12);
+        assert_eq!(pool.mem_entries(), 12);
+        let warm = pool
+            .run_plans_cached(vec![plan_squaring_cached("sq", 12, &runs)], None)
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            12,
+            "memory-warm batch re-ran units"
+        );
+        assert_eq!(warm.cache.hits, 12);
+        assert_eq!(warm.report.to_json(), cold.report.to_json());
+    }
+
+    #[test]
+    fn concurrent_identical_batches_compute_each_unit_exactly_once() {
+        // N clients of one pool submit the same 16-unit plan at once. Single
+        // flight means the closure bodies run exactly 16 times in total, and the
+        // summed accounting shows one non-hit per unit — the rest are hits.
+        const CLIENTS: usize = 6;
+        const UNITS: usize = 16;
+        let pool = UnitPool::new(4);
+        let runs = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(CLIENTS);
+        let outcomes: Vec<PlanOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        pool.run_plans_cached(vec![plan_squaring_cached("sq", UNITS, &runs)], None)
+                            .unwrap()
+                            .pop()
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            UNITS,
+            "units recomputed despite single-flight deduplication"
+        );
+        let mut computed = 0;
+        let mut hits = 0;
+        for outcome in &outcomes {
+            computed += outcome.cache.misses + outcome.cache.recomputed;
+            hits += outcome.cache.hits;
+            assert_eq!(
+                outcome.report.to_json(),
+                outcomes[0].report.to_json(),
+                "concurrent clients saw different reports"
+            );
+        }
+        // Accounting proof: with no disk cache, first-computation events are
+        // "uncached" (invisible), so every counted event is a dedup/memory hit.
+        assert_eq!(computed, 0);
+        assert_eq!(hits as usize, CLIENTS * UNITS - UNITS);
+    }
+
+    #[test]
+    fn pool_dedup_counts_one_miss_per_unit_with_a_disk_cache() {
+        let root = std::env::temp_dir().join(format!("pim-exec-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = UnitCache::open(&root).unwrap();
+        const CLIENTS: usize = 4;
+        const UNITS: usize = 10;
+        let pool = UnitPool::new(2);
+        let runs = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(CLIENTS);
+        let outcomes: Vec<PlanOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        pool.run_plans_cached(
+                            vec![plan_squaring_cached("sq", UNITS, &runs)],
+                            Some(&cache),
+                        )
+                        .unwrap()
+                        .pop()
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), UNITS);
+        let (mut misses, mut hits, mut recomputed) = (0, 0, 0);
+        for outcome in &outcomes {
+            misses += outcome.cache.misses;
+            hits += outcome.cache.hits;
+            recomputed += outcome.cache.recomputed;
+        }
+        assert_eq!(misses as usize, UNITS, "exactly one miss per unit key");
+        assert_eq!(recomputed, 0);
+        assert_eq!(hits as usize, CLIENTS * UNITS - UNITS);
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -14,6 +14,9 @@
 //!   unsharded run reproduces the single-process artifacts byte-for-byte;
 //! * [`spec`] — declarative scenario specs (schema v1 JSON): user-defined scenarios
 //!   as data, compiled into the registry beside the builtins;
+//! * [`serve`] — sweep-as-a-service: the spec-submission daemon behind
+//!   `pim-tradeoffs serve`, one persistent [`exec::UnitPool`] (warm results,
+//!   single-flight unit deduplication) shared by every client;
 //! * [`measure`] — the pim-workload → pim-mem bridge behind the `measured` spec
 //!   family (synthetic streams through the cache and DRAM-bank models);
 //! * [`golden`] — tolerance-aware JSON diffing used by the golden-file regression
@@ -45,6 +48,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod scenarios;
+pub mod serve;
 pub mod shard;
 pub mod spec;
 
@@ -63,7 +67,7 @@ pub mod prelude {
     };
     pub use crate::exec::{
         resolve_jobs, run_plan, run_plans, run_plans_cached, run_plans_shard, PlanOutcome,
-        ShardPlanOutcome,
+        ShardPlanOutcome, UnitPool,
     };
     pub use crate::golden::{diff_json, Tolerance};
     pub use crate::measure::{measure_stream, MeasureConfig, MeasuredStats};
@@ -73,10 +77,11 @@ pub mod prelude {
     };
     pub use crate::runner::{run_batch, BatchOptions, BatchOutcome};
     pub use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
+    pub use crate::serve::{ServeOptions, SweepServer};
     pub use crate::shard::{ExecutedUnit, ShardScenario, ShardSpec, SHARD_ARTIFACT_SCHEMA_VERSION};
     pub use crate::spec::{
-        load_spec_file, load_specs, parse_spec, register_specs, spec_files, ScenarioSpec,
-        SPEC_SCHEMA_VERSION,
+        load_spec_file, load_specs, parse_spec, register_spec_files, register_specs, spec_files,
+        ScenarioSpec, SPEC_SCHEMA_VERSION,
     };
     pub use crate::DEFAULT_SEED;
 }

@@ -189,7 +189,11 @@ pub fn run_batch<S: AsRef<str>>(
         });
     }
 
-    let outcomes = crate::exec::run_plans_cached(plans, opts.jobs, cache.as_ref())?;
+    // A batch is one client of the unit scheduler: it constructs a pool, runs its
+    // plans, and lets the pool die with the call. The `serve` daemon is the other
+    // client — same scheduler, but kept alive across requests.
+    let pool = crate::exec::UnitPool::new(opts.jobs);
+    let outcomes = pool.run_plans_cached(plans, cache.as_ref())?;
     let mut reports = Vec::with_capacity(outcomes.len());
     let mut cache_counts = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {

@@ -1,0 +1,364 @@
+//! Sweep-as-a-service: the `pim-serve` daemon behind `pim-tradeoffs serve`.
+//!
+//! A [`SweepServer`] accepts scenario-spec submissions over HTTP (`POST /run`, body
+//! = one schema-v1 spec document, exactly what `run --spec FILE` reads), compiles
+//! them through [`crate::spec`], and executes their units on **one persistent
+//! [`UnitPool`]** shared by every connection for the daemon's lifetime. That pool —
+//! not the HTTP layer — is where the service semantics live:
+//!
+//! * at most `--jobs` units compute at any instant, however many clients are active;
+//! * repeat queries are answered from the pool's warm in-memory results (and the
+//!   on-disk unit cache when `--cache` is given) without recomputation;
+//! * concurrent submissions with overlapping grids deduplicate at *unit*
+//!   granularity: single-flight per [`UnitKey`](crate::cache::UnitKey) digest means
+//!   two clients asking for the same grid point trigger exactly one computation.
+//!
+//! The default `POST /run` response body is byte-identical to what
+//! `pim-tradeoffs run --spec FILE --seed S` prints for a single scenario — the
+//! report's pretty JSON rendering — so a curl and a CLI run are interchangeable
+//! artifacts. Cache accounting rides in `X-Pim-*` response headers to keep the body
+//! pristine. With `?progress=1` the response switches to a chunked
+//! `application/x-ndjson` stream of progress events (this mode trades the
+//! byte-identical body for liveness; the final `report` event carries the same
+//! artifact in compact form).
+//!
+//! # Endpoints
+//!
+//! | Method | Path         | Meaning                                             |
+//! |--------|--------------|-----------------------------------------------------|
+//! | GET    | `/healthz`   | liveness probe, body `ok`                           |
+//! | GET    | `/scenarios` | JSON array of builtin scenario names                |
+//! | POST   | `/run`       | compile + execute the spec in the body              |
+//!
+//! `POST /run` query parameters: `seed=S` overrides the daemon's base seed for this
+//! submission (default: the `--seed` the daemon was started with); `progress=1`
+//! selects the ndjson progress stream.
+//!
+//! # Where this sits on the determinism map
+//!
+//! This module is deliberately **off the unit path** (see the audit crate's
+//! classification): it may read wall clocks for request logging and talk to
+//! sockets, because nothing here influences unit outputs — units are pure
+//! functions of their keys, the pool replays them from content-addressed storage,
+//! and the artifact bytes are produced by the same report renderer the CLI uses.
+
+use crate::cache::UnitCache;
+use crate::exec::UnitPool;
+use crate::registry::Registry;
+use crate::scenario::SeedPolicy;
+use crate::spec::parse_spec;
+use serde::{Serialize, Value};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tiny_http::{ChunkedWriter, Request, Response};
+
+/// Configuration for [`SweepServer::bind`].
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:8787` (`127.0.0.1:0` lets the OS pick).
+    pub addr: String,
+    /// On-disk unit cache directory; `None` serves from memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Compute-permit budget shared by all clients (`0` = one per core).
+    pub jobs: usize,
+    /// Base seed for submissions that do not pass `?seed=`.
+    pub seed: u64,
+    /// Log one stderr line per request (method, path, status, wall time).
+    pub log: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            cache_dir: None,
+            jobs: 0,
+            seed: crate::DEFAULT_SEED,
+            log: false,
+        }
+    }
+}
+
+/// Daemon state shared by every connection thread.
+struct ServeState {
+    pool: UnitPool,
+    cache: Option<UnitCache>,
+    base_seed: u64,
+    log: bool,
+}
+
+/// The sweep service: a bound listener plus the persistent scheduler state.
+pub struct SweepServer {
+    listener: tiny_http::Server,
+    state: Arc<ServeState>,
+}
+
+impl SweepServer {
+    /// Bind the service and open its cache. The pool and cache outlive every
+    /// request — this is the decoupling that makes warm serving and
+    /// cross-request deduplication possible.
+    pub fn bind(opts: &ServeOptions) -> Result<SweepServer, String> {
+        let cache = match &opts.cache_dir {
+            Some(dir) => Some(UnitCache::open(dir)?),
+            None => None,
+        };
+        let listener =
+            tiny_http::Server::bind(&opts.addr).map_err(|e| format!("bind {}: {e}", opts.addr))?;
+        Ok(SweepServer {
+            listener,
+            state: Arc::new(ServeState {
+                pool: UnitPool::new(opts.jobs),
+                cache,
+                base_seed: opts.seed,
+                log: opts.log,
+            }),
+        })
+    }
+
+    /// The bound `host:port` — how callers learn the port after binding to `:0`.
+    pub fn local_addr(&self) -> Result<String, String> {
+        self.listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .map_err(|e| format!("local_addr: {e}"))
+    }
+
+    /// Accept connections forever, one handler thread per connection. Only a
+    /// listener error (socket torn down) returns.
+    pub fn serve_forever(&self) -> Result<(), String> {
+        loop {
+            let stream = self.listener.accept().map_err(|e| format!("accept: {e}"))?;
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || handle_connection(&state, stream));
+        }
+    }
+}
+
+/// Read one request, route it, write one response; errors end the connection.
+fn handle_connection(state: &ServeState, mut stream: TcpStream) {
+    let started = Instant::now();
+    let request = {
+        let mut reader = BufReader::new(&mut stream);
+        Request::read_from(&mut reader)
+    };
+    let (label, status) = match request {
+        Err(e) => {
+            let _ = text_response(400, &format!("malformed request: {e}\n")).write_to(&mut stream);
+            ("<malformed>".to_string(), 400)
+        }
+        Ok(request) => {
+            let label = format!("{} {}", request.method, request.target);
+            let status = route(state, &request, &mut stream).unwrap_or(0);
+            (label, status)
+        }
+    };
+    if state.log {
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        eprintln!("serve: {label} -> {status} ({ms:.1} ms)");
+    }
+}
+
+/// Dispatch one parsed request. Returns the response status for logging; an `Err`
+/// means the client vanished mid-write (nothing to do but log).
+fn route(state: &ServeState, request: &Request, stream: &mut TcpStream) -> std::io::Result<u16> {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => {
+            text_response(200, "ok\n").write_to(stream)?;
+            Ok(200)
+        }
+        ("GET", "/scenarios") => {
+            let names = Value::Seq(
+                Registry::builtin()
+                    .names()
+                    .into_iter()
+                    .map(|n| Value::Str(n.to_string()))
+                    .collect(),
+            );
+            // audit:allow(unwrap-in-library): the vendored JSON writer is total for string sequences
+            let mut body = serde_json::to_string(&names).expect("name list serializes");
+            body.push('\n');
+            Response::new(200)
+                .with_body("application/json", body.into_bytes())
+                .write_to(stream)?;
+            Ok(200)
+        }
+        ("POST", "/run") => handle_run(state, request, stream),
+        (_, "/healthz" | "/scenarios" | "/run") => {
+            text_response(405, "method not allowed\n").write_to(stream)?;
+            Ok(405)
+        }
+        (_, path) => {
+            text_response(404, &format!("no such endpoint: {path}\n")).write_to(stream)?;
+            Ok(404)
+        }
+    }
+}
+
+/// `POST /run`: compile the spec in the body, execute it on the shared pool, and
+/// answer with the artifact (fixed body) or a progress stream (`?progress=1`).
+fn handle_run(
+    state: &ServeState,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> std::io::Result<u16> {
+    let submission = match parse_submission(state, request) {
+        Ok(submission) => submission,
+        Err(message) => {
+            text_response(400, &format!("{message}\n")).write_to(stream)?;
+            return Ok(400);
+        }
+    };
+    let scenario = submission.spec.into_scenario();
+    let plan = scenario.plan(&SeedPolicy::new(submission.seed));
+    let units = plan.unit_count();
+
+    if !submission.progress {
+        let outcome = state
+            .pool
+            .run_plans_cached(vec![plan], state.cache.as_ref());
+        return match outcome {
+            Err(message) => {
+                text_response(500, &format!("{message}\n")).write_to(stream)?;
+                Ok(500)
+            }
+            Ok(mut outcomes) => {
+                // audit:allow(unwrap-in-library): one plan in, one outcome out
+                let outcome = outcomes.pop().expect("one plan produces one outcome");
+                // The body is exactly what `run --spec FILE --seed S` prints:
+                // accounting travels in headers so the artifact stays pristine.
+                Response::new(200)
+                    .with_header("X-Pim-Units", &units.to_string())
+                    .with_header("X-Pim-Cache-Hits", &outcome.cache.hits.to_string())
+                    .with_header("X-Pim-Cache-Misses", &outcome.cache.misses.to_string())
+                    .with_header(
+                        "X-Pim-Cache-Recomputed",
+                        &outcome.cache.recomputed.to_string(),
+                    )
+                    .with_body("application/json", outcome.report.to_json().into_bytes())
+                    .write_to(stream)?;
+                Ok(200)
+            }
+        };
+    }
+
+    // Progress mode: a chunked ndjson stream. Events during execution, then the
+    // accounting and the artifact (compact) as the final two events.
+    let writer = Mutex::new(ChunkedWriter::begin(
+        &mut *stream,
+        200,
+        &[("Content-Type", "application/x-ndjson")],
+    )?);
+    emit(
+        &writer,
+        &[
+            ("event", Value::Str("start".into())),
+            ("scenario", Value::Str(scenario.name().to_string())),
+            ("units", Value::U64(units as u64)),
+        ],
+    );
+    let on_unit = |done: usize, total: usize| {
+        emit(
+            &writer,
+            &[
+                ("event", Value::Str("unit".into())),
+                ("done", Value::U64(done as u64)),
+                ("units", Value::U64(total as u64)),
+            ],
+        );
+    };
+    let outcome =
+        state
+            .pool
+            .run_plans_cached_with(vec![plan], state.cache.as_ref(), Some(&on_unit));
+    match outcome {
+        Err(message) => {
+            emit(
+                &writer,
+                &[
+                    ("event", Value::Str("error".into())),
+                    ("message", Value::Str(message)),
+                ],
+            );
+        }
+        Ok(mut outcomes) => {
+            // audit:allow(unwrap-in-library): one plan in, one outcome out
+            let outcome = outcomes.pop().expect("one plan produces one outcome");
+            emit(
+                &writer,
+                &[
+                    ("event", Value::Str("done".into())),
+                    ("hits", Value::U64(outcome.cache.hits)),
+                    ("misses", Value::U64(outcome.cache.misses)),
+                    ("recomputed", Value::U64(outcome.cache.recomputed)),
+                ],
+            );
+            emit(
+                &writer,
+                &[
+                    ("event", Value::Str("report".into())),
+                    ("artifact", outcome.report.to_value()),
+                ],
+            );
+        }
+    }
+    writer
+        .into_inner()
+        // audit:allow(unwrap-in-library): emit never panics while holding the writer lock
+        .expect("no handler panicked")
+        .finish()?;
+    Ok(200)
+}
+
+/// A validated `POST /run` submission.
+struct Submission {
+    spec: crate::spec::ScenarioSpec,
+    seed: u64,
+    progress: bool,
+}
+
+fn parse_submission(state: &ServeState, request: &Request) -> Result<Submission, String> {
+    let body =
+        std::str::from_utf8(&request.body).map_err(|_| "request body is not UTF-8".to_string())?;
+    let spec = parse_spec(body)?;
+    let seed = match request.query_value("seed") {
+        None => state.base_seed,
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("?seed= expects an integer, got '{raw}'"))?,
+    };
+    let progress = match request.query_value("progress").as_deref() {
+        None | Some("0") => false,
+        Some("1") => true,
+        Some(other) => return Err(format!("?progress= expects 0 or 1, got '{other}'")),
+    };
+    Ok(Submission {
+        spec,
+        seed,
+        progress,
+    })
+}
+
+/// Write one compact-JSON event line to the shared chunked writer. Write errors
+/// are swallowed: a vanished progress client must not poison the computation,
+/// which other waiters may be deduplicating against.
+fn emit(writer: &Mutex<ChunkedWriter<&mut TcpStream>>, fields: &[(&str, Value)]) {
+    let event = Value::Map(
+        fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    );
+    let Ok(mut line) = serde_json::to_string(&event) else {
+        return;
+    };
+    line.push('\n');
+    // audit:allow(unwrap-in-library): emit never panics while holding the writer lock
+    let mut writer = writer.lock().expect("no handler panicked");
+    let _ = writer.chunk(line.as_bytes());
+}
+
+fn text_response(status: u16, body: &str) -> Response {
+    Response::new(status).with_body("text/plain; charset=utf-8", body.as_bytes().to_vec())
+}

@@ -1244,6 +1244,33 @@ pub fn register_specs(
     Ok(names)
 }
 
+/// [`register_specs`] over a spec path ([`spec_files`] enumeration), with
+/// **file-aware** collision reporting: when two spec files in the load compile to
+/// the same scenario name, the error names both paths — the registry's raw
+/// duplicate message cannot, because registration happens after the paths are
+/// gone. A collision with a builtin names the offending file.
+pub fn register_spec_files(registry: &mut Registry, path: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut sources: Vec<(String, PathBuf)> = Vec::new();
+    for file in spec_files(path)? {
+        let spec = load_spec_file(&file)?;
+        let name = spec.name.clone();
+        if let Err(e) = registry.register(spec.into_scenario()) {
+            return Err(match sources.iter().find(|(n, _)| *n == name) {
+                Some((_, first)) => format!(
+                    "duplicate scenario name '{name}': defined by both {} and {}",
+                    first.display(),
+                    file.display()
+                ),
+                None => format!("{}: {e}", file.display()),
+            });
+        }
+        sources.push((name.clone(), file));
+        names.push(name);
+    }
+    Ok(names)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,210 @@
+//! Integration tests for the sweep service: spec submissions over real sockets,
+//! byte-identity between served artifacts and direct execution, warm-cache
+//! serving, unit-level single-flight deduplication across concurrent clients,
+//! the ndjson progress stream, and the HTTP error surface.
+
+use pim_harness::prelude::*;
+use serde::Value;
+use tiny_http::client;
+
+/// A small analytic spec: 3 × 2 grid = 6 units, milliseconds to run.
+const SPEC: &str = r#"{
+    "schema_version": 1,
+    "name": "serve_probe",
+    "description": "tiny grid for service tests",
+    "model": "analytic",
+    "grid": {
+        "node_counts": [2, 8, 32],
+        "lwp_fractions": [0.25, 0.75]
+    },
+    "columns": ["nodes", "pct_lwp", "gain"]
+}"#;
+const SPEC_UNITS: u64 = 6;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pim-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bind a service on an OS-assigned port and serve on a detached thread.
+/// Returns the `host:port` to dial.
+fn start(opts: &ServeOptions) -> String {
+    let server = SweepServer::bind(opts).expect("bind");
+    let addr = server.local_addr().expect("local_addr");
+    std::thread::spawn(move || {
+        let _ = server.serve_forever();
+    });
+    addr
+}
+
+fn header_u64(resp: &client::ClientResponse, name: &str) -> u64 {
+    resp.header(name)
+        .unwrap_or_else(|| panic!("missing header {name}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric header {name}"))
+}
+
+/// The reference artifact: what direct in-process execution (and therefore the
+/// CLI) produces for this spec under the daemon's default seed.
+fn reference_artifact(seed: u64) -> String {
+    let scenario = parse_spec(SPEC).expect("spec parses").into_scenario();
+    scenario.run(&SeedPolicy::new(seed)).to_json()
+}
+
+#[test]
+fn served_artifact_is_byte_identical_cold_and_warm() {
+    let cache = temp_dir("roundtrip");
+    let addr = start(&ServeOptions {
+        cache_dir: Some(cache.clone()),
+        ..ServeOptions::default()
+    });
+
+    let cold = client::request(&addr, "POST", "/run", &[], SPEC.as_bytes()).expect("cold request");
+    assert_eq!(cold.status, 200);
+    assert_eq!(header_u64(&cold, "X-Pim-Units"), SPEC_UNITS);
+    assert_eq!(header_u64(&cold, "X-Pim-Cache-Misses"), SPEC_UNITS);
+    assert_eq!(header_u64(&cold, "X-Pim-Cache-Hits"), 0);
+    assert_eq!(
+        String::from_utf8_lossy(&cold.body),
+        reference_artifact(DEFAULT_SEED),
+        "served artifact differs from direct execution"
+    );
+
+    // Warm: all hits, zero recomputation, byte-identical body.
+    let warm = client::request(&addr, "POST", "/run", &[], SPEC.as_bytes()).expect("warm request");
+    assert_eq!(warm.status, 200);
+    assert_eq!(header_u64(&warm, "X-Pim-Cache-Hits"), SPEC_UNITS);
+    assert_eq!(header_u64(&warm, "X-Pim-Cache-Misses"), 0);
+    assert_eq!(header_u64(&warm, "X-Pim-Cache-Recomputed"), 0);
+    assert_eq!(warm.body, cold.body);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn memory_only_daemon_still_serves_warm_repeats() {
+    // No --cache at all: the pool's in-memory results must carry the warmth.
+    let addr = start(&ServeOptions::default());
+    let cold = client::request(&addr, "POST", "/run", &[], SPEC.as_bytes()).expect("cold");
+    let warm = client::request(&addr, "POST", "/run", &[], SPEC.as_bytes()).expect("warm");
+    assert_eq!(header_u64(&warm, "X-Pim-Cache-Hits"), SPEC_UNITS);
+    assert_eq!(header_u64(&warm, "X-Pim-Cache-Misses"), 0);
+    assert_eq!(warm.body, cold.body);
+}
+
+#[test]
+fn concurrent_identical_submissions_compute_each_unit_exactly_once() {
+    // N clients POST the same spec at the same instant to a fresh daemon.
+    // Single-flight per unit digest means the summed accounting must show
+    // exactly one miss per unit across ALL responses — the other N-1 clients
+    // get hits — and every client receives byte-identical payloads.
+    const CLIENTS: usize = 5;
+    let cache = temp_dir("dedup");
+    let addr = start(&ServeOptions {
+        cache_dir: Some(cache.clone()),
+        ..ServeOptions::default()
+    });
+    let barrier = std::sync::Barrier::new(CLIENTS);
+    let responses: Vec<client::ClientResponse> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    client::request(&addr, "POST", "/run", &[], SPEC.as_bytes())
+                        .expect("concurrent request")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let (mut hits, mut misses, mut recomputed) = (0, 0, 0);
+    for resp in &responses {
+        assert_eq!(resp.status, 200);
+        hits += header_u64(resp, "X-Pim-Cache-Hits");
+        misses += header_u64(resp, "X-Pim-Cache-Misses");
+        recomputed += header_u64(resp, "X-Pim-Cache-Recomputed");
+        assert_eq!(resp.body, responses[0].body, "client payloads diverged");
+    }
+    assert_eq!(misses, SPEC_UNITS, "exactly one computation per unit key");
+    assert_eq!(recomputed, 0);
+    assert_eq!(hits, (CLIENTS as u64 - 1) * SPEC_UNITS);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn seed_override_readdresses_the_sweep() {
+    let cache = temp_dir("seed");
+    let addr = start(&ServeOptions {
+        cache_dir: Some(cache.clone()),
+        ..ServeOptions::default()
+    });
+    let base = client::request(&addr, "POST", "/run", &[], SPEC.as_bytes()).expect("base");
+    let seeded =
+        client::request(&addr, "POST", "/run?seed=99", &[], SPEC.as_bytes()).expect("seeded");
+    assert_eq!(seeded.status, 200);
+    assert_ne!(seeded.body, base.body, "seed override had no effect");
+    assert_eq!(
+        String::from_utf8_lossy(&seeded.body),
+        reference_artifact(99)
+    );
+    // A different seed is a different key space: all misses, no hits against
+    // the base-seed submission's entries.
+    assert_eq!(header_u64(&seeded, "X-Pim-Cache-Misses"), SPEC_UNITS);
+    assert_eq!(header_u64(&seeded, "X-Pim-Cache-Hits"), 0);
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn progress_stream_narrates_and_ends_with_the_artifact() {
+    let addr = start(&ServeOptions::default());
+    let resp = client::request(&addr, "POST", "/run?progress=1", &[], SPEC.as_bytes())
+        .expect("progress request");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+    let text = String::from_utf8(resp.body).expect("ndjson is UTF-8");
+    let events: Vec<Value> = text
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("each line is one JSON event"))
+        .collect();
+    let kind = |e: &Value| match e {
+        Value::Map(fields) => fields
+            .iter()
+            .find(|(k, _)| k == "event")
+            .and_then(|(_, v)| match v {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("event field"),
+        _ => panic!("event is not an object"),
+    };
+    assert_eq!(kind(&events[0]), "start");
+    let units = events.iter().filter(|e| kind(e) == "unit").count() as u64;
+    assert_eq!(units, SPEC_UNITS, "one unit event per completed unit");
+    assert_eq!(kind(&events[events.len() - 2]), "done");
+    assert_eq!(kind(&events[events.len() - 1]), "report");
+}
+
+#[test]
+fn error_surface_is_stable() {
+    let addr = start(&ServeOptions::default());
+    // Liveness and catalog endpoints.
+    let health = client::request(&addr, "GET", "/healthz", &[], b"").expect("healthz");
+    assert_eq!((health.status, health.body.as_slice()), (200, &b"ok\n"[..]));
+    let scenarios = client::request(&addr, "GET", "/scenarios", &[], b"").expect("scenarios");
+    assert_eq!(scenarios.status, 200);
+    assert!(String::from_utf8_lossy(&scenarios.body).contains("\"figure5\""));
+    // A malformed spec is a 400 carrying the spec error, not a hung socket.
+    let bad = client::request(&addr, "POST", "/run", &[], b"{\"schema_version\": 1}").expect("bad");
+    assert_eq!(bad.status, 400);
+    assert!(!bad.body.is_empty());
+    // Bad query parameters are 400s that name the parameter.
+    for target in ["/run?seed=banana", "/run?progress=2"] {
+        let resp = client::request(&addr, "POST", target, &[], SPEC.as_bytes()).expect("query");
+        assert_eq!(resp.status, 400, "{target}");
+    }
+    // Unknown path and wrong method.
+    let missing = client::request(&addr, "GET", "/nope", &[], b"").expect("404");
+    assert_eq!(missing.status, 404);
+    let wrong = client::request(&addr, "GET", "/run", &[], b"").expect("405");
+    assert_eq!(wrong.status, 405);
+}

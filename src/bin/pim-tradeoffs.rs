@@ -5,6 +5,7 @@
 //! pim-tradeoffs run     figure5 table1 [--jobs N] [--out artifacts/] [--seed S]
 //! pim-tradeoffs run     --all [--spec FILE|DIR] [--jobs N] [--out artifacts/] [--seed S]
 //!                       [--cache DIR] [--no-cache] [--shard I/N]
+//! pim-tradeoffs serve   [--addr HOST:PORT] [--cache DIR] [--jobs N] [--seed S]
 //! pim-tradeoffs cache   stats|gc|clear DIR [--max-mib N]
 //! pim-tradeoffs cache   merge DEST SRC... | pull DEST SRC
 //! pim-tradeoffs spec    check FILE|DIR...
@@ -49,6 +50,7 @@ USAGE:
   pim-tradeoffs run     --all [--spec FILE|DIR] [--jobs N] [--out DIR] [--seed S]
   pim-tradeoffs run     --spec FILE|DIR [--jobs N] [--out DIR] [--seed S]
   pim-tradeoffs run     ... [--cache DIR] [--no-cache] [--shard I/N]
+  pim-tradeoffs serve   [--addr HOST:PORT] [--cache DIR] [--jobs N] [--seed S] [--quiet 1]
   pim-tradeoffs cache   stats DIR | gc DIR [--max-mib N] | clear DIR
   pim-tradeoffs cache   merge DEST SRC... | pull DEST SRC
   pim-tradeoffs spec    check FILE|DIR...
@@ -71,8 +73,16 @@ I/N` runs only the I-th of N deterministic unit partitions (1-based; requires
 machines, `cache merge DEST SRC...` copies their cache entries into DEST (`cache
 pull DEST SRC` is the one-source form), and a final unsharded run over the merged
 cache is all-hits and writes artifacts byte-identical to a single-process run.
-`--spec`
-loads user-defined scenario specs (schema v1 JSON; see examples/specs/) into the
+`gc --max-mib 0` is a deliberate full-eviction pass: a zero-byte budget puts every
+entry over budget.
+`serve` turns the sweep into a service: POST a spec document to /run (the same JSON
+`run --spec FILE` reads; `?seed=S` overrides the base seed, `?progress=1` streams
+ndjson progress) and get back the report, byte-identical to the CLI's output for the
+same spec and seed. All requests share one persistent scheduler — warm results are
+served from memory and the `--cache` directory, and concurrent submissions that
+overlap deduplicate per unit, computing each grid point exactly once (--quiet 1
+silences the per-request stderr log).
+`--spec` loads user-defined scenario specs (schema v1 JSON; see examples/specs/) into the
 registry beside the 13 builtins; `run --spec DIR` with no scenario names runs exactly
 the spec-defined scenarios, and `spec check` validates spec files without running
 anything. `audit` runs the determinism & purity lint pass over the workspace sources
@@ -95,14 +105,21 @@ impl Args {
                 positionals.push(arg.clone());
                 continue;
             };
+            // A repeated flag is always a mistake (a typo'd sweep script, a stale
+            // alias): reject it by name instead of silently letting the last
+            // occurrence win.
             if name == "simulate" || name == "help" || name == "all" || name == "no-cache" {
-                flags.insert(name.to_string(), "true".to_string());
+                if flags.insert(name.to_string(), "true".to_string()).is_some() {
+                    return Err(format!("flag --{name} given more than once"));
+                }
                 continue;
             }
             let Some(value) = it.next() else {
                 return Err(format!("flag --{name} needs a value"));
             };
-            flags.insert(name.to_string(), value.clone());
+            if flags.insert(name.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{name} given more than once"));
+            }
         }
         Ok((positionals, Args { flags }))
     }
@@ -154,8 +171,9 @@ fn registry_with_specs(args: &Args) -> Result<(Registry, Vec<String>), String> {
     let mut registry = Registry::builtin();
     let mut spec_names = Vec::new();
     if let Some(path) = args.flags.get("spec") {
-        let specs = load_specs(std::path::Path::new(path))?;
-        spec_names = register_specs(&mut registry, specs)?;
+        // File-aware registration: a name collision between two spec files names
+        // both paths, not just the duplicated scenario name.
+        spec_names = register_spec_files(&mut registry, std::path::Path::new(path))?;
     }
     Ok((registry, spec_names))
 }
@@ -315,8 +333,17 @@ fn cmd_cache(positionals: &[String], args: &Args) -> Result<(), String> {
             Ok(())
         }
         "gc" => {
+            // `--max-mib 0` is a deliberate full-eviction pass (budget of zero
+            // bytes: every entry is over budget), and huge values must not wrap
+            // into a tiny budget that silently evicts everything.
             let budget = match args.flags.get("max-mib") {
-                Some(_) => Some(args.get_u64("max-mib", 0)? * 1024 * 1024),
+                Some(_) => {
+                    let mib = args.get_u64("max-mib", 0)?;
+                    Some(
+                        mib.checked_mul(1024 * 1024)
+                            .ok_or_else(|| format!("--max-mib {mib} overflows the byte budget"))?,
+                    )
+                }
                 None => None,
             };
             let out = pim_repro::pim_harness::cache::cache_gc(dir, budget)?;
@@ -342,6 +369,32 @@ fn cmd_cache(positionals: &[String], args: &Args) -> Result<(), String> {
             "unknown cache subcommand '{other}' (expected stats, gc, clear, merge or pull)"
         )),
     }
+}
+
+/// `serve`: run the sweep service — spec submissions over HTTP, executed on one
+/// persistent unit pool with warm in-memory results, the on-disk unit cache and
+/// single-flight deduplication shared across every client (see
+/// `pim_harness::serve`). Prints the bound address (the way to learn the port
+/// after `--addr host:0`) and then serves until killed.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["addr", "cache", "jobs", "seed", "quiet"])?;
+    let opts = ServeOptions {
+        addr: args
+            .flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8787".to_string()),
+        cache_dir: args.flags.get("cache").map(std::path::PathBuf::from),
+        jobs: args.get_usize("jobs", 0)?,
+        seed: args.get_u64("seed", DEFAULT_SEED)?,
+        log: args.flags.get("quiet").map(String::as_str) != Some("1"),
+    };
+    let server = SweepServer::bind(&opts)?;
+    println!("serving on {}", server.local_addr()?);
+    // Port discovery must not race the first client: flush before accepting.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.serve_forever()
 }
 
 /// Print a [`MergeOutcome`] summary line (shared by `cache merge` and `cache pull`).
@@ -632,6 +685,7 @@ fn run() -> Result<(), String> {
         "list" => cmd_list(&args),
         "run" => cmd_run(&positionals, &args),
         "spec" => cmd_spec(&positionals, &args),
+        "serve" => cmd_serve(&args),
         "audit" => cmd_audit(&args),
         "cache" => cmd_cache(&positionals, &args),
         "point" => cmd_point(&args),

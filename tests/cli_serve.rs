@@ -1,0 +1,184 @@
+//! CLI-level conformance for `pim-tradeoffs serve`, through the real binary and
+//! real sockets: a served preset spec is byte-identical to `run --spec` output
+//! (cold and warm), and SIGKILLing the daemon mid-request leaves the shared
+//! cache unpoisoned — a subsequent CLI run over the same directory completes
+//! with zero recomputations and byte-identical artifacts.
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use tiny_http::client;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pim-tradeoffs"))
+}
+
+/// Run the CLI expecting success; return (stdout, stderr).
+fn expect_ok(args: &[&str]) -> (String, String) {
+    let out: Output = bin().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "`pim-tradeoffs {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+fn temp_base(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pim-cli-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn p(path: &Path) -> String {
+    path.to_string_lossy().to_string()
+}
+
+/// A preset spec shipped with the repo (10 × 11 grid = 110 analytic units).
+fn preset_spec() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/specs/node_scaling.json")
+}
+
+/// The daemon under test; killed (and reaped) on drop so a failing assertion
+/// never leaks a listener.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Start `pim-tradeoffs serve` on an OS-assigned port and parse the bound
+    /// address from its first stdout line.
+    fn start(extra: &[&str]) -> Daemon {
+        let mut child = bin()
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0", "--quiet", "1"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon starts");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("daemon announces its address");
+        let addr = line
+            .trim()
+            .strip_prefix("serving on ")
+            .unwrap_or_else(|| panic!("unexpected announcement '{line}'"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+#[test]
+fn served_preset_is_byte_identical_to_cli_run_cold_and_warm() {
+    let base = temp_base("identity");
+    let cache = base.join("cache");
+    let spec = preset_spec();
+    let body = std::fs::read(&spec).expect("preset spec exists");
+
+    let daemon = Daemon::start(&["--cache", &p(&cache)]);
+    let cold = client::request(&daemon.addr, "POST", "/run", &[], &body).expect("cold submit");
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-pim-cache-hits"), Some("0"));
+
+    // The CLI reference for the same spec and (default) seed. `--no-cache`
+    // keeps the comparison independent of the daemon's cache directory.
+    let (cli_stdout, _) = expect_ok(&["run", "--spec", &p(&spec), "--no-cache"]);
+    assert_eq!(
+        String::from_utf8_lossy(&cold.body),
+        cli_stdout,
+        "served artifact differs from `run --spec` output"
+    );
+
+    // Warm re-submit: all units hit, body byte-identical.
+    let warm = client::request(&daemon.addr, "POST", "/run", &[], &body).expect("warm submit");
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-pim-cache-misses"), Some("0"));
+    assert_eq!(warm.header("x-pim-cache-recomputed"), Some("0"));
+    assert_eq!(warm.body, cold.body);
+
+    // The daemon's cache is a normal unit cache: a CLI run over it is all-hits.
+    let (_, cli_warm_err) = expect_ok(&["run", "--spec", &p(&spec), "--cache", &p(&cache)]);
+    assert!(
+        cli_warm_err.contains("110 hit(s), 0 miss(es), 0 recomputed"),
+        "CLI run over the daemon's cache was not all-hits: {cli_warm_err}"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn sigkill_mid_request_leaves_the_cache_unpoisoned() {
+    let base = temp_base("kill");
+    let cache = base.join("cache");
+    // Heavy enough (256 measured units, ~seconds in a debug build) that the
+    // SIGKILL below lands mid-computation, with stores in flight.
+    let spec = base.join("heavy.json");
+    std::fs::write(
+        &spec,
+        r#"{
+            "schema_version": 1,
+            "name": "serve_kill_probe",
+            "description": "heavy measured sweep for kill-mid-request testing",
+            "model": "measured",
+            "config": {"ops": 400000},
+            "grid": {
+                "patterns": [
+                    {"UniformRandom": {"footprint": 4194304, "line": 64}},
+                    {"Zipf": {"footprint": 4194304, "line": 64, "exponent": 1.2}}
+                ],
+                "memory_fractions": [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+            },
+            "replications": 16,
+            "columns": ["pattern", "host_miss_rate", "row_hit_rate",
+                        "mean_dram_latency_ns", "achieved_gbit_per_s"]
+        }"#,
+    )
+    .unwrap();
+    let body = std::fs::read(&spec).unwrap();
+
+    let mut daemon = Daemon::start(&["--cache", &p(&cache), "--jobs", "2"]);
+    let addr = daemon.addr.clone();
+    let submit = std::thread::spawn(move || {
+        // The daemon dies mid-response: any outcome (error or truncated body)
+        // is acceptable here — the assertions live on the cache state below.
+        let _ = client::request(&addr, "POST", "/run", &[], &body);
+    });
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    daemon.kill();
+    submit.join().unwrap();
+
+    // The cache must be unpoisoned: a CLI run over the same directory succeeds,
+    // recomputes nothing (no corrupt entries — interrupted stores are invisible
+    // thanks to tmp-file + atomic-rename publication), and produces an artifact
+    // byte-identical to a cache-free reference run.
+    let (warm_stdout, warm_err) = expect_ok(&["run", "--spec", &p(&spec), "--cache", &p(&cache)]);
+    assert!(
+        warm_err.contains("0 recomputed"),
+        "interrupted daemon left corrupt cache entries: {warm_err}"
+    );
+    let (reference_stdout, _) = expect_ok(&["run", "--spec", &p(&spec), "--no-cache"]);
+    assert_eq!(
+        warm_stdout, reference_stdout,
+        "artifact over the interrupted cache differs from the cache-free reference"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

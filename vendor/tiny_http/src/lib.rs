@@ -1,0 +1,527 @@
+//! Offline stand-in for a minimal HTTP/1.1 library.
+//!
+//! The build environment has no access to crates.io, so this vendored crate provides
+//! the small HTTP surface the workspace's sweep service (`pim_harness::serve`)
+//! actually needs, over `std::net` only:
+//!
+//! * [`Server`] — a blocking TCP acceptor;
+//! * [`Request::read_from`] — parse one HTTP/1.1 request (request line, headers,
+//!   `Content-Length` body) with hard size limits;
+//! * [`Response`] — a fixed-body response writer emitting `Content-Length`;
+//! * [`ChunkedWriter`] — a streaming response writer emitting
+//!   `Transfer-Encoding: chunked`, for progress feeds;
+//! * [`client`] — a one-shot blocking client (`Connection: close`) that decodes
+//!   both fixed-length and chunked bodies, used by tests and benchmarks.
+//!
+//! Deliberately out of scope: TLS, keep-alive, pipelining, compression, HTTP/2.
+//! Every connection carries exactly one request/response exchange. Swapping a real
+//! HTTP crate back in later only requires deleting this directory and pointing the
+//! manifests at crates.io.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// Ceiling on the request line plus all headers. A client exceeding it is broken
+/// or hostile; the connection is refused with an error before any body is read.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Ceiling on a request body. Scenario specs are a few kilobytes; 4 MiB leaves
+/// generous headroom while bounding memory per connection.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A blocking TCP acceptor for one HTTP service.
+pub struct Server {
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` to let the OS pick a free port).
+    pub fn bind(addr: &str) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address — the way to learn the port after binding to `:0`.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Block until the next client connects.
+    pub fn accept(&self) -> io::Result<TcpStream> {
+        let (stream, _peer) = self.listener.accept()?;
+        Ok(stream)
+    }
+}
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// The raw request target, query string included.
+    pub target: String,
+    /// Header `(name, value)` pairs in arrival order; names are kept as sent,
+    /// lookups via [`Request::header`] are case-insensitive.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Parse one request from `reader`. Enforces [`MAX_HEAD_BYTES`] and
+    /// [`MAX_BODY_BYTES`]; any malformed line is an `InvalidData` error.
+    pub fn read_from(reader: &mut impl BufRead) -> io::Result<Request> {
+        let mut head_bytes = 0usize;
+        let request_line = read_line(reader, &mut head_bytes)?;
+        let mut parts = request_line.split_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(bad_data(format!("malformed request line '{request_line}'")));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad_data(format!("unsupported protocol '{version}'")));
+        }
+        let method = method.to_ascii_uppercase();
+        let target = target.to_string();
+
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(reader, &mut head_bytes)?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(bad_data(format!("malformed header line '{line}'")));
+            };
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+
+        let request = Request {
+            method,
+            target,
+            headers,
+            body: Vec::new(),
+        };
+        let body = match request.header("content-length") {
+            None => Vec::new(),
+            Some(len) => {
+                let len: usize = len
+                    .parse()
+                    .map_err(|_| bad_data(format!("invalid Content-Length '{len}'")))?;
+                if len > MAX_BODY_BYTES {
+                    return Err(bad_data(format!(
+                        "request body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                    )));
+                }
+                let mut body = vec![0u8; len];
+                reader.read_exact(&mut body)?;
+                body
+            }
+        };
+        Ok(Request { body, ..request })
+    }
+
+    /// The request path: the target up to (and excluding) any `?`.
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((path, _)) => path,
+            None => &self.target,
+        }
+    }
+
+    /// The decoded query pairs, in order. A key without `=` maps to `""`.
+    pub fn query(&self) -> Vec<(String, String)> {
+        let Some((_, query)) = self.target.split_once('?') else {
+            return Vec::new();
+        };
+        query
+            .split('&')
+            .filter(|part| !part.is_empty())
+            .map(|part| match part.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (part.to_string(), String::new()),
+            })
+            .collect()
+    }
+
+    /// First value of the query key `name`, when present.
+    pub fn query_value(&self, name: &str) -> Option<String> {
+        self.query()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Case-insensitive header lookup (first occurrence).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, charging its bytes against the
+/// shared head budget.
+fn read_line(reader: &mut impl BufRead, head_bytes: &mut usize) -> io::Result<String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-request",
+        ));
+    }
+    *head_bytes += n;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(bad_data(format!(
+            "request head exceeds the {MAX_HEAD_BYTES}-byte limit"
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn bad_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// The standard reason phrase for the status codes this stand-in emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// A fixed-body HTTP/1.1 response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra header `(name, value)` pairs; `Content-Length` and `Connection`
+    /// are always emitted by [`Response::write_to`] and must not be added here.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with `status` and an empty body.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Builder: add a header pair.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Builder: set the body and its `Content-Type`.
+    pub fn with_body(mut self, content_type: &str, body: Vec<u8>) -> Response {
+        self.headers
+            .push(("Content-Type".to_string(), content_type.to_string()));
+        self.body = body;
+        self
+    }
+
+    /// Write the complete response (status line, headers, `Content-Length`,
+    /// body) and flush.
+    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason_phrase(self.status)
+        )?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(writer, "Content-Length: {}\r\n", self.body.len())?;
+        write!(writer, "Connection: close\r\n\r\n")?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// A streaming (`Transfer-Encoding: chunked`) response writer: the head goes out
+/// on construction, each [`chunk`](ChunkedWriter::chunk) flushes immediately so
+/// clients see progress live, and [`finish`](ChunkedWriter::finish) terminates
+/// the stream.
+pub struct ChunkedWriter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Write the response head and return the chunk writer.
+    pub fn begin(
+        mut writer: W,
+        status: u16,
+        headers: &[(&str, &str)],
+    ) -> io::Result<ChunkedWriter<W>> {
+        write!(writer, "HTTP/1.1 {} {}\r\n", status, reason_phrase(status))?;
+        for (name, value) in headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(writer, "Transfer-Encoding: chunked\r\n")?;
+        write!(writer, "Connection: close\r\n\r\n")?;
+        writer.flush()?;
+        Ok(ChunkedWriter { writer })
+    }
+
+    /// Send one chunk (empty input is skipped — an empty chunk would terminate
+    /// the stream early).
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.writer, "{:x}\r\n", data.len())?;
+        self.writer.write_all(data)?;
+        write!(self.writer, "\r\n")?;
+        self.writer.flush()
+    }
+
+    /// Terminate the chunk stream and flush.
+    pub fn finish(mut self) -> io::Result<()> {
+        write!(self.writer, "0\r\n\r\n")?;
+        self.writer.flush()
+    }
+}
+
+/// A one-shot blocking HTTP/1.1 client (one request per connection).
+pub mod client {
+    use super::*;
+
+    /// A decoded client-side response.
+    #[derive(Debug)]
+    pub struct ClientResponse {
+        /// HTTP status code.
+        pub status: u16,
+        /// Header pairs in arrival order.
+        pub headers: Vec<(String, String)>,
+        /// The decoded body (fixed-length and chunked transfer are handled).
+        pub body: Vec<u8>,
+    }
+
+    impl ClientResponse {
+        /// Case-insensitive header lookup (first occurrence).
+        pub fn header(&self, name: &str) -> Option<&str> {
+            self.headers
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str())
+        }
+    }
+
+    /// Send one `method` request for `target` to `addr` and read the full
+    /// response. `headers` are emitted verbatim; `Content-Length`, `Host` and
+    /// `Connection: close` are added automatically.
+    pub fn request(
+        addr: &str,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let mut stream = TcpStream::connect(addr)?;
+        write!(stream, "{method} {target} HTTP/1.1\r\n")?;
+        write!(stream, "Host: {addr}\r\n")?;
+        for (name, value) in headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(stream, "Content-Length: {}\r\n", body.len())?;
+        write!(stream, "Connection: close\r\n\r\n")?;
+        stream.write_all(body)?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut head_bytes = 0usize;
+        let status_line = read_line(&mut reader, &mut head_bytes)?;
+        let mut parts = status_line.split_whitespace();
+        let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
+            return Err(bad_data(format!("malformed status line '{status_line}'")));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad_data(format!("unsupported protocol '{version}'")));
+        }
+        let status: u16 = status
+            .parse()
+            .map_err(|_| bad_data(format!("invalid status '{status}'")))?;
+
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(&mut reader, &mut head_bytes)?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(bad_data(format!("malformed header line '{line}'")));
+            };
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+
+        let response = ClientResponse {
+            status,
+            headers,
+            body: Vec::new(),
+        };
+        let chunked = response
+            .header("transfer-encoding")
+            .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+        let body = if chunked {
+            read_chunked(&mut reader)?
+        } else {
+            match response.header("content-length") {
+                Some(len) => {
+                    let len: usize = len
+                        .parse()
+                        .map_err(|_| bad_data(format!("invalid Content-Length '{len}'")))?;
+                    let mut body = vec![0u8; len];
+                    reader.read_exact(&mut body)?;
+                    body
+                }
+                // No length, no chunking: the body runs to connection close.
+                None => {
+                    let mut body = Vec::new();
+                    reader.read_to_end(&mut body)?;
+                    body
+                }
+            }
+        };
+        Ok(ClientResponse { body, ..response })
+    }
+
+    fn read_chunked(reader: &mut impl BufRead) -> io::Result<Vec<u8>> {
+        let mut body = Vec::new();
+        loop {
+            let mut ignored = 0usize;
+            let size_line = read_line(reader, &mut ignored)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad_data(format!("invalid chunk size '{size_line}'")))?;
+            if size == 0 {
+                // Trailer section (we send none) ends with a blank line.
+                let _ = read_line(reader, &mut ignored);
+                return Ok(body);
+            }
+            let start = body.len();
+            body.resize(start + size, 0);
+            reader.read_exact(&mut body[start..])?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let raw =
+            b"POST /run?seed=7&progress=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let req = Request::read_from(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/run");
+        assert_eq!(req.query_value("seed").as_deref(), Some("7"));
+        assert_eq!(req.query_value("progress").as_deref(), Some("1"));
+        assert_eq!(req.query_value("absent"), None);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            &b"GET / SPDY/3\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"[..],
+        ] {
+            let err = Request::read_from(&mut Cursor::new(raw)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_and_heads() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = Request::read_from(&mut Cursor::new(raw.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("byte limit"), "{err}");
+
+        let raw = format!(
+            "GET / HTTP/1.1\r\nA: {}\r\n\r\n",
+            "x".repeat(MAX_HEAD_BYTES)
+        );
+        let err = Request::read_from(&mut Cursor::new(raw.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("head exceeds"), "{err}");
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_decoder() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let mut stream = server.accept().unwrap();
+            let req = {
+                let mut reader = BufReader::new(&mut stream);
+                Request::read_from(&mut reader).unwrap()
+            };
+            assert_eq!(req.method, "POST");
+            Response::new(200)
+                .with_header("X-Echo", "yes")
+                .with_body("application/json", req.body)
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let resp = client::request(&addr, "POST", "/echo", &[], b"{\"k\":1}").unwrap();
+        handle.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-echo"), Some("yes"));
+        assert_eq!(resp.body, b"{\"k\":1}");
+    }
+
+    #[test]
+    fn chunked_stream_round_trips_through_the_client_decoder() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let mut stream = server.accept().unwrap();
+            {
+                let mut reader = BufReader::new(&mut stream);
+                Request::read_from(&mut reader).unwrap();
+            }
+            let mut chunks =
+                ChunkedWriter::begin(&mut stream, 200, &[("Content-Type", "text/plain")]).unwrap();
+            chunks.chunk(b"hello ").unwrap();
+            chunks.chunk(b"").unwrap(); // skipped, must not terminate the stream
+            chunks.chunk(b"world").unwrap();
+            chunks.finish().unwrap();
+        });
+        let resp = client::request(&addr, "GET", "/stream", &[], b"").unwrap();
+        handle.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hello world");
+    }
+}
