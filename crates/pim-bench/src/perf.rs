@@ -27,6 +27,12 @@
 //!    Reports the cold wall, sustained warm requests/sec, and mean warm-hit
 //!    latency — the daemon's whole overhead stack (HTTP parse, spec compile,
 //!    in-memory unit hits, serialization) per request.
+//! 7. **Service under saturation** — a client fleet larger than the daemon's
+//!    bounded worker pool, every client submitting a *distinct* spec and
+//!    honoring `503` + `Retry-After` backpressure with retries. Reports the
+//!    fleet wall, completed requests/sec, and how many rejections the
+//!    backpressure issued — the cost of overload degrading into fast retries
+//!    instead of unbounded threads.
 //!
 //! Comparing two revisions is a field-by-field diff of their `BENCH_*.json`; CI runs
 //! the quick suite on every push and uploads the artifact (non-gating).
@@ -413,15 +419,18 @@ fn bench_serve(opts: &PerfOptions) -> Value {
 
     let server = SweepServer::bind(&ServeOptions {
         jobs: opts.jobs,
+        // The warm burst is sequential; one worker keeps the measurement a
+        // pure per-request overhead stack.
+        workers: 1,
+        queue: 1,
         ..ServeOptions::default()
     })
     // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a failed bind by design
     .expect("serve bench binds on a loopback port");
     // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a failed bind by design
     let addr = server.local_addr().expect("bound socket has an address");
-    std::thread::spawn(move || {
-        let _ = server.serve_forever();
-    });
+    let drain = server.drain_handle();
+    let server_thread = std::thread::spawn(move || server.serve_forever());
 
     let submit = || {
         tiny_http::client::request(&addr, "POST", "/run", &[], SPEC.as_bytes())
@@ -456,6 +465,18 @@ fn bench_serve(opts: &PerfOptions) -> Value {
         "warm requests were not served entirely from memory"
     );
 
+    // A benchmark must not leak its daemon: drain gracefully and join the
+    // server thread so the pool, workers, and listener are all gone before
+    // the next section binds its own port.
+    drain.request_drain();
+    let summary = server_thread
+        .join()
+        // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a crashed daemon by design
+        .expect("serve bench daemon thread joins")
+        // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a failed drain by design
+        .expect("serve bench daemon drains");
+    assert_eq!(summary.abandoned, 0, "drain abandoned in-flight work");
+
     map(vec![
         ("jobs_requested", Value::U64(opts.jobs as u64)),
         ("units", Value::U64(units)),
@@ -469,6 +490,104 @@ fn bench_serve(opts: &PerfOptions) -> Value {
             "warm_hit_latency_ms",
             Value::F64(warm_secs * 1e3 / warm_requests as f64),
         ),
+    ])
+}
+
+/// The sweep service under saturation: a client fleet larger than the worker
+/// pool, each client submitting a *distinct* small analytic spec and honoring
+/// `503` + `Retry-After` backpressure by sleeping and retrying until its `200`
+/// arrives. Measures how quickly a saturated daemon turns a burst of strangers
+/// into completed work, and how many rejections the backpressure issued along
+/// the way. The daemon is drained and joined before returning.
+fn bench_serve_load(opts: &PerfOptions) -> Value {
+    let clients: usize = if opts.quick { 8 } else { 16 };
+    let workers: usize = 2;
+    let server = SweepServer::bind(&ServeOptions {
+        jobs: opts.jobs,
+        workers,
+        queue: workers,
+        ..ServeOptions::default()
+    })
+    // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a failed bind by design
+    .expect("serve load bench binds on a loopback port");
+    // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a failed bind by design
+    let addr = server.local_addr().expect("bound socket has an address");
+    let drain = server.drain_handle();
+    let server_thread = std::thread::spawn(move || server.serve_forever());
+
+    // Distinct names mean distinct unit-key spaces: no cross-client warmth,
+    // every request is real compute plus the full service stack.
+    let specs: Vec<String> = (0..clients)
+        .map(|i| {
+            format!(
+                r#"{{
+        "schema_version": 1,
+        "name": "perf_load_{i}",
+        "description": "distinct analytic grid for the load bench",
+        "model": "analytic",
+        "grid": {{
+            "node_counts": [2, 4, 8, 16],
+            "lwp_fractions": [0.25, 0.5, 0.75]
+        }},
+        "columns": ["nodes", "pct_lwp", "gain"]
+    }}"#
+            )
+        })
+        .collect();
+
+    let start = Instant::now();
+    let rejections: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    let mut rejections = 0u64;
+                    loop {
+                        let resp =
+                            tiny_http::client::request(addr, "POST", "/run", &[], spec.as_bytes())
+                                // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a failed request by design
+                                .expect("saturated daemon answers every request");
+                        if resp.status == 503 {
+                            assert!(
+                                resp.header("retry-after").is_some(),
+                                "503 without Retry-After"
+                            );
+                            rejections += 1;
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            continue;
+                        }
+                        assert_eq!(resp.status, 200, "load client failed");
+                        return rejections;
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a crashed client by design
+            .map(|h| h.join().expect("load client thread joins"))
+            .sum()
+    });
+    let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    drain.request_drain();
+    let summary = server_thread
+        .join()
+        // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a crashed daemon by design
+        .expect("serve load daemon thread joins")
+        // audit:allow(unwrap-in-library): a benchmark trajectory aborts on a failed drain by design
+        .expect("serve load daemon drains");
+    assert_eq!(summary.abandoned, 0, "drain abandoned in-flight work");
+
+    map(vec![
+        ("jobs_requested", Value::U64(opts.jobs as u64)),
+        ("workers", Value::U64(workers as u64)),
+        ("clients", Value::U64(clients as u64)),
+        ("completed", Value::U64(clients as u64)),
+        ("rejected_503", Value::U64(rejections)),
+        ("wall_ms", Value::F64(wall_secs * 1e3)),
+        ("completed_per_sec", Value::F64(clients as f64 / wall_secs)),
     ])
 }
 
@@ -499,6 +618,7 @@ pub fn run_suite(opts: &PerfOptions) -> Value {
         ("incremental", bench_incremental(opts)),
         ("sharded", bench_sharded(opts)),
         ("serve", bench_serve(opts)),
+        ("serve_load", bench_serve_load(opts)),
     ])
 }
 
@@ -535,6 +655,8 @@ const INFO_METRICS: &[(&str, &str)] = &[
     ("serve", "cold_ms"),
     ("serve", "warm_requests_per_sec"),
     ("serve", "warm_hit_latency_ms"),
+    ("serve_load", "wall_ms"),
+    ("serve_load", "completed_per_sec"),
 ];
 
 /// One metric's baseline-vs-current delta.
@@ -716,6 +838,11 @@ mod tests {
         assert!(snum("units") > 0.0);
         assert!(snum("warm_requests_per_sec") > 0.0);
         assert!(snum("warm_hit_latency_ms") > 0.0);
+        // The load section must complete its whole fleet against the bounded pool.
+        let load = payload.get("serve_load").unwrap();
+        let lnum = |key: &str| load.get(key).and_then(|v| v.as_f64()).unwrap();
+        assert_eq!(lnum("completed"), lnum("clients"));
+        assert!(lnum("completed_per_sec") > 0.0);
 
         let dir = std::env::temp_dir().join(format!("pim-perf-test-{}", std::process::id()));
         let path = write_bench_file(&dir, &opts.rev, &payload).unwrap();

@@ -44,8 +44,9 @@ use crate::scenario::{PlanUnit, ScenarioPlan, UnitOutput};
 use crate::shard::{ExecutedUnit, ShardSpec};
 use serde::Value;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Resolve a user-facing `jobs` knob: `0` means one worker per available core.
 pub fn resolve_jobs(jobs: usize) -> usize {
@@ -60,6 +61,28 @@ pub fn resolve_jobs(jobs: usize) -> usize {
 /// with `(completed_so_far, total_units)`. Called from worker threads, so it must
 /// be `Sync`; keep it cheap — it runs inside the claim loop.
 pub type Progress<'p> = &'p (dyn Fn(usize, usize) + Sync);
+
+/// A cancellation probe for one executor call: polled between units and while
+/// queued on the compute gate or a foreign flight; returning `true` makes the
+/// call abandon its remaining work and fail with [`CANCELLED_MSG`]. Called from
+/// worker threads, so it must be `Sync`; keep it cheap — the pool polls it
+/// every [`CANCEL_POLL`] while blocked and once per claimed unit.
+///
+/// Cancellation only abandons work *this* call uniquely owns: a flight it was
+/// computing resolves as failed, waking any foreign waiters to re-contest
+/// ownership, and results already published to the pool's caches stay valid.
+pub type Cancel<'c> = &'c (dyn Fn() -> bool + Sync);
+
+/// The error string a cancelled executor call fails with. Stable so callers
+/// (the serve layer) can distinguish "client gave up" from real failures.
+pub const CANCELLED_MSG: &str = "execution cancelled by caller";
+
+/// How often blocked waits (gate queue, foreign flights) poll a cancellation
+/// probe. Uncancellable waits (no probe) never wake early.
+const CANCEL_POLL: Duration = Duration::from_millis(25);
+
+/// Internal marker: the caller's cancellation probe fired.
+struct Cancelled;
 
 /// A plan's report plus its cache accounting (all-zero when uncached).
 pub struct PlanOutcome {
@@ -208,19 +231,34 @@ impl Flight {
         })
     }
 
-    /// Block until the flight resolves; `Some(payload)` on success, `None` when
-    /// the owner failed and ownership should be re-contested.
-    fn wait(&self) -> Option<Value> {
+    /// Block until the flight resolves; `Ok(Some(payload))` on success,
+    /// `Ok(None)` when the owner failed and ownership should be re-contested,
+    /// `Err(Cancelled)` when the caller's probe fired while waiting (the
+    /// flight itself is untouched — its owner and other waiters are foreign).
+    fn wait(&self, cancel: Option<Cancel<'_>>) -> Result<Option<Value>, Cancelled> {
         // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
         let mut state = self.state.lock().expect("no worker panicked");
         loop {
             match &*state {
-                FlightState::Done(payload) => return Some(payload.clone()),
-                FlightState::Failed => return None,
-                FlightState::Pending => {
-                    // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
-                    state = self.done.wait(state).expect("no worker panicked");
-                }
+                FlightState::Done(payload) => return Ok(Some(payload.clone())),
+                FlightState::Failed => return Ok(None),
+                FlightState::Pending => match cancel {
+                    None => {
+                        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+                        state = self.done.wait(state).expect("no worker panicked");
+                    }
+                    Some(probe) => {
+                        if probe() {
+                            return Err(Cancelled);
+                        }
+                        let (next, _timed_out) = self
+                            .done
+                            .wait_timeout(state, CANCEL_POLL)
+                            // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+                            .expect("no worker panicked");
+                        state = next;
+                    }
+                },
             }
         }
     }
@@ -268,24 +306,51 @@ enum FlightClaim {
     Waiter(Arc<Flight>),
 }
 
-/// A counting semaphore over compute slots: at most `permits` unit closures run
+/// A counting semaphore over compute slots: at most `total` unit closures run
 /// concurrently across every client of the pool. Cache and memory hits bypass the
 /// gate — warm serving never queues behind cold computation.
 struct Gate {
     permits: Mutex<usize>,
     freed: Condvar,
+    /// The full permit budget, for occupancy reporting (`total - available`).
+    total: usize,
 }
 
 impl Gate {
-    fn acquire(&self) -> GatePermit<'_> {
+    /// Take one compute permit, blocking while none are free. With a probe,
+    /// the queued wait polls it every [`CANCEL_POLL`] and gives up with
+    /// `Err(Cancelled)` instead of computing for a caller that is gone.
+    fn acquire(&self, cancel: Option<Cancel<'_>>) -> Result<GatePermit<'_>, Cancelled> {
         // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
         let mut permits = self.permits.lock().expect("no worker panicked");
         while *permits == 0 {
-            // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
-            permits = self.freed.wait(permits).expect("no worker panicked");
+            match cancel {
+                None => {
+                    // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+                    permits = self.freed.wait(permits).expect("no worker panicked");
+                }
+                Some(probe) => {
+                    if probe() {
+                        return Err(Cancelled);
+                    }
+                    let (next, _timed_out) = self
+                        .freed
+                        .wait_timeout(permits, CANCEL_POLL)
+                        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+                        .expect("no worker panicked");
+                    permits = next;
+                }
+            }
         }
         *permits -= 1;
-        GatePermit { gate: self }
+        Ok(GatePermit { gate: self })
+    }
+
+    /// Permits currently held by running unit closures.
+    fn in_use(&self) -> usize {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        let available = *self.permits.lock().expect("no worker panicked");
+        self.total.saturating_sub(available)
     }
 }
 
@@ -323,11 +388,13 @@ impl UnitPool {
     /// A pool admitting at most [`resolve_jobs`]`(jobs)` concurrent unit
     /// computations across all its clients.
     pub fn new(jobs: usize) -> UnitPool {
+        let total = resolve_jobs(jobs).max(1);
         UnitPool {
             jobs,
             gate: Gate {
-                permits: Mutex::new(resolve_jobs(jobs).max(1)),
+                permits: Mutex::new(total),
                 freed: Condvar::new(),
+                total,
             },
             mem: Mutex::new(HashMap::new()),
             flights: Mutex::new(HashMap::new()),
@@ -338,6 +405,24 @@ impl UnitPool {
     pub fn mem_entries(&self) -> usize {
         // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
         self.mem.lock().expect("no worker panicked").len()
+    }
+
+    /// The pool's full compute-permit budget (the resolved `jobs` knob).
+    pub fn permits_total(&self) -> usize {
+        self.gate.total
+    }
+
+    /// Compute permits currently held by running unit closures — the pool's
+    /// instantaneous occupancy, `0..=permits_total()`.
+    pub fn permits_in_use(&self) -> usize {
+        self.gate.in_use()
+    }
+
+    /// Digests with a computation currently in flight (single-flight table
+    /// occupancy): owners computing plus entries waiters are blocked on.
+    pub fn flights_in_progress(&self) -> usize {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        self.flights.lock().expect("no worker panicked").len()
     }
 
     /// Execute every plan's units and assemble one report per plan, in input
@@ -359,6 +444,22 @@ impl UnitPool {
         cache: Option<&UnitCache>,
         progress: Option<Progress<'_>>,
     ) -> Result<Vec<PlanOutcome>, String> {
+        self.run_plans_cancellable(plans, cache, progress, None)
+    }
+
+    /// [`UnitPool::run_plans_cached_with`] plus an optional cancellation
+    /// probe. When the probe fires the call stops claiming units, abandons
+    /// any gate/flight queue position it holds, and fails with
+    /// [`CANCELLED_MSG`]; flights this call owned resolve as failed so
+    /// foreign waiters re-contest ownership, and everything already published
+    /// to the pool's caches stays valid for future callers.
+    pub fn run_plans_cancellable(
+        &self,
+        plans: Vec<ScenarioPlan<'_>>,
+        cache: Option<&UnitCache>,
+        progress: Option<Progress<'_>>,
+        cancel: Option<Cancel<'_>>,
+    ) -> Result<Vec<PlanOutcome>, String> {
         let mut assembles = Vec::with_capacity(plans.len());
         let mut tasks = Vec::new();
         let mut spans = Vec::with_capacity(plans.len());
@@ -370,7 +471,7 @@ impl UnitPool {
             assembles.push(assemble);
         }
 
-        let executed = self.execute_units(tasks, cache, progress)?;
+        let executed = self.execute_units_cancellable(tasks, cache, progress, cancel)?;
 
         let mut executed: Vec<Option<(UnitOutput, CacheEvent)>> =
             executed.into_iter().map(Some).collect();
@@ -448,19 +549,23 @@ impl UnitPool {
 
     /// Run one claimed unit through memory cache → single-flight → disk cache →
     /// gated computation. Returns the output, the cache event, and any store
-    /// error.
+    /// error — or `Err(Cancelled)` when the caller's probe fired while queued
+    /// (a flight this worker owned resolves as failed via its guard, waking
+    /// foreign waiters to re-contest).
+    #[allow(clippy::type_complexity)]
     fn run_unit(
         &self,
         unit: PlanUnit<'_>,
         cache: Option<&UnitCache>,
-    ) -> (UnitOutput, CacheEvent, Option<String>) {
+        cancel: Option<Cancel<'_>>,
+    ) -> Result<(UnitOutput, CacheEvent, Option<String>), Cancelled> {
         let Some((key, codec)) = &unit.cache else {
-            let _permit = self.gate.acquire();
-            return ((unit.run)(), CacheEvent::Uncached, None);
+            let _permit = self.gate.acquire(cancel)?;
+            return Ok(((unit.run)(), CacheEvent::Uncached, None));
         };
         let digest = key.digest_u128();
         if let Some(output) = self.load_mem(digest, codec) {
-            return (output, CacheEvent::Hit, None);
+            return Ok((output, CacheEvent::Hit, None));
         }
         // Plain batches over a fresh pool keep the historical accounting: with no
         // disk cache configured, computed units are uncached, not misses.
@@ -471,17 +576,17 @@ impl UnitPool {
         };
         loop {
             match self.claim_flight(digest) {
-                FlightClaim::Waiter(flight) => match flight.wait() {
+                FlightClaim::Waiter(flight) => match flight.wait(cancel)? {
                     Some(payload) => match (codec.decode)(&payload) {
                         // Deduplicated: another client computed this unit while
                         // we waited. Byte-identical by the purity contract.
-                        Some(output) => return (output, CacheEvent::Hit, None),
+                        Some(output) => return Ok((output, CacheEvent::Hit, None)),
                         // A payload this codec cannot read (digest collision
                         // across incompatible unit types — not constructible
                         // from well-formed scenarios). Compute it directly.
                         None => {
-                            let _permit = self.gate.acquire();
-                            return ((unit.run)(), base_event, None);
+                            let _permit = self.gate.acquire(cancel)?;
+                            return Ok(((unit.run)(), base_event, None));
                         }
                     },
                     // The owner failed; contest ownership again.
@@ -496,7 +601,7 @@ impl UnitPool {
                                 Some(output) => {
                                     self.store_mem(digest, &payload);
                                     guard.complete(payload);
-                                    return (output, CacheEvent::Hit, None);
+                                    return Ok((output, CacheEvent::Hit, None));
                                 }
                                 None => {
                                     // Checksum-intact but shape-incompatible
@@ -511,14 +616,16 @@ impl UnitPool {
                         }
                     }
                     let output = {
-                        let _permit = self.gate.acquire();
+                        // A cancelled gate wait drops `guard` un-completed:
+                        // the flight resolves Failed and waiters re-contest.
+                        let _permit = self.gate.acquire(cancel)?;
                         (unit.run)()
                     };
                     let payload = (codec.encode)(&*output);
                     let store_err = cache.and_then(|c| c.store(key, &payload).err());
                     self.store_mem(digest, &payload);
                     guard.complete(payload);
-                    return (output, event, store_err);
+                    return Ok((output, event, store_err));
                 }
             }
         }
@@ -533,6 +640,18 @@ impl UnitPool {
         cache: Option<&UnitCache>,
         progress: Option<Progress<'_>>,
     ) -> Result<Vec<(UnitOutput, CacheEvent)>, String> {
+        self.execute_units_cancellable(tasks, cache, progress, None)
+    }
+
+    /// [`UnitPool::execute_units`] with an optional cancellation probe (see
+    /// [`UnitPool::run_plans_cancellable`] for the abort semantics).
+    fn execute_units_cancellable(
+        &self,
+        tasks: Vec<PlanUnit<'_>>,
+        cache: Option<&UnitCache>,
+        progress: Option<Progress<'_>>,
+        cancel: Option<Cancel<'_>>,
+    ) -> Result<Vec<(UnitOutput, CacheEvent)>, String> {
         let total = tasks.len();
         let completed = AtomicUsize::new(0);
         let report_progress = |n: usize| {
@@ -540,6 +659,7 @@ impl UnitPool {
                 progress(n, total);
             }
         };
+        let probe_cancel = || cancel.is_some_and(|probe| probe());
         // Same jobs-resolution rules as every other work-stealing layer. The claim
         // loop below is not `work_steal_map` itself only because plan units are
         // `FnOnce` (consumed on execution), which that Fn-based API cannot express.
@@ -547,7 +667,12 @@ impl UnitPool {
         if jobs <= 1 || total <= 1 {
             let mut out = Vec::with_capacity(total);
             for unit in tasks {
-                let (output, event, store_err) = self.run_unit(unit, cache);
+                if probe_cancel() {
+                    return Err(CANCELLED_MSG.to_string());
+                }
+                let Ok((output, event, store_err)) = self.run_unit(unit, cache, cancel) else {
+                    return Err(CANCELLED_MSG.to_string());
+                };
                 if let Some(err) = store_err {
                     return Err(err);
                 }
@@ -558,6 +683,7 @@ impl UnitPool {
         }
 
         let next = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
         let tasks: Mutex<Vec<Option<PlanUnit<'_>>>> =
             Mutex::new(tasks.into_iter().map(Some).collect());
         let slots: Mutex<Vec<Option<(UnitOutput, CacheEvent)>>> =
@@ -566,6 +692,11 @@ impl UnitPool {
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
+                    if probe_cancel() {
+                        cancelled.store(true, Ordering::Relaxed);
+                        next.store(total, Ordering::Relaxed);
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         break;
@@ -575,7 +706,13 @@ impl UnitPool {
                         .take()
                         // audit:allow(unwrap-in-library): the claim counter hands each index to exactly one worker
                         .expect("each unit claimed once");
-                    let (output, event, store_err) = self.run_unit(unit, cache);
+                    let Ok((output, event, store_err)) = self.run_unit(unit, cache, cancel) else {
+                        // The batch is abandoned: stop every worker and let the
+                        // cancelled flag (checked before slots) carry the error.
+                        cancelled.store(true, Ordering::Relaxed);
+                        next.store(total, Ordering::Relaxed);
+                        break;
+                    };
                     if let Some(err) = store_err {
                         // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
                         store_errors.lock().expect("no worker panicked").push(err);
@@ -589,6 +726,9 @@ impl UnitPool {
                 });
             }
         });
+        if cancelled.load(Ordering::Relaxed) {
+            return Err(CANCELLED_MSG.to_string());
+        }
         if let Some(err) = store_errors
             .into_inner()
             // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
@@ -810,6 +950,138 @@ mod tests {
         );
         assert_eq!(warm.cache.hits, 12);
         assert_eq!(warm.report.to_json(), cold.report.to_json());
+    }
+
+    /// Spin until `cond` holds (the pool exposes occupancy, not wakeups).
+    fn wait_for(what: &str, cond: impl Fn() -> bool) {
+        for _ in 0..2000 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("condition never became true: {what}");
+    }
+
+    #[test]
+    fn occupancy_counters_expose_gate_and_flight_tables() {
+        let pool = UnitPool::new(2);
+        assert_eq!(pool.permits_total(), 2);
+        assert_eq!(pool.permits_in_use(), 0);
+        assert_eq!(pool.flights_in_progress(), 0);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let keyer = UnitKeyer::new("occ", &Value::Map(vec![]), 9);
+                let units = vec![(keyer.key(0, 0), move || {
+                    rx.recv().unwrap();
+                    7usize
+                })];
+                let plan = ScenarioPlan::cached_map_reduce(units, |_: Vec<usize>| {
+                    ScenarioReport::new("occ", "d", 0, Value::Map(vec![]))
+                });
+                pool.run_plans_cached(vec![plan], None).unwrap();
+            });
+            wait_for("one permit held and one flight registered", || {
+                pool.permits_in_use() == 1 && pool.flights_in_progress() == 1
+            });
+            tx.send(()).unwrap();
+            handle.join().unwrap();
+        });
+        assert_eq!(pool.permits_in_use(), 0);
+        assert_eq!(pool.flights_in_progress(), 0);
+        assert_eq!(pool.mem_entries(), 1);
+    }
+
+    #[test]
+    fn a_cancelled_call_fails_without_running_units_and_the_pool_survives() {
+        let pool = UnitPool::new(2);
+        let runs = AtomicUsize::new(0);
+        let probe = || true;
+        let Err(err) = pool.run_plans_cancellable(
+            vec![plan_squaring_cached("sq", 8, &runs)],
+            None,
+            None,
+            Some(&probe),
+        ) else {
+            panic!("cancelled call succeeded");
+        };
+        assert_eq!(err, CANCELLED_MSG);
+        assert_eq!(runs.load(Ordering::Relaxed), 0, "cancelled call ran units");
+        assert_eq!(pool.flights_in_progress(), 0);
+        assert_eq!(pool.permits_in_use(), 0);
+        // The pool is fully reusable afterwards.
+        let outcome = pool
+            .run_plans_cached(vec![plan_squaring_cached("sq", 8, &runs)], None)
+            .unwrap()
+            .pop()
+            .unwrap();
+        assert_eq!(runs.load(Ordering::Relaxed), 8);
+        assert_eq!(outcome.report.metrics.len(), 8);
+    }
+
+    #[test]
+    fn a_cancelled_flight_owner_fails_over_to_foreign_waiters() {
+        // Client A owns unit U's flight but is queued on the (fully occupied)
+        // gate when its client vanishes. Cancelling A must fail its flight so
+        // client B — a foreign waiter on the same digest — re-contests
+        // ownership and computes U itself once a permit frees up.
+        let pool = UnitPool::new(1);
+        assert_eq!(pool.permits_total(), 1);
+        let runs = AtomicUsize::new(0);
+        let (block_tx, block_rx) = std::sync::mpsc::channel::<()>();
+        let cancel_a = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            // X holds the pool's only compute permit until told to finish.
+            let x = scope.spawn(|| {
+                let plan = ScenarioPlan::single(move || {
+                    block_rx.recv().unwrap();
+                    ScenarioReport::new("block", "d", 0, Value::Map(vec![]))
+                });
+                pool.run_plans_cached(vec![plan], None).unwrap();
+            });
+            wait_for("X holds the only permit", || pool.permits_in_use() == 1);
+
+            // A claims U's flight, then blocks on the gate behind X.
+            let a = scope.spawn(|| {
+                let probe = || cancel_a.load(Ordering::Relaxed);
+                pool.run_plans_cancellable(
+                    vec![plan_squaring_cached("u", 1, &runs)],
+                    None,
+                    None,
+                    Some(&probe),
+                )
+            });
+            wait_for("A registered U's flight", || {
+                pool.flights_in_progress() == 1
+            });
+
+            // B waits on A's flight (same digest, no cancellation).
+            let b = scope
+                .spawn(|| pool.run_plans_cached(vec![plan_squaring_cached("u", 1, &runs)], None));
+            std::thread::sleep(Duration::from_millis(100));
+
+            cancel_a.store(true, Ordering::Relaxed);
+            let Err(err) = a.join().unwrap() else {
+                panic!("cancelled owner succeeded");
+            };
+            assert_eq!(err, CANCELLED_MSG);
+            assert_eq!(
+                runs.load(Ordering::Relaxed),
+                0,
+                "cancelled owner computed U"
+            );
+
+            // B survives A's cancellation: it re-contests, computes U once the
+            // permit frees, and produces the correct report.
+            block_tx.send(()).unwrap();
+            x.join().unwrap();
+            let outcome = b.join().unwrap().unwrap().pop().unwrap();
+            assert_eq!(runs.load(Ordering::Relaxed), 1);
+            assert_eq!(outcome.report.metric("sq0"), Some(0.0));
+        });
+        assert_eq!(pool.flights_in_progress(), 0);
+        assert_eq!(pool.permits_in_use(), 0);
     }
 
     #[test]

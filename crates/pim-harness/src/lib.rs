@@ -77,7 +77,7 @@ pub mod prelude {
     };
     pub use crate::runner::{run_batch, BatchOptions, BatchOutcome};
     pub use crate::scenario::{Scenario, ScenarioPlan, SeedPolicy};
-    pub use crate::serve::{ServeOptions, SweepServer};
+    pub use crate::serve::{DrainHandle, DrainSummary, ServeOptions, SweepServer};
     pub use crate::shard::{ExecutedUnit, ShardScenario, ShardSpec, SHARD_ARTIFACT_SCHEMA_VERSION};
     pub use crate::spec::{
         load_spec_file, load_specs, parse_spec, register_spec_files, register_specs, spec_files,

@@ -22,38 +22,75 @@
 //! byte-identical body for liveness; the final `report` event carries the same
 //! artifact in compact form).
 //!
+//! # Traffic discipline
+//!
+//! The HTTP layer is a fixed **acceptor + bounded worker pool**, not a thread per
+//! connection. The acceptor thread (the caller of
+//! [`serve_forever`](SweepServer::serve_forever)) pushes accepted sockets onto a
+//! bounded pending queue consumed by `--workers` handler threads; when the queue
+//! is full it answers `503` with a `Retry-After` estimated from current pool
+//! occupancy and closes the connection, so overload degrades into fast, honest
+//! rejections instead of unbounded thread growth. Every accepted socket carries a
+//! `--timeout-ms` read/write deadline — a client that connects and goes silent
+//! costs one worker for at most one deadline, then gets a `408`.
+//!
+//! Shutdown is a **graceful drain**: a SIGTERM/SIGINT (when the embedder enables
+//! [`ServeOptions::handle_signals`]) or a [`DrainHandle::request_drain`] stops
+//! the acceptor, lets queued and in-flight requests finish up to `--drain-ms`,
+//! and returns a [`DrainSummary`]. While draining, `/healthz` answers `503
+//! draining` so load balancers stop routing here. A client that disconnects
+//! mid-request is detected (socket probe between units in artifact mode, dead
+//! progress stream in `?progress=1` mode) and its waits are cancelled — but only
+//! the waits it uniquely owns: single-flight computations with other interested
+//! clients fail over to those waiters (see
+//! [`UnitPool::run_plans_cancellable`]).
+//!
 //! # Endpoints
 //!
 //! | Method | Path         | Meaning                                             |
 //! |--------|--------------|-----------------------------------------------------|
-//! | GET    | `/healthz`   | liveness probe, body `ok`                           |
+//! | GET    | `/healthz`   | liveness probe, body `ok` (`503 draining` in drain) |
 //! | GET    | `/scenarios` | JSON array of builtin scenario names                |
+//! | GET    | `/metrics`   | service counters, schema-v1 JSON (see the docs)     |
 //! | POST   | `/run`       | compile + execute the spec in the body              |
 //!
 //! `POST /run` query parameters: `seed=S` overrides the daemon's base seed for this
 //! submission (default: the `--seed` the daemon was started with); `progress=1`
-//! selects the ndjson progress stream.
+//! selects the ndjson progress stream. Repeated query keys are a `400` — like the
+//! CLI's duplicate-flag rule, silently ignoring one of two conflicting values
+//! would make the response depend on argument order.
 //!
 //! # Where this sits on the determinism map
 //!
 //! This module is deliberately **off the unit path** (see the audit crate's
-//! classification): it may read wall clocks for request logging and talk to
-//! sockets, because nothing here influences unit outputs — units are pure
-//! functions of their keys, the pool replays them from content-addressed storage,
-//! and the artifact bytes are produced by the same report renderer the CLI uses.
+//! classification): it may read wall clocks for request logging, metrics and
+//! backpressure estimates, and talk to sockets, because nothing here influences
+//! unit outputs — units are pure functions of their keys, the pool replays them
+//! from content-addressed storage, and the artifact bytes are produced by the same
+//! report renderer the CLI uses.
 
 use crate::cache::UnitCache;
-use crate::exec::UnitPool;
+use crate::exec::{resolve_jobs, UnitPool, CANCELLED_MSG};
 use crate::registry::Registry;
 use crate::scenario::SeedPolicy;
 use crate::spec::parse_spec;
 use serde::{Serialize, Value};
+use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use tiny_http::{ChunkedWriter, Request, Response};
+
+/// Version of the `GET /metrics` JSON schema. Bump on incompatible shape
+/// changes so scrapers can refuse documents they do not understand.
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
+/// The internal status label for requests whose client vanished mid-run
+/// (nothing was written back). Follows nginx's convention for the same case.
+const STATUS_CLIENT_GONE: u16 = 499;
 
 /// Configuration for [`SweepServer::bind`].
 pub struct ServeOptions {
@@ -67,6 +104,25 @@ pub struct ServeOptions {
     pub seed: u64,
     /// Log one stderr line per request (method, path, status, wall time).
     pub log: bool,
+    /// Connection-handler threads (`0` = one per core). Bounds how many
+    /// requests are *in service* concurrently; the pool's `jobs` gate still
+    /// bounds how many units *compute* concurrently.
+    pub workers: usize,
+    /// Pending-connection queue bound (`0` = twice the resolved workers).
+    /// Accepted sockets beyond workers + queue are answered `503`.
+    pub queue: usize,
+    /// Per-connection read/write deadline in milliseconds (`0` = none): a
+    /// single stalled socket operation fails after this long, freeing the
+    /// worker with a `408` instead of pinning it forever.
+    pub timeout_ms: u64,
+    /// Drain deadline in milliseconds: how long
+    /// [`serve_forever`](SweepServer::serve_forever) waits for queued and
+    /// in-flight requests after a drain is requested.
+    pub drain_ms: u64,
+    /// Install SIGTERM/SIGINT handlers that trigger a graceful drain. Off by
+    /// default so embedders (tests, benches) keep their own signal story; the
+    /// CLI turns it on.
+    pub handle_signals: bool,
 }
 
 impl Default for ServeOptions {
@@ -77,22 +133,250 @@ impl Default for ServeOptions {
             jobs: 0,
             seed: crate::DEFAULT_SEED,
             log: false,
+            workers: 0,
+            queue: 0,
+            timeout_ms: 30_000,
+            drain_ms: 5_000,
+            handle_signals: false,
         }
     }
 }
 
-/// Daemon state shared by every connection thread.
+/// Monotonic service counters behind `GET /metrics`. Counts are recorded when
+/// a response is fully written (or the client is found gone), so a scraped
+/// total can briefly trail a client-observed response by one update.
+struct Metrics {
+    started: Instant,
+    /// Completed requests (anything with a recorded status, 499 included).
+    total: AtomicU64,
+    /// (endpoint label, status) → count.
+    requests: Mutex<HashMap<(String, u16), u64>>,
+    /// Sums of the per-request `X-Pim-Cache-*` header accounting, over
+    /// successfully answered `/run` requests.
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_recomputed: AtomicU64,
+    /// Sum of `X-Pim-Units` over successfully answered `/run` requests.
+    units_served: AtomicU64,
+    /// Connections answered `503` by the acceptor (queue full or draining).
+    rejected_503: AtomicU64,
+    /// Workers currently inside a request handler.
+    busy: AtomicU64,
+    /// Exponentially-weighted mean request wall time, for `Retry-After`
+    /// estimates (0 until the first request completes).
+    ewma_request_micros: AtomicU64,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            total: AtomicU64::new(0),
+            requests: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_recomputed: AtomicU64::new(0),
+            units_served: AtomicU64::new(0),
+            rejected_503: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            ewma_request_micros: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, label: &str, status: u16) {
+        self.total.fetch_add(1, Ordering::SeqCst);
+        // audit:allow(unwrap-in-library): a poisoned lock means a handler already panicked; propagate that panic
+        let mut requests = self.requests.lock().expect("no handler panicked");
+        *requests.entry((label.to_string(), status)).or_insert(0) += 1;
+    }
+
+    fn record_run_accounting(&self, units: u64, counts: &crate::cache::CacheCounts) {
+        self.units_served.fetch_add(units, Ordering::SeqCst);
+        self.cache_hits.fetch_add(counts.hits, Ordering::SeqCst);
+        self.cache_misses.fetch_add(counts.misses, Ordering::SeqCst);
+        self.cache_recomputed
+            .fetch_add(counts.recomputed, Ordering::SeqCst);
+    }
+
+    /// Fold one completed request's wall time into the EWMA (α = 1/8).
+    fn observe_request_wall(&self, wall: Duration) {
+        let sample = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+        let old = self.ewma_request_micros.load(Ordering::SeqCst);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        self.ewma_request_micros.store(new, Ordering::SeqCst);
+    }
+}
+
+/// Why a socket was diverted to the rejection lane.
+enum QueueRefusal {
+    /// The pending bound is reached: the service is saturated.
+    Full,
+    /// The queue is closed: the service is draining.
+    Closed,
+}
+
+/// A bounded, closable hand-off queue between the acceptor and a consumer
+/// thread pool.
+struct PendingQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner<T> {
+    pending: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> PendingQueue<T> {
+    fn new(capacity: usize) -> PendingQueue<T> {
+        PendingQueue {
+            inner: Mutex::new(QueueInner {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn push(&self, item: T) -> Result<(), (T, QueueRefusal)> {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        let mut inner = self.inner.lock().expect("no worker panicked");
+        if inner.closed {
+            return Err((item, QueueRefusal::Closed));
+        }
+        if inner.pending.len() >= self.capacity {
+            return Err((item, QueueRefusal::Full));
+        }
+        inner.pending.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Next pending item; blocks while the queue is open and empty, returns
+    /// `None` once it is closed *and* empty (consumers exit on that).
+    fn pop(&self) -> Option<T> {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        let mut inner = self.inner.lock().expect("no worker panicked");
+        loop {
+            if let Some(item) = inner.pending.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+            inner = self.ready.wait(inner).expect("no worker panicked");
+        }
+    }
+
+    fn close(&self) {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        self.inner.lock().expect("no worker panicked").closed = true;
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+        self.inner.lock().expect("no worker panicked").pending.len()
+    }
+}
+
+/// Daemon state shared by the acceptor, every worker, and drain handles.
 struct ServeState {
     pool: UnitPool,
     cache: Option<UnitCache>,
     base_seed: u64,
     log: bool,
+    /// Resolved worker-thread count (the `--workers` knob with 0 = cores).
+    workers: usize,
+    /// Per-connection socket deadline; `None` disables deadlines.
+    timeout: Option<Duration>,
+    /// Set once a drain is requested; never cleared.
+    draining: AtomicBool,
+    queue: PendingQueue<TcpStream>,
+    /// The rejection lane: sockets refused by `queue`, answered `503` by one
+    /// dedicated thread. Rejection must *read* the request before responding
+    /// (closing with unread bytes makes the kernel RST the connection and the
+    /// client may never see the 503), and that read cannot run on the
+    /// acceptor thread — so it gets its own bounded lane. Overflowing even
+    /// this lane drops the socket outright: under extreme overload a hard
+    /// close is the only answer that costs nothing.
+    reject: PendingQueue<(TcpStream, QueueRefusal)>,
+    metrics: Metrics,
 }
 
 /// The sweep service: a bound listener plus the persistent scheduler state.
 pub struct SweepServer {
     listener: tiny_http::Server,
     state: Arc<ServeState>,
+    /// The resolved bound address, kept for drain wake-up self-connects.
+    addr: String,
+    drain_ms: u64,
+    handle_signals: bool,
+}
+
+/// A remote control for one [`SweepServer`]: lets another thread (a signal
+/// watcher, a bench harness, a test) ask the acceptor to drain gracefully.
+/// Clones of the daemon state keep it valid for the daemon's whole life.
+pub struct DrainHandle {
+    state: Arc<ServeState>,
+    addr: String,
+}
+
+impl DrainHandle {
+    /// Request a graceful drain: the acceptor stops accepting, queued and
+    /// in-flight requests finish (up to the server's drain deadline), and
+    /// [`SweepServer::serve_forever`] returns its [`DrainSummary`].
+    /// Idempotent; safe from any thread.
+    pub fn request_drain(&self) {
+        if self.state.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor sits in blocking accept(); a self-connect wakes it so
+        // it can observe the flag without polling (polling would tax every
+        // real connection's accept latency).
+        let _ = TcpStream::connect(&self.addr);
+    }
+
+    /// Whether a drain has been requested on this server.
+    pub fn is_draining(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// What a drained [`SweepServer::serve_forever`] accomplished, for the
+/// operator's log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Requests answered over the daemon's lifetime (any status).
+    pub served: u64,
+    /// Connections rejected `503` by the acceptor (saturation or drain).
+    pub rejected: u64,
+    /// Connections still queued or in flight when the drain deadline expired
+    /// (0 on a clean drain).
+    pub abandoned: u64,
+    /// How long the drain waited for in-flight work, in milliseconds.
+    pub drain_wait_ms: u64,
+    /// Daemon lifetime, in milliseconds.
+    pub uptime_ms: u64,
+}
+
+impl std::fmt::Display for DrainSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "drained: {} request(s) served, {} rejected (503), {} abandoned; \
+             drain waited {} ms; up {} ms",
+            self.served, self.rejected, self.abandoned, self.drain_wait_ms, self.uptime_ms
+        )
+    }
 }
 
 impl SweepServer {
@@ -106,33 +390,189 @@ impl SweepServer {
         };
         let listener =
             tiny_http::Server::bind(&opts.addr).map_err(|e| format!("bind {}: {e}", opts.addr))?;
+        let addr = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .map_err(|e| format!("local_addr: {e}"))?;
+        let workers = resolve_jobs(opts.workers).max(1);
+        let queue_capacity = if opts.queue == 0 {
+            workers * 2
+        } else {
+            opts.queue
+        };
         Ok(SweepServer {
             listener,
+            addr,
+            drain_ms: opts.drain_ms,
+            handle_signals: opts.handle_signals,
             state: Arc::new(ServeState {
                 pool: UnitPool::new(opts.jobs),
                 cache,
                 base_seed: opts.seed,
                 log: opts.log,
+                workers,
+                timeout: (opts.timeout_ms > 0).then(|| Duration::from_millis(opts.timeout_ms)),
+                draining: AtomicBool::new(false),
+                queue: PendingQueue::new(queue_capacity),
+                reject: PendingQueue::new((queue_capacity * 4).max(64)),
+                metrics: Metrics::new(),
             }),
         })
     }
 
     /// The bound `host:port` — how callers learn the port after binding to `:0`.
     pub fn local_addr(&self) -> Result<String, String> {
-        self.listener
-            .local_addr()
-            .map(|a| a.to_string())
-            .map_err(|e| format!("local_addr: {e}"))
+        Ok(self.addr.clone())
     }
 
-    /// Accept connections forever, one handler thread per connection. Only a
-    /// listener error (socket torn down) returns.
-    pub fn serve_forever(&self) -> Result<(), String> {
-        loop {
-            let stream = self.listener.accept().map_err(|e| format!("accept: {e}"))?;
-            let state = Arc::clone(&self.state);
-            std::thread::spawn(move || handle_connection(&state, stream));
+    /// A handle other threads can use to drain this server gracefully.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle {
+            state: Arc::clone(&self.state),
+            addr: self.addr.clone(),
         }
+    }
+
+    /// Accept and serve connections on the bounded worker pool until a drain
+    /// is requested (via [`DrainHandle::request_drain`] or, with
+    /// [`ServeOptions::handle_signals`], SIGTERM/SIGINT), then let queued and
+    /// in-flight requests finish up to the drain deadline and return the
+    /// [`DrainSummary`]. An `Err` is only a listener failure.
+    pub fn serve_forever(&self) -> Result<DrainSummary, String> {
+        let state = &self.state;
+        // workers + the rejector: all must exit for a clean drain.
+        let alive = Arc::new(AtomicUsize::new(state.workers + 1));
+        for _ in 0..state.workers {
+            let state = Arc::clone(&self.state);
+            let alive = Arc::clone(&alive);
+            std::thread::spawn(move || {
+                while let Some(stream) = state.queue.pop() {
+                    let started = Instant::now();
+                    state.metrics.busy.fetch_add(1, Ordering::SeqCst);
+                    handle_connection(&state, stream);
+                    state.metrics.busy.fetch_sub(1, Ordering::SeqCst);
+                    state.metrics.observe_request_wall(started.elapsed());
+                }
+                alive.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        {
+            let state = Arc::clone(&self.state);
+            let alive = Arc::clone(&alive);
+            std::thread::spawn(move || {
+                while let Some((stream, refusal)) = state.reject.pop() {
+                    reject_busy(&state, stream, &refusal);
+                }
+                alive.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        if self.handle_signals {
+            tiny_http::shutdown::install();
+            let handle = self.drain_handle();
+            std::thread::spawn(move || loop {
+                if tiny_http::shutdown::requested() {
+                    handle.request_drain();
+                    break;
+                }
+                if handle.is_draining() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            });
+        }
+
+        loop {
+            let stream = match self.listener.accept() {
+                Ok(stream) => stream,
+                Err(e) => {
+                    state.draining.store(true, Ordering::SeqCst);
+                    state.queue.close();
+                    state.reject.close();
+                    return Err(format!("accept: {e}"));
+                }
+            };
+            if state.draining.load(Ordering::SeqCst) {
+                // The drain wake-up self-connect, or a client racing the
+                // drain: either way, no longer accepting.
+                drop(stream);
+                break;
+            }
+            if let Some(timeout) = state.timeout {
+                let _ = tiny_http::set_stream_deadlines(&stream, timeout);
+            }
+            if let Err((stream, refusal)) = state.queue.push(stream) {
+                // Divert to the rejection lane; if even that is full, the
+                // socket is dropped on the floor (hard close).
+                let _ = state.reject.push((stream, refusal));
+            }
+        }
+
+        // Drain: workers finish the current and queued requests (the rejector
+        // flushes its lane likewise); we wait up to the deadline, then report
+        // whatever still hadn't finished.
+        state.queue.close();
+        state.reject.close();
+        let wait_started = Instant::now();
+        let deadline = Duration::from_millis(self.drain_ms);
+        while alive.load(Ordering::SeqCst) > 0 && wait_started.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let abandoned = state.queue.depth() as u64
+            + state.reject.depth() as u64
+            + state.metrics.busy.load(Ordering::SeqCst);
+        Ok(DrainSummary {
+            served: state.metrics.total.load(Ordering::SeqCst),
+            rejected: state.metrics.rejected_503.load(Ordering::SeqCst),
+            abandoned,
+            drain_wait_ms: wait_started.elapsed().as_millis() as u64,
+            uptime_ms: state.metrics.started.elapsed().as_millis() as u64,
+        })
+    }
+}
+
+/// Estimate how long a rejected client should wait before retrying: the work
+/// ahead of it (busy workers + queued sockets + itself) times the mean request
+/// wall, spread over the worker pool. Clamped to `1..=60` seconds; 1s before
+/// any request has completed.
+fn retry_after_secs(state: &ServeState) -> u64 {
+    let busy = state.metrics.busy.load(Ordering::SeqCst);
+    let queued = state.queue.depth() as u64;
+    let ewma_micros = state.metrics.ewma_request_micros.load(Ordering::SeqCst);
+    let per_request_ms = if ewma_micros == 0 {
+        1_000
+    } else {
+        (ewma_micros / 1_000).max(1)
+    };
+    let outstanding = busy + queued + 1;
+    let workers = state.workers.max(1) as u64;
+    (outstanding * per_request_ms)
+        .div_ceil(workers * 1_000)
+        .clamp(1, 60)
+}
+
+/// Rejection-lane handling: answer a refused socket `503` with retry guidance.
+/// The request is read (and discarded) first — closing a socket with unread
+/// request bytes makes the kernel reset the connection, and a reset client
+/// may never see the 503 it should be honoring. Runs on the dedicated
+/// rejector thread; the socket's deadlines bound how long a slow sender can
+/// hold it.
+fn reject_busy(state: &ServeState, mut stream: TcpStream, refusal: &QueueRefusal) {
+    state.metrics.rejected_503.fetch_add(1, Ordering::SeqCst);
+    let body = match refusal {
+        QueueRefusal::Full => "server at capacity; retry later\n",
+        QueueRefusal::Closed => "draining\n",
+    };
+    state.metrics.record("<rejected>", 503);
+    {
+        let mut reader = BufReader::new(&mut stream);
+        let _ = Request::read_from(&mut reader);
+    }
+    let retry = retry_after_secs(state);
+    let _ = text_response(503, body)
+        .with_header("Retry-After", &retry.to_string())
+        .write_to(&mut stream);
+    if state.log {
+        eprintln!("serve: <rejected> -> 503 (Retry-After: {retry} s)");
     }
 }
 
@@ -144,16 +584,25 @@ fn handle_connection(state: &ServeState, mut stream: TcpStream) {
         Request::read_from(&mut reader)
     };
     let (label, status) = match request {
+        Err(e) if tiny_http::is_timeout(&e) => {
+            // The connection idled past --timeout-ms mid-request: reap it
+            // with a 408 so the worker is immediately reusable.
+            let _ = text_response(408, "request read timed out\n").write_to(&mut stream);
+            ("<timeout>".to_string(), 408)
+        }
         Err(e) => {
             let _ = text_response(400, &format!("malformed request: {e}\n")).write_to(&mut stream);
             ("<malformed>".to_string(), 400)
         }
         Ok(request) => {
-            let label = format!("{} {}", request.method, request.target);
-            let status = route(state, &request, &mut stream).unwrap_or(0);
+            let label = format!("{} {}", request.method, request.path());
+            // A write error means the client vanished mid-response (even
+            // mid-head): account it like any other abandoned exchange.
+            let status = route(state, &request, &mut stream).unwrap_or(STATUS_CLIENT_GONE);
             (label, status)
         }
     };
+    state.metrics.record(&label, status);
     if state.log {
         let ms = started.elapsed().as_secs_f64() * 1e3;
         eprintln!("serve: {label} -> {status} ({ms:.1} ms)");
@@ -163,10 +612,21 @@ fn handle_connection(state: &ServeState, mut stream: TcpStream) {
 /// Dispatch one parsed request. Returns the response status for logging; an `Err`
 /// means the client vanished mid-write (nothing to do but log).
 fn route(state: &ServeState, request: &Request, stream: &mut TcpStream) -> std::io::Result<u16> {
+    if let Some(key) = request.duplicate_query_key() {
+        // Same rule as the CLI's repeated flags: two values for one knob is a
+        // contradiction to surface, not an ordering puzzle to guess at.
+        text_response(400, &format!("duplicate query parameter '{key}'\n")).write_to(stream)?;
+        return Ok(400);
+    }
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => {
-            text_response(200, "ok\n").write_to(stream)?;
-            Ok(200)
+            if state.draining.load(Ordering::SeqCst) {
+                text_response(503, "draining\n").write_to(stream)?;
+                Ok(503)
+            } else {
+                text_response(200, "ok\n").write_to(stream)?;
+                Ok(200)
+            }
         }
         ("GET", "/scenarios") => {
             let names = Value::Seq(
@@ -184,9 +644,25 @@ fn route(state: &ServeState, request: &Request, stream: &mut TcpStream) -> std::
                 .write_to(stream)?;
             Ok(200)
         }
+        ("GET", "/metrics") => {
+            let mut body = metrics_json(state);
+            body.push('\n');
+            Response::new(200)
+                .with_body("application/json", body.into_bytes())
+                .write_to(stream)?;
+            Ok(200)
+        }
         ("POST", "/run") => handle_run(state, request, stream),
-        (_, "/healthz" | "/scenarios" | "/run") => {
-            text_response(405, "method not allowed\n").write_to(stream)?;
+        (_, "/healthz" | "/scenarios" | "/metrics") => {
+            text_response(405, "method not allowed\n")
+                .with_header("Allow", "GET")
+                .write_to(stream)?;
+            Ok(405)
+        }
+        (_, "/run") => {
+            text_response(405, "method not allowed\n")
+                .with_header("Allow", "POST")
+                .write_to(stream)?;
             Ok(405)
         }
         (_, path) => {
@@ -194,6 +670,116 @@ fn route(state: &ServeState, request: &Request, stream: &mut TcpStream) -> std::
             Ok(404)
         }
     }
+}
+
+/// Render the `GET /metrics` document (schema v1, compact JSON, sorted
+/// per-endpoint keys — byte-stable given equal counters).
+fn metrics_json(state: &ServeState) -> String {
+    let m = &state.metrics;
+    let mut per_endpoint: Vec<((String, u16), u64)> = {
+        // audit:allow(unwrap-in-library): a poisoned lock means a handler already panicked; propagate that panic
+        let requests = m.requests.lock().expect("no handler panicked");
+        requests.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    };
+    per_endpoint.sort();
+    let mut by_endpoint: Vec<(String, Value)> = Vec::new();
+    for ((label, status), count) in per_endpoint {
+        let entry = (status.to_string(), Value::U64(count));
+        match by_endpoint.last_mut() {
+            Some((last, Value::Map(statuses))) if *last == label => statuses.push(entry),
+            _ => by_endpoint.push((label, Value::Map(vec![entry]))),
+        }
+    }
+    let doc = Value::Map(vec![
+        (
+            "schema_version".to_string(),
+            Value::U64(METRICS_SCHEMA_VERSION),
+        ),
+        (
+            "uptime_ms".to_string(),
+            Value::U64(m.started.elapsed().as_millis() as u64),
+        ),
+        (
+            "draining".to_string(),
+            Value::Bool(state.draining.load(Ordering::SeqCst)),
+        ),
+        (
+            "workers".to_string(),
+            Value::Map(vec![
+                ("configured".to_string(), Value::U64(state.workers as u64)),
+                (
+                    "busy".to_string(),
+                    Value::U64(m.busy.load(Ordering::SeqCst)),
+                ),
+                (
+                    "queue_depth".to_string(),
+                    Value::U64(state.queue.depth() as u64),
+                ),
+                (
+                    "queue_capacity".to_string(),
+                    Value::U64(state.queue.capacity as u64),
+                ),
+                (
+                    "rejected_503".to_string(),
+                    Value::U64(m.rejected_503.load(Ordering::SeqCst)),
+                ),
+            ]),
+        ),
+        (
+            "pool".to_string(),
+            Value::Map(vec![
+                (
+                    "permits_in_use".to_string(),
+                    Value::U64(state.pool.permits_in_use() as u64),
+                ),
+                (
+                    "permits_total".to_string(),
+                    Value::U64(state.pool.permits_total() as u64),
+                ),
+                (
+                    "mem_entries".to_string(),
+                    Value::U64(state.pool.mem_entries() as u64),
+                ),
+                (
+                    "flights_in_progress".to_string(),
+                    Value::U64(state.pool.flights_in_progress() as u64),
+                ),
+            ]),
+        ),
+        (
+            "requests".to_string(),
+            Value::Map(vec![
+                (
+                    "total".to_string(),
+                    Value::U64(m.total.load(Ordering::SeqCst)),
+                ),
+                ("by_endpoint".to_string(), Value::Map(by_endpoint)),
+            ]),
+        ),
+        (
+            "cache".to_string(),
+            Value::Map(vec![
+                (
+                    "hits".to_string(),
+                    Value::U64(m.cache_hits.load(Ordering::SeqCst)),
+                ),
+                (
+                    "misses".to_string(),
+                    Value::U64(m.cache_misses.load(Ordering::SeqCst)),
+                ),
+                (
+                    "recomputed".to_string(),
+                    Value::U64(m.cache_recomputed.load(Ordering::SeqCst)),
+                ),
+                (
+                    "units_served".to_string(),
+                    Value::U64(m.units_served.load(Ordering::SeqCst)),
+                ),
+            ]),
+        ),
+    ]);
+    // audit:allow(unwrap-in-library): the vendored JSON writer is total for this composed document
+    serde_json::to_string(&doc).expect("metrics document serializes")
 }
 
 /// `POST /run`: compile the spec in the body, execute it on the shared pool, and
@@ -215,10 +801,36 @@ fn handle_run(
     let units = plan.unit_count();
 
     if !submission.progress {
-        let outcome = state
-            .pool
-            .run_plans_cached(vec![plan], state.cache.as_ref());
+        // Artifact mode: between units, probe the socket so a vanished client
+        // stops costing compute. The probe is serialized by a mutex because it
+        // briefly flips the socket non-blocking, and it never runs
+        // concurrently with the response write (which happens after the run).
+        let probe_stream = stream.try_clone().ok().map(Mutex::new);
+        let gone = AtomicBool::new(false);
+        let cancel = || {
+            if gone.load(Ordering::SeqCst) {
+                return true;
+            }
+            let Some(lock) = &probe_stream else {
+                return false;
+            };
+            // audit:allow(unwrap-in-library): a poisoned lock means a worker already panicked; propagate that panic
+            let probe = lock.lock().expect("no worker panicked");
+            if tiny_http::client_disconnected(&probe) {
+                gone.store(true, Ordering::SeqCst);
+                return true;
+            }
+            false
+        };
+        let outcome =
+            state
+                .pool
+                .run_plans_cancellable(vec![plan], state.cache.as_ref(), None, Some(&cancel));
         return match outcome {
+            Err(message) if message == CANCELLED_MSG && gone.load(Ordering::SeqCst) => {
+                // The client is gone; there is nobody to answer.
+                Ok(STATUS_CLIENT_GONE)
+            }
             Err(message) => {
                 text_response(500, &format!("{message}\n")).write_to(stream)?;
                 Ok(500)
@@ -226,6 +838,9 @@ fn handle_run(
             Ok(mut outcomes) => {
                 // audit:allow(unwrap-in-library): one plan in, one outcome out
                 let outcome = outcomes.pop().expect("one plan produces one outcome");
+                state
+                    .metrics
+                    .record_run_accounting(units as u64, &outcome.cache);
                 // The body is exactly what `run --spec FILE --seed S` prints:
                 // accounting travels in headers so the artifact stays pristine.
                 Response::new(200)
@@ -244,14 +859,20 @@ fn handle_run(
     }
 
     // Progress mode: a chunked ndjson stream. Events during execution, then the
-    // accounting and the artifact (compact) as the final two events.
-    let writer = Mutex::new(ChunkedWriter::begin(
-        &mut *stream,
-        200,
-        &[("Content-Type", "application/x-ndjson")],
-    )?);
+    // accounting and the artifact (compact) as the final two events. A dead
+    // stream (chunk write failure) doubles as the cancellation signal: the
+    // socket itself cannot be probed here, because the chunked writer owns it
+    // and probes would race in-flight chunk frames.
+    let sink = ProgressSink {
+        writer: Mutex::new(ChunkedWriter::begin(
+            &mut *stream,
+            200,
+            &[("Content-Type", "application/x-ndjson")],
+        )?),
+        dead: AtomicBool::new(false),
+    };
     emit(
-        &writer,
+        &sink,
         &[
             ("event", Value::Str("start".into())),
             ("scenario", Value::Str(scenario.name().to_string())),
@@ -260,7 +881,7 @@ fn handle_run(
     );
     let on_unit = |done: usize, total: usize| {
         emit(
-            &writer,
+            &sink,
             &[
                 ("event", Value::Str("unit".into())),
                 ("done", Value::U64(done as u64)),
@@ -268,14 +889,21 @@ fn handle_run(
             ],
         );
     };
-    let outcome =
-        state
-            .pool
-            .run_plans_cached_with(vec![plan], state.cache.as_ref(), Some(&on_unit));
+    let cancel = || sink.dead.load(Ordering::SeqCst);
+    let outcome = state.pool.run_plans_cancellable(
+        vec![plan],
+        state.cache.as_ref(),
+        Some(&on_unit),
+        Some(&cancel),
+    );
     match outcome {
+        Err(message) if message == CANCELLED_MSG && sink.dead.load(Ordering::SeqCst) => {
+            // The progress client hung up; nothing to finish.
+            return Ok(STATUS_CLIENT_GONE);
+        }
         Err(message) => {
             emit(
-                &writer,
+                &sink,
                 &[
                     ("event", Value::Str("error".into())),
                     ("message", Value::Str(message)),
@@ -285,8 +913,11 @@ fn handle_run(
         Ok(mut outcomes) => {
             // audit:allow(unwrap-in-library): one plan in, one outcome out
             let outcome = outcomes.pop().expect("one plan produces one outcome");
+            state
+                .metrics
+                .record_run_accounting(units as u64, &outcome.cache);
             emit(
-                &writer,
+                &sink,
                 &[
                     ("event", Value::Str("done".into())),
                     ("hits", Value::U64(outcome.cache.hits)),
@@ -295,7 +926,7 @@ fn handle_run(
                 ],
             );
             emit(
-                &writer,
+                &sink,
                 &[
                     ("event", Value::Str("report".into())),
                     ("artifact", outcome.report.to_value()),
@@ -303,7 +934,7 @@ fn handle_run(
             );
         }
     }
-    writer
+    sink.writer
         .into_inner()
         // audit:allow(unwrap-in-library): emit never panics while holding the writer lock
         .expect("no handler panicked")
@@ -340,10 +971,17 @@ fn parse_submission(state: &ServeState, request: &Request) -> Result<Submission,
     })
 }
 
+/// The progress stream plus its liveness flag: a failed chunk write marks the
+/// stream dead, which the run's cancellation probe observes.
+struct ProgressSink<'s> {
+    writer: Mutex<ChunkedWriter<&'s mut TcpStream>>,
+    dead: AtomicBool,
+}
+
 /// Write one compact-JSON event line to the shared chunked writer. Write errors
-/// are swallowed: a vanished progress client must not poison the computation,
+/// mark the sink dead (the client is gone) but never poison the computation,
 /// which other waiters may be deduplicating against.
-fn emit(writer: &Mutex<ChunkedWriter<&mut TcpStream>>, fields: &[(&str, Value)]) {
+fn emit(sink: &ProgressSink<'_>, fields: &[(&str, Value)]) {
     let event = Value::Map(
         fields
             .iter()
@@ -355,8 +993,10 @@ fn emit(writer: &Mutex<ChunkedWriter<&mut TcpStream>>, fields: &[(&str, Value)])
     };
     line.push('\n');
     // audit:allow(unwrap-in-library): emit never panics while holding the writer lock
-    let mut writer = writer.lock().expect("no handler panicked");
-    let _ = writer.chunk(line.as_bytes());
+    let mut writer = sink.writer.lock().expect("no handler panicked");
+    if writer.chunk(line.as_bytes()).is_err() {
+        sink.dead.store(true, Ordering::SeqCst);
+    }
 }
 
 fn text_response(status: u16, body: &str) -> Response {

@@ -6,6 +6,7 @@
 //! pim-tradeoffs run     --all [--spec FILE|DIR] [--jobs N] [--out artifacts/] [--seed S]
 //!                       [--cache DIR] [--no-cache] [--shard I/N]
 //! pim-tradeoffs serve   [--addr HOST:PORT] [--cache DIR] [--jobs N] [--seed S]
+//!                       [--workers N] [--timeout-ms MS] [--drain-ms MS]
 //! pim-tradeoffs cache   stats|gc|clear DIR [--max-mib N]
 //! pim-tradeoffs cache   merge DEST SRC... | pull DEST SRC
 //! pim-tradeoffs spec    check FILE|DIR...
@@ -51,6 +52,7 @@ USAGE:
   pim-tradeoffs run     --spec FILE|DIR [--jobs N] [--out DIR] [--seed S]
   pim-tradeoffs run     ... [--cache DIR] [--no-cache] [--shard I/N]
   pim-tradeoffs serve   [--addr HOST:PORT] [--cache DIR] [--jobs N] [--seed S] [--quiet 1]
+                        [--workers N] [--timeout-ms MS] [--drain-ms MS]
   pim-tradeoffs cache   stats DIR | gc DIR [--max-mib N] | clear DIR
   pim-tradeoffs cache   merge DEST SRC... | pull DEST SRC
   pim-tradeoffs spec    check FILE|DIR...
@@ -81,7 +83,12 @@ ndjson progress) and get back the report, byte-identical to the CLI's output for
 same spec and seed. All requests share one persistent scheduler — warm results are
 served from memory and the `--cache` directory, and concurrent submissions that
 overlap deduplicate per unit, computing each grid point exactly once (--quiet 1
-silences the per-request stderr log).
+silences the per-request stderr log). Connections are handled by a bounded pool of
+--workers threads over a bounded pending queue: at saturation new connections get
+503 + Retry-After instead of stacking threads, silent clients are reaped after
+--timeout-ms, GET /metrics exposes the service counters, and SIGTERM/SIGINT drains
+gracefully (stop accepting, finish in-flight work up to --drain-ms, exit 0 with a
+summary on stderr; /healthz reports 503 draining meanwhile).
 `--spec` loads user-defined scenario specs (schema v1 JSON; see examples/specs/) into the
 registry beside the 13 builtins; `run --spec DIR` with no scenario names runs exactly
 the spec-defined scenarios, and `spec check` validates spec files without running
@@ -377,7 +384,16 @@ fn cmd_cache(positionals: &[String], args: &Args) -> Result<(), String> {
 /// `pim_harness::serve`). Prints the bound address (the way to learn the port
 /// after `--addr host:0`) and then serves until killed.
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    args.reject_unknown(&["addr", "cache", "jobs", "seed", "quiet"])?;
+    args.reject_unknown(&[
+        "addr",
+        "cache",
+        "jobs",
+        "seed",
+        "quiet",
+        "workers",
+        "timeout-ms",
+        "drain-ms",
+    ])?;
     let opts = ServeOptions {
         addr: args
             .flags
@@ -388,13 +404,22 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         jobs: args.get_usize("jobs", 0)?,
         seed: args.get_u64("seed", DEFAULT_SEED)?,
         log: args.flags.get("quiet").map(String::as_str) != Some("1"),
+        workers: args.get_usize("workers", 0)?,
+        timeout_ms: args.get_u64("timeout-ms", 30_000)?,
+        drain_ms: args.get_u64("drain-ms", 5_000)?,
+        // The CLI owns the process, so SIGTERM/SIGINT become a graceful
+        // drain (stop accepting, finish in-flight work, exit 0).
+        handle_signals: true,
+        ..ServeOptions::default()
     };
     let server = SweepServer::bind(&opts)?;
     println!("serving on {}", server.local_addr()?);
     // Port discovery must not race the first client: flush before accepting.
     use std::io::Write;
     let _ = std::io::stdout().flush();
-    server.serve_forever()
+    let summary = server.serve_forever()?;
+    eprintln!("serve: {summary}");
+    Ok(())
 }
 
 /// Print a [`MergeOutcome`] summary line (shared by `cache merge` and `cache pull`).

@@ -47,7 +47,7 @@ fn preset_spec() -> PathBuf {
 /// The daemon under test; killed (and reaped) on drop so a failing assertion
 /// never leaks a listener.
 struct Daemon {
-    child: Child,
+    child: Option<Child>,
     addr: String,
 }
 
@@ -55,12 +55,22 @@ impl Daemon {
     /// Start `pim-tradeoffs serve` on an OS-assigned port and parse the bound
     /// address from its first stdout line.
     fn start(extra: &[&str]) -> Daemon {
+        Daemon::start_with(extra, Stdio::null())
+    }
+
+    /// [`Daemon::start`] with stderr captured, for tests that assert on the
+    /// drain summary.
+    fn start_piped(extra: &[&str]) -> Daemon {
+        Daemon::start_with(extra, Stdio::piped())
+    }
+
+    fn start_with(extra: &[&str], stderr: Stdio) -> Daemon {
         let mut child = bin()
             .arg("serve")
             .args(["--addr", "127.0.0.1:0", "--quiet", "1"])
             .args(extra)
             .stdout(Stdio::piped())
-            .stderr(Stdio::null())
+            .stderr(stderr)
             .spawn()
             .expect("daemon starts");
         let stdout = child.stdout.take().expect("stdout piped");
@@ -73,12 +83,30 @@ impl Daemon {
             .strip_prefix("serving on ")
             .unwrap_or_else(|| panic!("unexpected announcement '{line}'"))
             .to_string();
-        Daemon { child, addr }
+        Daemon {
+            child: Some(child),
+            addr,
+        }
+    }
+
+    fn pid(&self) -> u32 {
+        self.child.as_ref().expect("daemon alive").id()
     }
 
     fn kill(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// Wait for the daemon to exit on its own, collecting captured streams.
+    fn wait_with_output(mut self) -> Output {
+        self.child
+            .take()
+            .expect("daemon alive")
+            .wait_with_output()
+            .expect("daemon exits")
     }
 }
 
@@ -121,6 +149,47 @@ fn served_preset_is_byte_identical_to_cli_run_cold_and_warm() {
     assert!(
         cli_warm_err.contains("110 hit(s), 0 miss(es), 0 recomputed"),
         "CLI run over the daemon's cache was not all-hits: {cli_warm_err}"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn sigterm_drains_gracefully_with_exit_zero_and_summary() {
+    let base = temp_base("drain");
+    let cache = base.join("cache");
+    let spec = preset_spec();
+    let body = std::fs::read(&spec).expect("preset spec exists");
+
+    let daemon = Daemon::start_piped(&["--cache", &p(&cache), "--workers", "2"]);
+    // One real request before the drain, so the summary has work to report.
+    let resp = client::request(&daemon.addr, "POST", "/run", &[], &body).expect("submit");
+    assert_eq!(resp.status, 200);
+
+    // A real SIGTERM, as an init system or orchestrator would send it.
+    let status = Command::new("kill")
+        .args(["-TERM", &daemon.pid().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill -TERM failed");
+
+    let out = daemon.wait_with_output();
+    assert!(
+        out.status.success(),
+        "graceful drain must exit 0, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("drained:") && stderr.contains("request(s) served"),
+        "no drain summary on stderr: {stderr}"
+    );
+
+    // The drained daemon's cache is a normal unit cache: a CLI run over it is
+    // all-hits with nothing recomputed.
+    let (_, warm_err) = expect_ok(&["run", "--spec", &p(&spec), "--cache", &p(&cache)]);
+    assert!(
+        warm_err.contains("110 hit(s), 0 miss(es), 0 recomputed"),
+        "CLI run over the drained daemon's cache was not all-hits: {warm_err}"
     );
     let _ = std::fs::remove_dir_all(&base);
 }

@@ -23,6 +23,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
 
 /// Ceiling on the request line plus all headers. A client exceeding it is broken
 /// or hostile; the connection is refused with an error before any body is read.
@@ -157,6 +158,20 @@ impl Request {
             .map(|(_, v)| v)
     }
 
+    /// The first query key that appears more than once, when any does.
+    /// [`Request::query_value`] is first-wins, so a repeated key silently
+    /// shadows its later values — servers that consider that an error can
+    /// detect it here and refuse the request instead.
+    pub fn duplicate_query_key(&self) -> Option<String> {
+        let pairs = self.query();
+        for (i, (key, _)) in pairs.iter().enumerate() {
+            if pairs[..i].iter().any(|(k, _)| k == key) {
+                return Some(key.clone());
+            }
+        }
+        None
+    }
+
     /// Case-insensitive header lookup (first occurrence).
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers
@@ -200,9 +215,114 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
+    }
+}
+
+/// Apply one deadline to both directions of `stream`: any single read or write
+/// that stalls longer than `timeout` fails with `WouldBlock`/`TimedOut` instead
+/// of blocking forever. This is how a server keeps slow or silent clients from
+/// pinning its workers.
+pub fn set_stream_deadlines(stream: &TcpStream, timeout: Duration) -> io::Result<()> {
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))
+}
+
+/// Whether an I/O error is a deadline expiry from [`set_stream_deadlines`].
+/// Unix reports socket timeouts as `WouldBlock`, Windows as `TimedOut`.
+pub fn is_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Probe whether the peer of `stream` has gone away, without consuming data.
+///
+/// The probe flips the socket to non-blocking, peeks one byte, and restores
+/// blocking mode: end-of-stream or a hard socket error means the client is
+/// gone; `WouldBlock` (no data, connection open) or readable data means it is
+/// still there. Callers must not run this concurrently with other I/O on the
+/// same socket — the brief non-blocking window would make an in-flight
+/// blocking write fail spuriously.
+pub fn client_disconnected(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+/// Process-wide SIGTERM/SIGINT latch, for graceful server drains.
+///
+/// This is the one place the workspace touches a raw OS API: there is no
+/// vendored `libc`/`signal-hook`, so a minimal `extern "C"` shim registers a
+/// handler that does the only async-signal-safe thing possible — set an
+/// atomic flag. Servers poll [`requested`] from an ordinary thread and run
+/// their drain logic there, never in signal context.
+pub mod shutdown {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    /// Mark shutdown as requested. This is the signal handler's entire body,
+    /// also callable directly (tests, embedders with their own signal story).
+    pub fn request() {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a shutdown has been requested since process start.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Signal context: one atomic store and nothing else.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the latch for `SIGTERM` and `SIGINT`. Returns `false` on
+    /// platforms without POSIX signals (the latch still works via
+    /// [`request`]). Later installs by the embedding program simply replace
+    /// these handlers — last install wins, as `signal(2)` always behaves.
+    #[cfg(unix)]
+    pub fn install() -> bool {
+        // The typed fn-pointer parameter keeps this a plain ABI match for
+        // POSIX `signal(2)` (sighandler_t in, sighandler_t out — both
+        // register-sized) without any numeric casts of function pointers.
+        type SigHandler = extern "C" fn(i32);
+        #[allow(unsafe_code)]
+        extern "C" {
+            fn signal(signum: i32, handler: SigHandler) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `signal` is the libc already linked by std; the handler is
+        // async-signal-safe (a single atomic store) and never uninstalled.
+        #[allow(unsafe_code)]
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+        true
+    }
+
+    /// Non-unix fallback: nothing to install.
+    #[cfg(not(unix))]
+    pub fn install() -> bool {
+        false
     }
 }
 
@@ -446,6 +566,94 @@ mod tests {
         assert_eq!(req.query_value("absent"), None);
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn duplicate_query_keys_are_detected_by_name() {
+        let parse = |target: &str| Request {
+            method: "GET".to_string(),
+            target: target.to_string(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(parse("/run").duplicate_query_key(), None);
+        assert_eq!(parse("/run?seed=1&progress=1").duplicate_query_key(), None);
+        assert_eq!(
+            parse("/run?seed=1&seed=2").duplicate_query_key().as_deref(),
+            Some("seed")
+        );
+        // A bare key and a valued key still collide by name.
+        assert_eq!(
+            parse("/run?progress&seed=1&progress=1")
+                .duplicate_query_key()
+                .as_deref(),
+            Some("progress")
+        );
+        // First-wins lookup is unchanged: detection is the caller's choice.
+        assert_eq!(
+            parse("/run?seed=1&seed=2").query_value("seed").as_deref(),
+            Some("1")
+        );
+    }
+
+    #[test]
+    fn disconnect_probe_distinguishes_open_idle_and_closed_peers() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let client = TcpStream::connect(&addr).unwrap();
+        let server_side = server.accept().unwrap();
+        // Open and idle: not disconnected.
+        assert!(!client_disconnected(&server_side));
+        // Pending unread data: still not disconnected.
+        (&client).write_all(b"x").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!client_disconnected(&server_side));
+        // The probe must not consume the pending byte.
+        let mut buf = [0u8; 1];
+        (&server_side).read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"x");
+        // Closed: disconnected.
+        drop(client);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(client_disconnected(&server_side));
+        // The socket is back in blocking mode after every probe; a timed read
+        // on the dead peer returns EOF promptly rather than WouldBlock.
+        assert_eq!((&server_side).read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn stream_deadlines_turn_a_silent_peer_into_a_timeout_error() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let _client = TcpStream::connect(&addr).unwrap(); // connects, sends nothing
+        let server_side = server.accept().unwrap();
+        set_stream_deadlines(&server_side, Duration::from_millis(80)).unwrap();
+        let mut reader = BufReader::new(&server_side);
+        let err = Request::read_from(&mut reader).unwrap_err();
+        assert!(is_timeout(&err), "expected a timeout kind, got {err:?}");
+        assert!(!is_timeout(&io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "closed"
+        )));
+    }
+
+    #[test]
+    fn shutdown_latch_reports_a_real_signal() {
+        assert!(shutdown::install());
+        assert!(!shutdown::requested());
+        // Deliver a real SIGTERM to this process; the installed handler turns
+        // it into a latch set instead of a death.
+        let status = std::process::Command::new("kill")
+            .args(["-TERM", &std::process::id().to_string()])
+            .status()
+            .unwrap();
+        assert!(status.success());
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !shutdown::requested() {
+            assert!(std::time::Instant::now() < deadline, "latch never set");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(shutdown::requested());
     }
 
     #[test]
